@@ -1,0 +1,92 @@
+// Ablation: the §5.1 proof-hint design.
+//
+// Compares the work of full pattern MATCHING (what the untrusted
+// application does, exponential in the worst case for a backtracking
+// matcher) with hint VERIFICATION (what the kernel does, one linear scan).
+// This is the quantitative argument for moving the matching out of the
+// kernel.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <chrono>
+#include <optional>
+#include <vector>
+
+#include "policy/pattern.h"
+
+namespace {
+
+using namespace asc;
+
+std::string pathological_pattern(int stars) {
+  std::string p;
+  for (int i = 0; i < stars; ++i) p += "a*";
+  p += "b";
+  return p;
+}
+
+void run_table() {
+  std::printf("\n=== Ablation: pattern match vs hint verification ===\n");
+  std::printf("%-28s %14s %14s\n", "pattern / argument", "match (ns)", "verify (ns)");
+  struct Case {
+    std::string name;
+    std::string pattern;
+    std::string arg;
+  };
+  std::vector<Case> cases = {
+      {"/tmp/* (short)", "/tmp/*", "/tmp/f123"},
+      {"{foo,bar}*baz", "/tmp/{foo,bar}*baz", "/tmp/foofoobaz"},
+      {"a*a*...b (12 stars, match)", pathological_pattern(12), std::string(24, 'a') + "b"},
+      {"a*a*...b (12 stars, MISS)", pathological_pattern(12), std::string(24, 'a')},
+  };
+  for (const auto& c : cases) {
+    const int reps = 200;
+    auto t0 = std::chrono::steady_clock::now();
+    std::optional<std::vector<std::uint32_t>> hint;
+    for (int i = 0; i < reps; ++i) hint = policy::match_and_prove(c.pattern, c.arg);
+    auto t1 = std::chrono::steady_clock::now();
+    double verify_ns = 0;
+    if (hint.has_value()) {
+      auto v0 = std::chrono::steady_clock::now();
+      for (int i = 0; i < reps; ++i) {
+        benchmark::DoNotOptimize(policy::verify_match(c.pattern, c.arg, *hint));
+      }
+      auto v1 = std::chrono::steady_clock::now();
+      verify_ns = std::chrono::duration<double, std::nano>(v1 - v0).count() / reps;
+    }
+    const double match_ns = std::chrono::duration<double, std::nano>(t1 - t0).count() / reps;
+    std::printf("%-28s %14.0f %14.0f\n", c.name.c_str(), match_ns, verify_ns);
+  }
+  std::printf("(the kernel only ever pays the verify column; a mismatch with a\n"
+              " pathological pattern would otherwise burn kernel time -- the §3.2\n"
+              " denial-of-service concern)\n");
+}
+
+void BM_Match(benchmark::State& state) {
+  const auto pattern = pathological_pattern(static_cast<int>(state.range(0)));
+  const std::string arg = std::string(2 * state.range(0), 'a') + "b";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::match_and_prove(pattern, arg));
+  }
+}
+BENCHMARK(BM_Match)->DenseRange(2, 12, 5);
+
+void BM_Verify(benchmark::State& state) {
+  const auto pattern = pathological_pattern(static_cast<int>(state.range(0)));
+  const std::string arg = std::string(2 * state.range(0), 'a') + "b";
+  const auto hint = policy::match_and_prove(pattern, arg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(policy::verify_match(pattern, arg, *hint));
+  }
+}
+BENCHMARK(BM_Verify)->DenseRange(2, 12, 5);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

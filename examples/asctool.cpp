@@ -1,0 +1,131 @@
+// asctool -- the trusted installer as a command-line tool, operating on TXE
+// image files on the host filesystem (the deployment workflow of Fig. 2).
+//
+//   asctool build <name> <out.txe>       write a relocatable guest program
+//   asctool inspect <img.txe>            dump header, sections, symbols
+//   asctool install <in.txe> <out.txe>   analyze + rewrite (prints policies)
+//   asctool run <img.txe> [args...]      execute under ASC enforcement
+//
+// Demo session:
+//   ./example_asctool build gzip /tmp/gzip.txe
+//   ./example_asctool install /tmp/gzip.txe /tmp/gzip.auth.txe
+//   ./example_asctool run /tmp/gzip.auth.txe /f.txt
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "core/asc.h"
+
+using namespace asc;
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open " + path);
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_file(const std::string& path, const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw Error("cannot write " + path);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+int cmd_build(const std::string& name, const std::string& out) {
+  for (auto& [n, img] : apps::build_all(os::Personality::LinuxSim)) {
+    if (n == name) {
+      write_file(out, img.serialize());
+      std::printf("wrote relocatable %s (%zu bytes)\n", out.c_str(), img.serialize().size());
+      return 0;
+    }
+  }
+  std::fprintf(stderr, "unknown program %s; try: ", name.c_str());
+  for (auto& [n, img] : apps::build_all(os::Personality::LinuxSim)) {
+    std::fprintf(stderr, "%s ", n.c_str());
+    (void)img;
+  }
+  std::fprintf(stderr, "\n");
+  return 1;
+}
+
+int cmd_inspect(const std::string& path) {
+  const binary::Image img = binary::Image::deserialize(read_file(path));
+  std::printf("name: %s\nentry: 0x%x\nrelocatable: %d\nauthenticated: %d\nprogram id: %u\n",
+              img.name.c_str(), img.entry, img.relocatable, img.authenticated, img.program_id);
+  for (const auto& s : img.sections) {
+    std::printf("section %-8s vaddr 0x%08x size %u\n", binary::section_name(s.kind).c_str(),
+                s.vaddr(), s.size());
+  }
+  std::printf("%zu symbols, %zu relocations\n", img.symbols.size(), img.relocs.size());
+  int shown = 0;
+  for (const auto& sym : img.symbols) {
+    if (sym.kind == binary::SymbolKind::Function && shown++ < 10) {
+      std::printf("  func %-20s 0x%08x (%u bytes)\n", sym.name.c_str(), sym.addr, sym.size);
+    }
+  }
+  return 0;
+}
+
+int cmd_install(const std::string& in, const std::string& out) {
+  const binary::Image img = binary::Image::deserialize(read_file(in));
+  installer::Installer inst(test_key(), os::Personality::LinuxSim);
+  auto result = inst.install(img);
+  write_file(out, result.image.serialize());
+  std::printf("installed %s -> %s: %zu authenticated call sites\n", in.c_str(), out.c_str(),
+              result.policies.size());
+  for (const auto& w : result.warnings) std::printf("REPORT: %s\n", w.c_str());
+  for (std::size_t i = 0; i < result.policies.size() && i < 3; ++i) {
+    std::printf("%s\n", result.policies[i].to_string().c_str());
+  }
+  if (result.policies.size() > 3) {
+    std::printf("... (%zu more policies)\n", result.policies.size() - 3);
+  }
+  return 0;
+}
+
+int cmd_run(const std::string& path, const std::vector<std::string>& args) {
+  const binary::Image img = binary::Image::deserialize(read_file(path));
+  System sys(os::Personality::LinuxSim);
+  // Seed a small demo filesystem.
+  auto& fs = sys.kernel().fs();
+  const std::string demo = "demo file contents\nsecond line\n";
+  auto ino = fs.open("/", "/f.txt", os::SimFs::kWrOnly | os::SimFs::kCreat, 0644);
+  fs.write(static_cast<std::uint32_t>(ino), 0,
+           std::vector<std::uint8_t>(demo.begin(), demo.end()), false);
+  auto r = sys.machine().run(img, args);
+  std::printf("%s", r.stdout_data.c_str());
+  if (r.violation != os::Violation::None) {
+    std::printf("[killed by monitor: %s -- %s]\n", os::violation_name(r.violation).c_str(),
+                r.violation_detail.c_str());
+    return 2;
+  }
+  std::printf("[exit %d, %llu syscalls, %llu cycles]\n", r.exit_code,
+              static_cast<unsigned long long>(r.syscalls),
+              static_cast<unsigned long long>(r.cycles));
+  return r.completed ? r.exit_code : 3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "build" && argc == 4) return cmd_build(argv[2], argv[3]);
+    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+    if (cmd == "install" && argc == 4) return cmd_install(argv[2], argv[3]);
+    if (cmd == "run" && argc >= 3) {
+      std::vector<std::string> args;
+      for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
+      return cmd_run(argv[2], args);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "asctool: %s\n", e.what());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "usage: asctool build <name> <out.txe> | inspect <img.txe> |\n"
+               "       install <in.txe> <out.txe> | run <img.txe> [args...]\n");
+  return 1;
+}

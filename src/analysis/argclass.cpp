@@ -1,0 +1,44 @@
+#include "analysis/argclass.h"
+
+#include <algorithm>
+
+namespace asc::analysis {
+
+ArgCoverage compute_arg_coverage(const SiteScan& scan) {
+  ArgCoverage c;
+  std::set<os::SysId> distinct;
+  for (const auto& site : scan.sites) {
+    ++c.sites;
+    distinct.insert(site.id);
+    const auto& sig = os::signature(site.id);
+    c.args += static_cast<std::size_t>(site.arity);
+    for (int a = 0; a < site.arity; ++a) {
+      const auto idx = static_cast<std::size_t>(a);
+      if (os::is_output_arg(sig.args[idx])) ++c.output_only;
+      switch (site.args[idx].kind) {
+        case ArgClass::Kind::Const:
+        case ArgClass::Kind::String:
+          ++c.auth;
+          break;
+        case ArgClass::Kind::Multi:
+          ++c.multi_value;
+          break;
+        case ArgClass::Kind::FdArg:
+          ++c.fds;
+          break;
+        case ArgClass::Kind::Unknown:
+          break;
+      }
+    }
+  }
+  c.calls = distinct.size();
+  return c;
+}
+
+std::vector<std::string> distinct_syscalls(const SiteScan& scan) {
+  std::set<std::string> names;
+  for (const auto& site : scan.sites) names.insert(os::signature(site.id).name);
+  return std::vector<std::string>(names.begin(), names.end());
+}
+
+}  // namespace asc::analysis

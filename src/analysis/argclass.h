@@ -1,0 +1,34 @@
+// Argument coverage statistics -- the raw material of Table 3.
+//
+// For a scanned program: number of call sites, number of distinct system
+// calls, total arguments, output-only arguments, arguments protectable by
+// the basic approach (constants + strings), multi-value arguments, and fd
+// arguments traceable to fd-returning calls.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/syscallsites.h"
+
+namespace asc::analysis {
+
+struct ArgCoverage {
+  std::size_t sites = 0;     // separate system call locations
+  std::size_t calls = 0;     // distinct system calls
+  std::size_t args = 0;      // total arguments across all sites
+  std::size_t output_only = 0;  // o/p column
+  std::size_t auth = 0;      // protectable by the basic approach
+  std::size_t multi_value = 0;  // mv column
+  std::size_t fds = 0;       // fds column
+};
+
+ArgCoverage compute_arg_coverage(const SiteScan& scan);
+
+/// Distinct system calls permitted by the scan (the "policy size" of
+/// Table 1), as sorted syscall names.
+std::vector<std::string> distinct_syscalls(const SiteScan& scan);
+
+}  // namespace asc::analysis

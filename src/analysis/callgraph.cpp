@@ -1,0 +1,40 @@
+#include "analysis/callgraph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace asc::analysis {
+
+CallGraph build_callgraph(const ProgramIr& ir, const Cfg& cfg) {
+  CallGraph g;
+  g.callees.resize(ir.funcs.size());
+  g.callers.resize(ir.funcs.size());
+
+  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+    if (ir.funcs[fi].address_taken && !ir.funcs[fi].inlined_away) {
+      g.address_taken.push_back(fi);
+    }
+  }
+
+  std::vector<std::set<std::size_t>> callee_sets(ir.funcs.size());
+  for (const auto& b : cfg.blocks) {
+    if (!b.ends_in_call) continue;
+    if (b.call_target != SIZE_MAX) {
+      callee_sets[b.func].insert(b.call_target);
+    } else {
+      g.has_indirect_calls = true;
+      for (std::size_t t : g.address_taken) callee_sets[b.func].insert(t);
+    }
+  }
+  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+    g.callees[fi].assign(callee_sets[fi].begin(), callee_sets[fi].end());
+    for (std::size_t callee : g.callees[fi]) g.callers[callee].push_back(fi);
+  }
+  for (auto& v : g.callers) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return g;
+}
+
+}  // namespace asc::analysis

@@ -1,0 +1,31 @@
+// Program call graph (conservative).
+//
+// Direct calls come from Call instructions; indirect calls (Callr) are
+// resolved conservatively to the set of address-taken functions, which the
+// disassembler computed from Lea instructions and data-resident code
+// pointers. The paper's syscall graph (control-flow policies) is derived
+// from this graph plus the per-function CFGs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/disassembler.h"
+
+namespace asc::analysis {
+
+struct CallGraph {
+  /// Per function: callee function indexes (deduplicated).
+  std::vector<std::vector<std::size_t>> callees;
+  /// Per function: caller function indexes (deduplicated).
+  std::vector<std::vector<std::size_t>> callers;
+  /// Functions whose address is taken (possible indirect-call targets).
+  std::vector<std::size_t> address_taken;
+  /// True if any function contains an indirect call.
+  bool has_indirect_calls = false;
+};
+
+CallGraph build_callgraph(const ProgramIr& ir, const Cfg& cfg);
+
+}  // namespace asc::analysis

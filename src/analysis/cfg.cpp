@@ -1,0 +1,114 @@
+#include "analysis/cfg.h"
+
+#include <set>
+
+#include "util/error.h"
+
+namespace asc::analysis {
+
+std::uint32_t Cfg::block_containing(std::size_t func, std::size_t instr) const {
+  // Blocks are contiguous instruction ranges; find via the leader map.
+  auto it = block_of_instr.find({func, instr});
+  if (it != block_of_instr.end()) return it->second;
+  throw Error("Cfg::block_containing: no block for instruction");
+}
+
+Cfg build_cfg(const ProgramIr& ir) {
+  Cfg cfg;
+  cfg.functions.resize(ir.funcs.size());
+  std::uint32_t next_id = 1;
+
+  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+    const IrFunction& f = ir.funcs[fi];
+    FunctionCfg& fc = cfg.functions[fi];
+    fc.func = fi;
+    if (f.opaque || f.inlined_away || f.instrs.empty()) continue;
+
+    // ---- find leaders ----
+    std::set<std::size_t> leaders;
+    leaders.insert(0);
+    for (std::size_t i = 0; i < f.instrs.size(); ++i) {
+      const IrInstr& instr = f.instrs[i];
+      const isa::Op op = instr.ins.op;
+      const bool terminator = isa::is_block_terminator(op) || op == isa::Op::Call ||
+                              op == isa::Op::Callr;
+      if (terminator && i + 1 < f.instrs.size()) leaders.insert(i + 1);
+      if (instr.ref == RefKind::CodeLocal &&
+          (isa::is_conditional_branch(op) || op == isa::Op::Jmp)) {
+        leaders.insert(instr.ref_index);
+      }
+    }
+
+    // ---- create blocks ----
+    std::vector<std::size_t> sorted(leaders.begin(), leaders.end());
+    std::map<std::size_t, std::uint32_t> block_of_leader;
+    for (std::size_t li = 0; li < sorted.size(); ++li) {
+      BasicBlock b;
+      b.id = next_id++;
+      b.func = fi;
+      b.first = sorted[li];
+      b.last = (li + 1 < sorted.size() ? sorted[li + 1] : f.instrs.size()) - 1;
+      for (std::size_t i = b.first; i <= b.last; ++i) {
+        if (f.instrs[i].ins.op == isa::Op::Syscall) b.syscall_instrs.push_back(i);
+        cfg.block_of_instr[{fi, i}] = b.id;
+      }
+      block_of_leader[b.first] = b.id;
+      fc.block_ids.push_back(b.id);
+      cfg.blocks.push_back(std::move(b));
+    }
+    fc.entry_block = block_of_leader.at(0);
+
+    // ---- successors ----
+    for (std::uint32_t id : fc.block_ids) {
+      BasicBlock& b = cfg.block(id);
+      const IrInstr& lastins = f.instrs[b.last];
+      const isa::Op op = lastins.ins.op;
+      auto fallthrough = [&]() {
+        if (b.last + 1 < f.instrs.size()) b.succs.push_back(block_of_leader.at(b.last + 1));
+      };
+      switch (op) {
+        case isa::Op::Ret:
+          b.ends_in_ret = true;
+          break;
+        case isa::Op::Halt:
+          break;
+        case isa::Op::Jmp:
+          if (lastins.ref == RefKind::CodeLocal) {
+            b.succs.push_back(block_of_leader.at(lastins.ref_index));
+          } else if (lastins.ref == RefKind::FuncEntry) {
+            // Tail call: treated as call-without-return.
+            b.ends_in_call = true;
+            b.call_target = lastins.ref_index;
+            b.ends_in_ret = true;  // control leaves this function
+          }
+          break;
+        case isa::Op::Jz:
+        case isa::Op::Jnz:
+        case isa::Op::Jlt:
+        case isa::Op::Jle:
+        case isa::Op::Jgt:
+        case isa::Op::Jge:
+          if (lastins.ref == RefKind::CodeLocal) {
+            b.succs.push_back(block_of_leader.at(lastins.ref_index));
+          }
+          fallthrough();
+          break;
+        case isa::Op::Call:
+          b.ends_in_call = true;
+          if (lastins.ref == RefKind::FuncEntry) b.call_target = lastins.ref_index;
+          fallthrough();
+          break;
+        case isa::Op::Callr:
+          b.ends_in_call = true;  // indirect: targets = address-taken set
+          fallthrough();
+          break;
+        default:
+          fallthrough();
+          break;
+      }
+    }
+  }
+  return cfg;
+}
+
+}  // namespace asc::analysis

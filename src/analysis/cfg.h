@@ -1,0 +1,54 @@
+// Basic blocks and intraprocedural control-flow graphs over the IR.
+//
+// Basic block identity is central to the ASC design: the paper approximates
+// a system call's location by the basic block containing it, and block ids
+// become the vocabulary of control-flow policies (predecessor sets) and the
+// lastBlock policy state. Local block ids are assigned program-wide,
+// starting at 1 (id 0 is the "program start" pseudo-block, see
+// policy::kStartBlockLocal).
+//
+// Call/Callr terminate blocks (so the interprocedural syscall graph can
+// splice callee flow between a call block and its fallthrough block);
+// Syscall does not.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/disassembler.h"
+
+namespace asc::analysis {
+
+struct BasicBlock {
+  std::uint32_t id = 0;      // program-wide local block id (>= 1)
+  std::size_t func = 0;      // function index
+  std::size_t first = 0;     // first instruction index (inclusive)
+  std::size_t last = 0;      // last instruction index (inclusive)
+  std::vector<std::uint32_t> succs;  // intraprocedural successor block ids
+  bool ends_in_ret = false;
+  bool ends_in_call = false;         // Call or Callr
+  std::size_t call_target = SIZE_MAX;  // FuncEntry index for direct Call
+  std::vector<std::size_t> syscall_instrs;  // instruction indexes of SYSCALLs
+};
+
+struct FunctionCfg {
+  std::size_t func = 0;
+  std::uint32_t entry_block = 0;              // block id, 0 if function empty/opaque
+  std::vector<std::uint32_t> block_ids;       // blocks of this function in layout order
+};
+
+struct Cfg {
+  std::vector<BasicBlock> blocks;          // indexed by id-1
+  std::vector<FunctionCfg> functions;      // indexed by function index
+  std::map<std::pair<std::size_t, std::size_t>, std::uint32_t> block_of_instr;
+
+  const BasicBlock& block(std::uint32_t id) const { return blocks.at(id - 1); }
+  BasicBlock& block(std::uint32_t id) { return blocks.at(id - 1); }
+  std::uint32_t block_containing(std::size_t func, std::size_t instr) const;
+};
+
+/// Build the CFG of every non-opaque function.
+Cfg build_cfg(const ProgramIr& ir);
+
+}  // namespace asc::analysis

@@ -1,0 +1,178 @@
+#include "analysis/disassembler.h"
+
+#include <algorithm>
+#include <map>
+
+#include "isa/decode.h"
+#include "isa/encode.h"
+#include "util/error.h"
+#include "util/hex.h"
+
+namespace asc::analysis {
+
+namespace {
+
+bool in_text(std::uint32_t addr) {
+  const std::uint32_t base = binary::section_base(binary::SectionKind::Text);
+  return addr >= base && addr < base + binary::section_limit(binary::SectionKind::Text);
+}
+
+}  // namespace
+
+const IrFunction* ProgramIr::find(const std::string& fn_name) const {
+  for (const auto& f : funcs) {
+    if (f.name == fn_name) return &f;
+  }
+  return nullptr;
+}
+
+ProgramIr disassemble(const binary::Image& image) {
+  if (!image.relocatable) {
+    throw Error("disassemble: installer requires a relocatable image (like PLTO)");
+  }
+  const binary::Section* text = image.find_section(binary::SectionKind::Text);
+  if (text == nullptr) throw Error("disassemble: image has no .text");
+
+  ProgramIr ir;
+  ir.name = image.name;
+
+  // Collect function symbols sorted by address.
+  std::vector<const binary::Symbol*> fsyms;
+  for (const auto& s : image.symbols) {
+    if (s.kind == binary::SymbolKind::Function) fsyms.push_back(&s);
+  }
+  std::sort(fsyms.begin(), fsyms.end(),
+            [](const binary::Symbol* a, const binary::Symbol* b) { return a->addr < b->addr; });
+
+  std::map<std::uint32_t, std::size_t> func_of_entry;  // entry addr -> func index
+  for (std::size_t i = 0; i < fsyms.size(); ++i) func_of_entry[fsyms[i]->addr] = i;
+
+  // Relocation slot set for O(log n) membership tests.
+  std::set<std::uint32_t> reloc_slots;
+  for (const auto& r : image.relocs) reloc_slots.insert(r.slot);
+
+  // ---- pass 1: decode every function linearly ----
+  // Per function: list of (addr, Instr); remember addr->index for pass 2.
+  std::vector<std::map<std::uint32_t, std::size_t>> index_of_addr(fsyms.size());
+  ir.funcs.resize(fsyms.size());
+  for (std::size_t fi = 0; fi < fsyms.size(); ++fi) {
+    const binary::Symbol& sym = *fsyms[fi];
+    IrFunction& f = ir.funcs[fi];
+    f.name = sym.name;
+    f.orig_addr = sym.addr;
+    std::uint32_t off = sym.addr - text->vaddr();
+    const std::uint32_t end = off + sym.size;
+    while (off < end) {
+      const auto dec = isa::try_decode(text->bytes, off);
+      if (!dec.has_value()) {
+        f.opaque = true;
+        f.opaque_reason = "undecodable bytes at 0x" +
+                          util::to_hex(std::vector<std::uint8_t>{
+                              static_cast<std::uint8_t>((text->vaddr() + off) >> 24),
+                              static_cast<std::uint8_t>((text->vaddr() + off) >> 16),
+                              static_cast<std::uint8_t>((text->vaddr() + off) >> 8),
+                              static_cast<std::uint8_t>(text->vaddr() + off)});
+        break;
+      }
+      IrInstr instr;
+      instr.ins = dec->ins;
+      instr.orig_addr = text->vaddr() + off;
+      index_of_addr[fi][instr.orig_addr] = f.instrs.size();
+      f.instrs.push_back(instr);
+      off += static_cast<std::uint32_t>(dec->size);
+    }
+    if (!f.opaque && off != end) {
+      f.opaque = true;
+      f.opaque_reason = "instruction overruns function end";
+    }
+  }
+
+  // ---- pass 2: symbolize immediates ----
+  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+    IrFunction& f = ir.funcs[fi];
+    if (f.opaque) continue;
+    for (std::size_t ii = 0; ii < f.instrs.size(); ++ii) {
+      IrInstr& instr = f.instrs[ii];
+      const isa::Fmt fmt = isa::format_of(instr.ins.op);
+      const bool has_imm = fmt == isa::Fmt::RI || fmt == isa::Fmt::Mem || fmt == isa::Fmt::Addr;
+      if (!has_imm) continue;
+      const std::uint32_t slot =
+          instr.orig_addr + static_cast<std::uint32_t>(isa::imm_offset(instr.ins.op));
+      const bool relocated = reloc_slots.count(slot) != 0;
+      if (!relocated) continue;  // plain immediate / memory offset
+
+      const std::uint32_t target = instr.ins.imm;
+      if (in_text(target)) {
+        // Prefer a local interpretation: a branch to this function's own
+        // first instruction is a loop head, not a (tail) call. Only CALLs
+        // to our own entry are recursion and stay FuncEntry.
+        auto iit = index_of_addr[fi].find(target);
+        const bool branch_like = instr.ins.op != isa::Op::Call && instr.ins.op != isa::Op::Lea;
+        if (iit != index_of_addr[fi].end() && branch_like) {
+          instr.ref = RefKind::CodeLocal;
+          instr.ref_index = iit->second;
+          continue;
+        }
+        auto fit = func_of_entry.find(target);
+        if (fit != func_of_entry.end()) {
+          instr.ref = RefKind::FuncEntry;
+          instr.ref_index = fit->second;
+          continue;
+        }
+        if (iit != index_of_addr[fi].end()) {
+          instr.ref = RefKind::CodeLocal;
+          instr.ref_index = iit->second;
+          continue;
+        }
+        f.opaque = true;
+        f.opaque_reason = "code reference into another function's body";
+        break;
+      }
+      instr.ref = RefKind::DataAddr;
+      instr.ref_addr = target;
+    }
+    if (f.opaque) continue;
+    // Computed jumps defeat the conservative analysis: without value
+    // tracking for the jump register the CFG is unknown.
+    for (const auto& instr : f.instrs) {
+      if (instr.ins.op == isa::Op::Jmpr) {
+        f.opaque = true;
+        f.opaque_reason = "computed jump (jmpr) cannot be resolved";
+        break;
+      }
+    }
+  }
+
+  // ---- pass 3: address-taken functions & data-resident code pointers ----
+  for (const auto& f : ir.funcs) (void)f;
+  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+    IrFunction& f = ir.funcs[fi];
+    if (f.opaque) continue;
+    for (const auto& instr : f.instrs) {
+      if (instr.ins.op == isa::Op::Lea && instr.ref == RefKind::FuncEntry) {
+        ir.funcs[instr.ref_index].address_taken = true;
+      }
+    }
+  }
+  for (const auto& r : image.relocs) {
+    // Relocation slots living in data sections may hold function pointers.
+    const auto sec = image.section_containing(r.slot);
+    if (!sec.has_value() || *sec == binary::SectionKind::Text) continue;
+    const auto word = image.bytes_at(r.slot, 4);
+    if (!word.has_value()) continue;
+    const std::uint32_t target = util::get_u32(*word, 0);
+    auto fit = func_of_entry.find(target);
+    if (fit != func_of_entry.end()) {
+      ir.funcs[fit->second].address_taken = true;
+      ir.data_code_ptrs.emplace_back(r.slot, fit->second);
+    }
+  }
+
+  // ---- entry function ----
+  auto eit = func_of_entry.find(image.entry);
+  if (eit == func_of_entry.end()) throw Error("disassemble: entry is not a function symbol");
+  ir.entry_func = eit->second;
+  return ir;
+}
+
+}  // namespace asc::analysis

@@ -1,0 +1,71 @@
+// Image -> IR disassembler (the front end of the PLTO-style installer).
+//
+// Requires a *relocatable* image: relocation entries tell the disassembler
+// which 32-bit immediates are absolute addresses, letting it symbolize them
+// precisely (the same reason PLTO requires `-Wl,-q` binaries). The result is
+// a symbolic IR in which:
+//
+//   * intra-function branch targets are instruction indexes (CodeLocal),
+//   * call targets and address-taken code constants are function indexes
+//     (FuncEntry),
+//   * data address constants stay absolute (DataAddr) -- the fixed section
+//     windows of the TXE format guarantee they survive rewriting.
+//
+// Functions whose bytes cannot be fully decoded -- or that use computed
+// jumps the analysis cannot resolve -- are marked OPAQUE and reported, the
+// behavior the paper observed for OpenBSD's `close` stub ("PLTO always
+// reports when it cannot completely disassemble a binary").
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "binary/image.h"
+#include "isa/isa.h"
+
+namespace asc::analysis {
+
+enum class RefKind : std::uint8_t {
+  None,       // plain immediate
+  CodeLocal,  // index of an instruction in the same function
+  FuncEntry,  // index of a function in ProgramIr::funcs
+  DataAddr,   // absolute address in a data section window
+};
+
+struct IrInstr {
+  isa::Instr ins;
+  std::uint32_t orig_addr = 0;  // address in the input image (0 if inserted)
+  RefKind ref = RefKind::None;
+  std::size_t ref_index = 0;      // CodeLocal instr index or FuncEntry func index
+  std::uint32_t ref_addr = 0;     // DataAddr target
+};
+
+struct IrFunction {
+  std::string name;
+  std::uint32_t orig_addr = 0;
+  std::vector<IrInstr> instrs;
+  bool opaque = false;
+  std::string opaque_reason;
+  bool address_taken = false;  // via Lea or a data-resident code pointer
+  bool inlined_away = false;   // stub removed by the inliner (dead)
+};
+
+struct ProgramIr {
+  std::string name;
+  std::size_t entry_func = 0;
+  std::vector<IrFunction> funcs;
+  /// Virtual addresses of data-section relocation slots that hold code
+  /// pointers (function entries); the rewriter must retarget these.
+  std::vector<std::pair<std::uint32_t, std::size_t>> data_code_ptrs;  // slot -> func index
+
+  const IrFunction* find(const std::string& fn_name) const;
+};
+
+/// Disassemble a relocatable image. Throws asc::Error if the image is not
+/// relocatable or structurally broken; individual undecodable functions are
+/// marked opaque rather than failing the whole program.
+ProgramIr disassemble(const binary::Image& image);
+
+}  // namespace asc::analysis

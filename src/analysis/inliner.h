@@ -1,0 +1,49 @@
+// System-call stub inlining (§4.1).
+//
+// libc wraps each system call in a stub (movi r0, NR; syscall; ret). If the
+// stub itself carried the policy, every caller would share one call site and
+// one (merged, weak) policy. Like PLTO's installer, we inline stubs into
+// their callers so each caller gets its own call site, its own argument
+// analysis, and its own control-flow policy.
+//
+// A stub is a non-opaque, straight-line function (no branches, labels or
+// calls) of at most kMaxStubLen instructions that contains a SYSCALL and ends
+// in RET. Stubs that become dead after inlining (no remaining direct callers,
+// not address-taken, not the entry function) are removed, mirroring PLTO's
+// dead-code elimination.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/disassembler.h"
+
+namespace asc::analysis {
+
+inline constexpr std::size_t kMaxStubLen = 10;
+
+struct InlineReport {
+  std::size_t stubs_found = 0;
+  std::size_t call_sites_inlined = 0;
+  std::size_t stubs_removed = 0;
+  std::vector<std::string> stub_names;
+};
+
+/// True if function `fi` of `ir` is an inlinable syscall stub.
+bool is_syscall_stub(const ProgramIr& ir, std::size_t fi);
+
+/// Inline all stub calls in place. Call sequences referencing removed stubs
+/// indirectly (address-taken) keep the stub.
+InlineReport inline_syscall_stubs(ProgramIr& ir);
+
+/// Second round: inline small WRAPPER functions that directly contain a
+/// SYSCALL after round one (e.g. an open_or_die() helper), so each caller
+/// again gets its own call site with its own argument constants. Wrappers
+/// may contain branches and calls; internal returns become jumps past the
+/// spliced body. Bounded by kMaxWrapperLen instructions.
+InlineReport inline_syscall_wrappers(ProgramIr& ir);
+
+inline constexpr std::size_t kMaxWrapperLen = 24;
+
+}  // namespace asc::analysis

@@ -1,0 +1,107 @@
+#include "analysis/syscallgraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "policy/policy.h"
+#include "util/error.h"
+
+namespace asc::analysis {
+
+SyscallGraph build_syscall_graph(const ProgramIr& ir, const Cfg& cfg, const CallGraph& cg,
+                                 const std::vector<SyscallSite>& sites) {
+  // ---- collect per-function entry and exit (ret) blocks ----
+  const std::size_t nfuncs = ir.funcs.size();
+  std::vector<std::vector<std::uint32_t>> exits(nfuncs);
+  for (const auto& b : cfg.blocks) {
+    if (b.ends_in_call && b.ends_in_ret) {
+      throw Error("syscall graph: tail calls are not supported by this installer");
+    }
+    if (b.ends_in_ret) exits[b.func].push_back(b.id);
+  }
+
+  // ---- reverse supergraph edges ----
+  std::map<std::uint32_t, std::set<std::uint32_t>> rev;
+  auto add_edge = [&](std::uint32_t from, std::uint32_t to) { rev[to].insert(from); };
+
+  for (const auto& b : cfg.blocks) {
+    if (!b.ends_in_call) {
+      for (std::uint32_t s : b.succs) add_edge(b.id, s);
+      continue;
+    }
+    // Call block: resolve callee set.
+    std::vector<std::size_t> callees;
+    if (b.call_target != SIZE_MAX) {
+      callees.push_back(b.call_target);
+    } else {
+      callees = cg.address_taken;
+    }
+    bool any_known_callee = false;
+    for (std::size_t callee : callees) {
+      const IrFunction& cf = ir.funcs[callee];
+      if (cf.opaque || cf.inlined_away || cfg.functions[callee].block_ids.empty()) continue;
+      any_known_callee = true;
+      // Call edge.
+      add_edge(b.id, cfg.functions[callee].entry_block);
+      // Return edges: callee exits -> fallthrough successor(s) of the call.
+      for (std::uint32_t s : b.succs) {
+        for (std::uint32_t e : exits[callee]) add_edge(e, s);
+      }
+    }
+    if (!any_known_callee) {
+      // Unknown/opaque callee: be conservative, let flow skip the call.
+      for (std::uint32_t s : b.succs) add_edge(b.id, s);
+    }
+  }
+
+  // ---- program entry block ----
+  std::uint32_t program_entry_block = 0;
+  if (!cfg.functions[ir.entry_func].block_ids.empty()) {
+    program_entry_block = cfg.functions[ir.entry_func].entry_block;
+  }
+
+  // ---- per-site reverse walks ----
+  SyscallGraph g;
+  g.predecessors.resize(sites.size());
+  for (std::size_t si = 0; si < sites.size(); ++si) {
+    const SyscallSite& site = sites[si];
+    std::set<std::uint32_t> preds;
+
+    // Another syscall earlier in the same block is the sole predecessor.
+    const BasicBlock& b0 = cfg.block(site.block);
+    bool earlier_in_block = false;
+    for (std::size_t s : b0.syscall_instrs) {
+      if (s < site.instr) earlier_in_block = true;
+    }
+    if (earlier_in_block) {
+      g.predecessors[si] = {site.block};
+      continue;
+    }
+
+    std::set<std::uint32_t> visited;
+    std::vector<std::uint32_t> stack;
+    auto expand = [&](std::uint32_t block_id) {
+      if (block_id == program_entry_block) preds.insert(policy::kStartBlockLocal);
+      auto it = rev.find(block_id);
+      if (it == rev.end()) return;
+      for (std::uint32_t p : it->second) {
+        if (visited.insert(p).second) stack.push_back(p);
+      }
+    };
+    expand(site.block);
+    while (!stack.empty()) {
+      const std::uint32_t cur = stack.back();
+      stack.pop_back();
+      const BasicBlock& cb = cfg.block(cur);
+      if (!cb.syscall_instrs.empty()) {
+        preds.insert(cur);  // stop: the last syscall in `cur` precedes us
+        continue;
+      }
+      expand(cur);
+    }
+    g.predecessors[si].assign(preds.begin(), preds.end());
+  }
+  return g;
+}
+
+}  // namespace asc::analysis

@@ -1,0 +1,36 @@
+// The system call graph (§3.3): which system calls can immediately precede
+// a given system call.
+//
+// Computed from the interprocedural "supergraph" of basic blocks: intra-
+// procedural CFG edges, call edges (call block -> callee entry), and return
+// edges (callee ret blocks -> the call block's fallthrough block,
+// context-insensitively -- the same conservative approximation a call-graph
+// projection gives). A site's predecessor set is found by reverse
+// reachability that stops at the first syscall-bearing block on each path;
+// reaching program entry contributes the start sentinel
+// (policy::kStartBlockLocal).
+//
+// The result is conservative: every runtime-feasible predecessor is
+// included (no false alarms), at the cost of some infeasible ones.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "analysis/callgraph.h"
+#include "analysis/cfg.h"
+#include "analysis/syscallsites.h"
+
+namespace asc::analysis {
+
+struct SyscallGraph {
+  /// For sites[i]: sorted local predecessor block ids, possibly including
+  /// policy::kStartBlockLocal (0).
+  std::vector<std::vector<std::uint32_t>> predecessors;
+};
+
+SyscallGraph build_syscall_graph(const ProgramIr& ir, const Cfg& cfg, const CallGraph& cg,
+                                 const std::vector<SyscallSite>& sites);
+
+}  // namespace asc::analysis

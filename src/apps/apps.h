@@ -1,0 +1,53 @@
+// Guest program builders.
+//
+// Every benchmark program of the paper's evaluation (Table 5's suite, the
+// policy-table programs of Tables 1-3, the Andrew-style tools, and the
+// attack target) is written in TSA assembly against libtoy and built here as
+// a relocatable TXE image, ready for the installer.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "binary/image.h"
+#include "os/syscalls.h"
+
+namespace asc::apps {
+
+// ---- policy-table programs (Tables 1-3) ----
+binary::Image build_bison(os::Personality p);   // parser generator analog
+binary::Image build_calc(os::Personality p);    // arbitrary-precision calculator analog
+binary::Image build_screen(os::Personality p);  // screen manager analog
+
+// ---- Table 5/6 benchmark suite ----
+binary::Image build_gzip_spec(os::Personality p);  // CPU: compression kernel
+binary::Image build_crafty(os::Personality p);     // CPU: game tree search analog
+binary::Image build_mcf(os::Personality p);        // CPU: combinatorial optimization
+binary::Image build_vpr(os::Personality p);        // CPU: placement/annealing
+binary::Image build_twolf(os::Personality p);      // CPU: place & route
+binary::Image build_gcc(os::Personality p);        // syscall+CPU: compiler analog
+binary::Image build_vortex(os::Personality p);     // syscall+CPU: OO database analog
+binary::Image build_pyramid(os::Personality p);    // syscall: DB index creation
+binary::Image build_gzip(os::Personality p);       // syscall: file compression tool
+
+// ---- Andrew-style tools (also usable standalone) ----
+binary::Image build_tar(os::Personality p);
+binary::Image build_tool_cat(os::Personality p);
+binary::Image build_tool_cp(os::Personality p);
+binary::Image build_tool_rm(os::Personality p);
+binary::Image build_tool_mv(os::Personality p);
+binary::Image build_tool_chmod(os::Personality p);
+binary::Image build_tool_mkdir(os::Personality p);
+binary::Image build_tool_sort(os::Personality p);
+
+// ---- attack target (§4.1) ----
+// Reads a file name from stdin into a FIXED 64-byte stack buffer with an
+// unchecked read(0, buf, 4096) -- a classic stack overflow -- then runs
+// spawn("/bin/ls", <name>).
+binary::Image build_vuln_echo(os::Personality p);
+
+/// Every program above, as (name, image) pairs.
+std::vector<std::pair<std::string, binary::Image>> build_all(os::Personality p);
+
+}  // namespace asc::apps

@@ -1,0 +1,349 @@
+// CPU-bound benchmark guests (the SPECint-2000 stand-ins of Table 5):
+// gzip-spec, crafty, mcf, vpr, twolf. Each takes an iteration count in
+// argv[0] (with a default), runs a compute kernel with few system calls,
+// and prints a checksum.
+#include "apps/apps.h"
+#include "apps/libtoy.h"
+#include "tasm/assembler.h"
+
+namespace asc::apps {
+
+namespace {
+
+/// main() boilerplate: r1 = scale (argv[0] or `def`), call `kernel`, print
+/// the checksum and a newline, return 0.
+void cpu_main(tasm::Assembler& a, const std::string& kernel, std::uint32_t def) {
+  a.func("main");
+  a.subi(SP, 12);
+  a.store(SP, 0, R1);
+  a.store(SP, 4, R2);
+  a.movi(R11, def);
+  a.store(SP, 8, R11);
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 0);
+  a.jz(".run");
+  a.load(R11, SP, 4);
+  a.load(R1, R11, 0);
+  a.call("atoi");
+  a.cmpi(R0, 0);
+  a.jz(".run");
+  a.store(SP, 8, R0);
+  a.label(".run");
+  a.load(R1, SP, 8);
+  a.call(kernel);
+  a.mov(R1, R0);
+  a.call("print_num");
+  a.lea(R1, "libc_nl");
+  a.call("print");
+  a.addi(SP, 12);
+  a.movi(R0, 0);
+  a.ret();
+}
+
+}  // namespace
+
+binary::Image build_gzip_spec(os::Personality p) {
+  tasm::Assembler a("gzip-spec");
+  cpu_main(a, "gz_kernel", 20);
+
+  // gz_kernel(r1 = passes) -> r0 checksum. Generates a 32KB pseudo-random
+  // buffer once, then RLE-compresses it `passes` times.
+  a.func("gz_kernel");
+  a.movi(R11, 12345);  // LCG state
+  a.movi(R12, 0);
+  a.label(".gen");
+  a.cmpi(R12, 32768);
+  a.jge(".gen_done");
+  a.muli(R11, 1103515245);
+  a.addi(R11, 12345);
+  a.mov(R13, R11);
+  a.shri(R13, 16);
+  a.andi(R13, 3);  // few distinct values -> compressible runs
+  a.lea(R14, "spec_in");
+  a.add(R14, R12);
+  a.storeb(R14, 0, R13);
+  a.addi(R12, 1);
+  a.jmp(".gen");
+  a.label(".gen_done");
+  a.movi(R0, 0);
+  a.label(".iter");
+  a.cmpi(R1, 0);
+  a.jz(".done");
+  a.movi(R12, 0);  // input cursor
+  a.movi(R4, 0);   // output cursor
+  a.label(".cl");
+  a.cmpi(R12, 32768);
+  a.jge(".cd");
+  a.lea(R13, "spec_in");
+  a.add(R13, R12);
+  a.loadb(R14, R13, 0);
+  a.movi(R5, 0);
+  a.label(".cr");
+  a.cmpi(R12, 32768);
+  a.jge(".ce");
+  a.cmpi(R5, 255);
+  a.jge(".ce");
+  a.lea(R13, "spec_in");
+  a.add(R13, R12);
+  a.loadb(R3, R13, 0);
+  a.cmp(R3, R14);
+  a.jnz(".ce");
+  a.addi(R12, 1);
+  a.addi(R5, 1);
+  a.jmp(".cr");
+  a.label(".ce");
+  a.lea(R13, "spec_out");
+  a.add(R13, R4);
+  a.storeb(R13, 0, R5);
+  a.storeb(R13, 1, R14);
+  a.addi(R4, 2);
+  a.jmp(".cl");
+  a.label(".cd");
+  a.add(R0, R4);
+  a.push(R0);
+  a.push(R1);
+  a.movi(R1, 1);
+  a.lea(R2, "gs_dot");
+  a.movi(R3, 1);
+  a.movi(R0, 4);  // write
+  a.syscall_();
+  a.pop(R1);
+  a.pop(R0);
+  a.subi(R1, 1);
+  a.jmp(".iter");
+  a.label(".done");
+  a.ret();
+
+  a.rodata_cstr("gs_dot", ".");
+  a.bss("spec_in", 32768);
+  a.bss("spec_out", 65536);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_crafty(os::Personality p) {
+  tasm::Assembler a("crafty");
+  cpu_main(a, "crafty_kernel", 400000);
+
+  // xorshift-driven "position evaluation" loop (bit tricks, no memory).
+  a.func("crafty_kernel");
+  a.movi(R0, 0);
+  a.movi(R11, 88172645);
+  a.label(".loop");
+  a.cmpi(R1, 0);
+  a.jz(".done");
+  // Progress tick every 16384 evaluations (matches the I/O the real
+  // programs do alongside their computation).
+  a.mov(R12, R1);
+  a.andi(R12, 16383);
+  a.cmpi(R12, 0);
+  a.jnz(".no_tick");
+  a.push(R0);
+  a.push(R1);
+  a.push(R11);
+  a.movi(R1, 1);
+  a.lea(R2, "cr_dot");
+  a.movi(R3, 1);
+  a.movi(R0, 4);  // write
+  a.syscall_();
+  a.pop(R11);
+  a.pop(R1);
+  a.pop(R0);
+  a.label(".no_tick");
+  a.mov(R12, R11);
+  a.shli(R12, 13);
+  a.xor_(R11, R12);
+  a.mov(R12, R11);
+  a.shri(R12, 17);
+  a.xor_(R11, R12);
+  a.mov(R12, R11);
+  a.shli(R12, 5);
+  a.xor_(R11, R12);
+  a.mov(R12, R11);
+  a.andi(R12, 0x0f0f0f0f);
+  a.add(R0, R12);
+  a.mov(R12, R11);
+  a.shri(R12, 4);
+  a.andi(R12, 0x0f0f0f0f);
+  a.sub(R0, R12);
+  a.subi(R1, 1);
+  a.jmp(".loop");
+  a.label(".done");
+  a.ret();
+  a.rodata_cstr("cr_dot", ".");
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_mcf(os::Personality p) {
+  tasm::Assembler a("mcf");
+  cpu_main(a, "mcf_kernel", 400);
+
+  // Cost-table relaxation passes (memory-bound loop).
+  a.func("mcf_kernel");
+  a.movi(R11, 0);
+  a.label(".init");
+  a.cmpi(R11, 1024);
+  a.jge(".init_done");
+  a.mov(R12, R11);
+  a.muli(R12, 2654435761u);
+  a.shri(R12, 20);
+  a.lea(R13, "mcf_tab");
+  a.mov(R14, R11);
+  a.muli(R14, 4);
+  a.add(R13, R14);
+  a.store(R13, 0, R12);
+  a.addi(R11, 1);
+  a.jmp(".init");
+  a.label(".init_done");
+  a.label(".pass");
+  a.cmpi(R1, 0);
+  a.jz(".done");
+  a.mov(R12, R1);
+  a.andi(R12, 31);
+  a.cmpi(R12, 0);
+  a.jnz(".no_tick");
+  a.push(R1);
+  a.movi(R1, 1);
+  a.lea(R2, "mc_dot");
+  a.movi(R3, 1);
+  a.movi(R0, 4);  // write
+  a.syscall_();
+  a.pop(R1);
+  a.label(".no_tick");
+  a.movi(R11, 1);
+  a.label(".relax");
+  a.cmpi(R11, 1024);
+  a.jge(".pass_end");
+  a.lea(R13, "mcf_tab");
+  a.mov(R14, R11);
+  a.muli(R14, 4);
+  a.add(R13, R14);
+  a.load(R12, R13, 0);
+  a.load(R5, R13, -4);
+  a.addi(R5, 3);
+  a.cmp(R12, R5);
+  a.jle(".no_relax");
+  a.store(R13, 0, R5);
+  a.label(".no_relax");
+  a.addi(R11, 1);
+  a.jmp(".relax");
+  a.label(".pass_end");
+  a.subi(R1, 1);
+  a.jmp(".pass");
+  a.label(".done");
+  a.lea(R13, "mcf_tab");
+  a.load(R0, R13, 4092);
+  a.ret();
+  a.bss("mcf_tab", 4096);
+  a.rodata_cstr("mc_dot", ".");
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_vpr(os::Personality p) {
+  tasm::Assembler a("vpr");
+  cpu_main(a, "vpr_kernel", 300000);
+
+  // Simulated-annealing-flavored accept/reject loop (mul/mod heavy).
+  a.func("vpr_kernel");
+  a.movi(R11, 7);
+  a.movi(R0, 0);
+  a.label(".loop");
+  a.cmpi(R1, 0);
+  a.jz(".done");
+  a.mov(R12, R1);
+  a.andi(R12, 16383);
+  a.cmpi(R12, 0);
+  a.jnz(".no_tick");
+  a.push(R0);
+  a.push(R1);
+  a.push(R11);
+  a.movi(R1, 1);
+  a.lea(R2, "vp_dot");
+  a.movi(R3, 1);
+  a.movi(R0, 4);  // write
+  a.syscall_();
+  a.pop(R11);
+  a.pop(R1);
+  a.pop(R0);
+  a.label(".no_tick");
+  a.muli(R11, 1664525);
+  a.addi(R11, 1013904223);
+  a.mov(R12, R11);
+  a.shri(R12, 16);
+  a.andi(R12, 255);
+  a.mov(R13, R11);
+  a.shri(R13, 8);
+  a.andi(R13, 255);
+  a.mov(R14, R12);
+  a.sub(R14, R13);
+  a.mov(R5, R14);
+  a.mul(R14, R5);
+  a.mov(R5, R14);
+  a.movi(R3, 7);
+  a.mod(R5, R3);
+  a.cmpi(R5, 3);
+  a.jge(".reject");
+  a.add(R0, R14);
+  a.jmp(".next");
+  a.label(".reject");
+  a.subi(R0, 1);
+  a.label(".next");
+  a.subi(R1, 1);
+  a.jmp(".loop");
+  a.label(".done");
+  a.ret();
+  a.rodata_cstr("vp_dot", ".");
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_twolf(os::Personality p) {
+  tasm::Assembler a("twolf");
+  cpu_main(a, "twolf_kernel", 300000);
+
+  // Place-and-route analog: table updates with mod arithmetic.
+  a.func("twolf_kernel");
+  a.movi(R0, 1);
+  a.label(".loop");
+  a.cmpi(R1, 0);
+  a.jz(".done");
+  a.mov(R11, R1);
+  a.andi(R11, 16383);
+  a.cmpi(R11, 0);
+  a.jnz(".no_tick");
+  a.push(R0);
+  a.push(R1);
+  a.movi(R1, 1);
+  a.lea(R2, "tw_dot");
+  a.movi(R3, 1);
+  a.movi(R0, 4);  // write
+  a.syscall_();
+  a.pop(R1);
+  a.pop(R0);
+  a.label(".no_tick");
+  a.mov(R11, R1);
+  a.andi(R11, 1023);
+  a.muli(R11, 4);
+  a.lea(R12, "twolf_tab");
+  a.add(R12, R11);
+  a.load(R13, R12, 0);
+  a.addi(R13, 17);
+  a.mov(R14, R13);
+  a.movi(R5, 13);
+  a.mod(R14, R5);
+  a.add(R13, R14);
+  a.store(R12, 0, R13);
+  a.add(R0, R13);
+  a.subi(R1, 1);
+  a.jmp(".loop");
+  a.label(".done");
+  a.ret();
+  a.bss("twolf_tab", 4096);
+  a.rodata_cstr("tw_dot", ".");
+  emit_libc(a, p);
+  return a.link();
+}
+
+}  // namespace asc::apps

@@ -1,0 +1,1152 @@
+// Syscall-intensive guests: the policy-table programs (bison, calc, screen)
+// and the remaining Table 5 programs (gcc, vortex, pyramid).
+//
+// These programs are deliberately rich in system call surface, with
+// rarely-exercised feature and error paths (verbose flags, REPL commands,
+// the open_or_die -> die -> socket/sendto/kill chain) so that static
+// analysis finds calls that training-based policies miss -- the mechanism
+// behind Tables 1 and 2.
+#include "apps/apps.h"
+#include "apps/libtoy.h"
+#include "tasm/assembler.h"
+
+namespace asc::apps {
+
+namespace {
+
+void frame_in(tasm::Assembler& a, std::uint32_t extra_words) {
+  a.subi(SP, 8 + 4 * extra_words);
+  a.store(SP, 0, R1);
+  a.store(SP, 4, R2);
+}
+
+void frame_out(tasm::Assembler& a, std::uint32_t extra_words) {
+  a.addi(SP, 8 + 4 * extra_words);
+}
+
+void load_arg(tasm::Assembler& a, std::uint32_t index, isa::Reg dst = R1) {
+  a.load(R11, SP, 4);
+  a.load(dst, R11, static_cast<std::int32_t>(4 * index));
+}
+
+}  // namespace
+
+binary::Image build_bison(os::Personality p) {
+  tasm::Assembler a("bison");
+  // bison <grammar> [out] [-v]
+  a.func("main");
+  frame_in(a, 6);  // [8]=infd [12]=len [16]=outfd [20]=rules [24]=i [28]=t0
+  a.movi(R1, 022);
+  a.call("sys_umask");
+  a.call("sys_getuid");
+  a.lea(R1, "bs_tv");
+  a.movi(R2, 0);
+  a.call("sys_gettimeofday");
+  a.movi(R1, 0);
+  a.call("sys_time");
+  a.store(SP, 28, R0);
+
+  load_arg(a, 0);
+  a.movi(R2, 0);
+  a.call("sys_access");
+  a.cmpi(R0, 0);
+  a.jge(".in_ok");
+  a.movi(R1, 2);
+  a.call("die");
+  a.label(".in_ok");
+  load_arg(a, 0);
+  a.lea(R2, "bs_stat");
+  a.call("sys_stat");
+  load_arg(a, 0);
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "bs_buf");
+  a.movi(R3, 32768);
+  a.call("sys_read");
+  a.store(SP, 12, R0);
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+
+  // Count rules (lines).
+  a.movi(R11, 0);  // i
+  a.movi(R12, 0);  // rules
+  a.load(R13, SP, 12);
+  a.label(".count");
+  a.cmp(R11, R13);
+  a.jge(".counted");
+  a.lea(R14, "bs_buf");
+  a.add(R14, R11);
+  a.loadb(R14, R14, 0);
+  a.cmpi(R14, '\n');
+  a.jnz(".nc");
+  a.addi(R12, 1);
+  a.label(".nc");
+  a.addi(R11, 1);
+  a.jmp(".count");
+  a.label(".counted");
+  a.store(SP, 20, R12);
+
+  // Parser-table allocation: big grammars trip the allocator's madvise
+  // path, small (training) grammars do not.
+  a.load(R1, SP, 20);
+  a.muli(R1, 96);
+  a.addi(R1, 1024);
+  a.call("malloc");
+
+  // Temp file dance (getpid inside tmpname).
+  a.lea(R1, "bs_tmp");
+  a.call("tmpname");
+  a.lea(R1, "bs_tmp");
+  a.movi(R2, O_WRONLY | O_CREAT);
+  a.movi(R3, 0600);
+  a.call("open_or_die");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "bs_tmp_msg");
+  a.movi(R3, 5);
+  a.call("sys_write");
+  a.pop(R1);
+  a.call("sys_close");
+  a.lea(R1, "bs_tmp");
+  a.call("sys_unlink");
+
+  // Output file: argv[1] or "out.tab.c".
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 2);
+  a.jge(".have_out");
+  a.lea(R1, "bs_outname");
+  a.jmp(".open_out");
+  a.label(".have_out");
+  load_arg(a, 1);
+  a.label(".open_out");
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 16, R0);
+  // Header, then the echoed "tables", then rewrite the header via lseek.
+  a.load(R1, SP, 16);
+  a.lea(R2, "bs_hdr");
+  a.movi(R3, 18);
+  a.call("sys_write");
+  a.load(R1, SP, 16);
+  a.lea(R2, "bs_buf");
+  a.load(R3, SP, 12);
+  a.call("sys_write");
+  a.load(R1, SP, 16);
+  a.movi(R2, 0);
+  a.movi(R3, 0);
+  a.call("sys_lseek");
+  a.load(R1, SP, 16);
+  a.lea(R2, "bs_hdr");
+  a.movi(R3, 18);
+  a.call("sys_write");
+  a.load(R1, SP, 16);
+  a.lea(R2, "bs_stat");
+  a.call("sys_fstat");
+
+  // Verbose mode: argv[2] == "-v".
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 3);
+  a.jlt(".no_verbose");
+  load_arg(a, 2);
+  a.lea(R2, "bs_vflag");
+  a.call("strcmp");
+  a.cmpi(R0, 0);
+  a.jnz(".no_verbose");
+  a.call("diag");  // uname, sysconf, nanosleep
+  a.load(R1, SP, 16);
+  a.movi(R2, 1);
+  a.movi(R3, 0);
+  a.call("sys_fcntl");
+  a.movi(R1, 1);
+  a.call("sys_dup");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "bs_vmsg");
+  a.movi(R3, 8);
+  a.call("sys_write");
+  a.pop(R1);
+  a.call("sys_close");
+  // writev of two segments
+  a.lea(R11, "bs_iov");
+  a.lea(R12, "bs_hdr");
+  a.store(R11, 0, R12);
+  a.movi(R12, 18);
+  a.store(R11, 4, R12);
+  a.lea(R12, "bs_vmsg");
+  a.store(R11, 8, R12);
+  a.movi(R12, 8);
+  a.store(R11, 12, R12);
+  a.load(R1, SP, 16);
+  a.lea(R2, "bs_iov");
+  a.movi(R3, 2);
+  a.call("sys_writev");
+  // list /tmp
+  a.lea(R1, "bs_tmpdir");
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "bs_buf");
+  a.movi(R3, 1024);
+  a.call("sys_getdirentries");
+  a.pop(R1);
+  a.call("sys_close");
+  a.label(".no_verbose");
+
+  a.load(R1, SP, 16);
+  a.call("sys_close");
+  a.lea(R1, "bs_tv");
+  a.movi(R2, 0);
+  a.call("sys_gettimeofday");
+  a.load(R1, SP, 20);
+  a.call("print_num");
+  a.lea(R1, "bs_done");
+  a.call("print");
+  frame_out(a, 6);
+  a.movi(R0, 0);
+  a.ret();
+
+  a.rodata_cstr("bs_outname", "out.tab.c");
+  a.rodata_cstr("bs_hdr", "/* bison tables */");
+  a.rodata_cstr("bs_tmp_msg", "tmp\n");
+  a.rodata_cstr("bs_vflag", "-v");
+  a.rodata_cstr("bs_vmsg", "verbose\n");
+  a.rodata_cstr("bs_tmpdir", "/tmp");
+  a.rodata_cstr("bs_done", " rules\n");
+  a.bss("bs_buf", 32772);
+  a.bss("bs_stat", 16);
+  a.bss("bs_tv", 8);
+  a.bss("bs_tmp", 32);
+  a.bss("bs_iov", 16);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_calc(os::Personality p) {
+  tasm::Assembler a("calc");
+  // REPL over stdin. Lines: "add A B", "sub A B", "mul A B", "div A B",
+  // "mod A B", plus feature commands (save/load/del/time/big/sys/dir/link/
+  // cd/dupfd/pipe/net/perm/mk) that each exercise a different syscall
+  // family. Training samples exercise only arithmetic.
+  a.func("main");
+  frame_in(a, 3);  // [8]=len [12]=pos [16]=line
+  a.call("sig_init");
+  a.movi(R1, 022);
+  a.call("sys_umask");
+  a.call("sys_getuid");
+  a.movi(R1, 1);
+  a.movi(R2, 0x5401);
+  a.lea(R3, "cc_scratch");
+  a.call("sys_ioctl");
+  a.movi(R1, 0);
+  a.lea(R2, "cc_in");
+  a.movi(R3, 8192);
+  a.call("sys_read");
+  a.store(SP, 8, R0);
+  a.movi(R11, 0);
+  a.store(SP, 12, R11);
+  a.label(".line_loop");
+  a.load(R11, SP, 12);
+  a.load(R12, SP, 8);
+  a.cmp(R11, R12);
+  a.jge(".done");
+  // line = cc_in + pos
+  a.lea(R13, "cc_in");
+  a.add(R13, R11);
+  a.store(SP, 16, R13);
+  // find newline, NUL it, advance pos
+  a.label(".scan");
+  a.load(R12, SP, 8);
+  a.cmp(R11, R12);
+  a.jge(".eol");
+  a.lea(R13, "cc_in");
+  a.add(R13, R11);
+  a.loadb(R14, R13, 0);
+  a.cmpi(R14, '\n');
+  a.jz(".eol");
+  a.addi(R11, 1);
+  a.jmp(".scan");
+  a.label(".eol");
+  a.lea(R13, "cc_in");
+  a.add(R13, R11);
+  a.movi(R14, 0);
+  a.storeb(R13, 0, R14);
+  a.addi(R11, 1);
+  a.store(SP, 12, R11);
+  a.load(R1, SP, 16);
+  a.call("calc_handle");
+  a.jmp(".line_loop");
+  a.label(".done");
+  frame_out(a, 3);
+  a.movi(R0, 0);
+  a.ret();
+
+  // ---- calc_handle(r1 = NUL-terminated line) ----
+  a.func("calc_handle");
+  a.subi(SP, 16);  // [0]=tok1 [4]=tok2 [8]=tok3 [12]=scratch
+  a.store(SP, 0, R1);
+  a.movi(R11, 0);
+  a.store(SP, 4, R11);
+  a.store(SP, 8, R11);
+  // tokenize: split on spaces (up to 3 tokens)
+  a.mov(R12, R1);
+  a.label(".t1");
+  a.loadb(R13, R12, 0);
+  a.cmpi(R13, 0);
+  a.jz(".dispatch");
+  a.cmpi(R13, ' ');
+  a.jz(".t1_end");
+  a.addi(R12, 1);
+  a.jmp(".t1");
+  a.label(".t1_end");
+  a.movi(R13, 0);
+  a.storeb(R12, 0, R13);
+  a.addi(R12, 1);
+  a.store(SP, 4, R12);
+  a.label(".t2");
+  a.loadb(R13, R12, 0);
+  a.cmpi(R13, 0);
+  a.jz(".dispatch");
+  a.cmpi(R13, ' ');
+  a.jz(".t2_end");
+  a.addi(R12, 1);
+  a.jmp(".t2");
+  a.label(".t2_end");
+  a.movi(R13, 0);
+  a.storeb(R12, 0, R13);
+  a.addi(R12, 1);
+  a.store(SP, 8, R12);
+
+  a.label(".dispatch");
+  // helper macro: compare tok1 against a command and jump.
+  auto cmd = [&](const std::string& name, const std::string& target) {
+    a.load(R1, SP, 0);
+    a.lea(R2, ("cc_" + name).c_str());
+    a.call("strcmp");
+    a.cmpi(R0, 0);
+    a.jz(target);
+  };
+  cmd("add", ".c_add");
+  cmd("sub", ".c_sub");
+  cmd("mul", ".c_mul");
+  cmd("div", ".c_div");
+  cmd("mod", ".c_mod");
+  cmd("save", ".c_save");
+  cmd("load", ".c_load");
+  cmd("del", ".c_del");
+  cmd("time", ".c_time");
+  cmd("big", ".c_big");
+  cmd("sys", ".c_sys");
+  cmd("dir", ".c_dir");
+  cmd("link", ".c_link");
+  cmd("cd", ".c_cd");
+  cmd("dupfd", ".c_dup");
+  cmd("pipe", ".c_pipe");
+  cmd("net", ".c_net");
+  cmd("perm", ".c_perm");
+  cmd("mk", ".c_mk");
+  a.jmp(".out");
+
+  // Arithmetic: r11 = atoi(tok2), r0 = atoi(tok3), combine, print.
+  auto arith_prologue = [&]() {
+    a.load(R1, SP, 4);
+    a.call("atoi");
+    a.store(SP, 12, R0);
+    a.load(R1, SP, 8);
+    a.call("atoi");
+    a.load(R11, SP, 12);
+  };
+  auto arith_epilogue = [&]() {
+    a.mov(R1, R11);
+    a.call("print_num");
+    a.lea(R1, "libc_nl");
+    a.call("print");
+    a.jmp(".out");
+  };
+  a.label(".c_add");
+  arith_prologue();
+  a.add(R11, R0);
+  arith_epilogue();
+  a.label(".c_sub");
+  arith_prologue();
+  a.sub(R11, R0);
+  arith_epilogue();
+  a.label(".c_mul");
+  arith_prologue();
+  a.mul(R11, R0);
+  arith_epilogue();
+  a.label(".c_div");
+  arith_prologue();
+  a.cmpi(R0, 0);
+  a.jz(".out");
+  a.div(R11, R0);
+  arith_epilogue();
+  a.label(".c_mod");
+  arith_prologue();
+  a.cmpi(R0, 0);
+  a.jz(".out");
+  a.mod(R11, R0);
+  arith_epilogue();
+
+  a.label(".c_save");
+  // Mode depends on whether an operand was given ("save private") -- a
+  // genuinely multi-valued argument (Table 3's `mv` column).
+  a.load(R11, SP, 4);
+  a.cmpi(R11, 0);
+  a.jz(".sv_pub");
+  a.movi(R3, 0600);
+  a.jmp(".sv_go");
+  a.label(".sv_pub");
+  a.movi(R3, 0644);
+  a.label(".sv_go");
+  a.lea(R1, "cc_file");
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.call("open_or_die");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "cc_saved");
+  a.movi(R3, 6);
+  a.call("sys_write");
+  a.pop(R1);
+  a.call("sys_close");
+  a.jmp(".out");
+
+  a.label(".c_load");
+  a.lea(R1, "cc_file");
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("sys_open");
+  a.cmpi(R0, 0);
+  a.jlt(".out");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "cc_scratch");
+  a.movi(R3, 64);
+  a.call("sys_read");
+  a.pop(R1);
+  a.call("sys_close");
+  a.jmp(".out");
+
+  a.label(".c_del");
+  a.lea(R1, "cc_file");
+  a.call("sys_unlink");
+  a.jmp(".out");
+
+  a.label(".c_time");
+  a.movi(R1, 0);
+  a.call("sys_time");
+  a.mov(R1, R0);
+  a.call("print_num");
+  a.lea(R1, "libc_nl");
+  a.call("print");
+  a.lea(R1, "cc_tv");
+  a.movi(R2, 0);
+  a.call("sys_gettimeofday");
+  a.jmp(".out");
+
+  a.label(".c_big");
+  a.movi(R1, 0);
+  a.movi(R2, 131072);
+  a.movi(R3, 3);
+  a.movi(R4, 0x22);
+  a.call("sys_mmap");
+  a.cmpi(R0, 0);
+  a.jlt(".out");
+  a.mov(R1, R0);
+  a.movi(R2, 131072);
+  a.call("sys_munmap");
+  a.jmp(".out");
+
+  a.label(".c_sys");
+  a.call("diag");
+  a.jmp(".out");
+
+  a.label(".c_dir");
+  a.lea(R1, "cc_tmpdir");
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "cc_scratch");
+  a.movi(R3, 256);
+  a.call("sys_getdirentries");
+  a.pop(R1);
+  a.call("sys_close");
+  a.jmp(".out");
+
+  a.label(".c_link");
+  a.lea(R1, "cc_file");
+  a.lea(R2, "cc_linkname");
+  a.call("sys_symlink");
+  a.lea(R1, "cc_linkname");
+  a.lea(R2, "cc_scratch");
+  a.movi(R3, 64);
+  a.call("sys_readlink");
+  a.lea(R1, "cc_linkname");
+  a.call("sys_unlink");
+  a.jmp(".out");
+
+  a.label(".c_cd");
+  a.lea(R1, "cc_tmpdir");
+  a.call("sys_chdir");
+  a.lea(R1, "cc_scratch");
+  a.movi(R2, 256);
+  a.call("sys_getcwd");
+  a.lea(R1, "cc_root");
+  a.call("sys_chdir");
+  a.jmp(".out");
+
+  a.label(".c_dup");
+  a.movi(R1, 1);
+  a.call("sys_dup");
+  a.cmpi(R0, 0);
+  a.jlt(".out");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "cc_saved");
+  a.movi(R3, 6);
+  a.call("sys_write");
+  a.pop(R1);
+  a.call("sys_close");
+  a.jmp(".out");
+
+  a.label(".c_pipe");
+  a.lea(R1, "cc_scratch");
+  a.call("sys_pipe");
+  a.lea(R11, "cc_scratch");
+  a.load(R1, R11, 0);
+  a.call("sys_close");
+  a.lea(R11, "cc_scratch");
+  a.load(R1, R11, 4);
+  a.call("sys_close");
+  a.jmp(".out");
+
+  a.label(".c_net");
+  a.movi(R1, 2);
+  a.movi(R2, 1);
+  a.movi(R3, 0);
+  a.call("sys_socket");
+  a.cmpi(R0, 0);
+  a.jlt(".out");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "cc_scratch");
+  a.movi(R3, 16);
+  a.call("sys_connect");
+  a.pop(R1);  // peek the socket fd
+  a.push(R1);
+  a.lea(R2, "cc_saved");
+  a.movi(R3, 6);
+  a.movi(R4, 0);
+  a.movi(R5, 0);
+  a.call("sys_sendto");
+  a.pop(R11);
+  a.push(R11);
+  a.mov(R1, R11);
+  a.lea(R2, "cc_scratch");
+  a.movi(R3, 32);
+  a.movi(R4, 0);
+  a.movi(R5, 0);
+  a.call("sys_recvfrom");
+  a.pop(R1);
+  a.call("sys_close");
+  a.jmp(".out");
+
+  a.label(".c_perm");
+  a.lea(R1, "cc_file");
+  a.movi(R2, 0600);
+  a.call("sys_chmod");
+  a.lea(R1, "cc_file");
+  a.movi(R2, 0);
+  a.call("sys_access");
+  a.jmp(".out");
+
+  a.label(".c_mk");
+  a.lea(R1, "cc_dirname");
+  a.movi(R2, 0755);
+  a.call("sys_mkdir");
+  a.lea(R1, "cc_dirname");
+  a.call("sys_rmdir");
+  a.jmp(".out");
+
+  a.label(".out");
+  a.addi(SP, 16);
+  a.ret();
+
+  a.rodata_cstr("cc_add", "add");
+  a.rodata_cstr("cc_sub", "sub");
+  a.rodata_cstr("cc_mul", "mul");
+  a.rodata_cstr("cc_div", "div");
+  a.rodata_cstr("cc_mod", "mod");
+  a.rodata_cstr("cc_save", "save");
+  a.rodata_cstr("cc_load", "load");
+  a.rodata_cstr("cc_del", "del");
+  a.rodata_cstr("cc_time", "time");
+  a.rodata_cstr("cc_big", "big");
+  a.rodata_cstr("cc_sys", "sys");
+  a.rodata_cstr("cc_dir", "dir");
+  a.rodata_cstr("cc_link", "link");
+  a.rodata_cstr("cc_cd", "cd");
+  a.rodata_cstr("cc_dupfd", "dupfd");
+  a.rodata_cstr("cc_pipe", "pipe");
+  a.rodata_cstr("cc_net", "net");
+  a.rodata_cstr("cc_perm", "perm");
+  a.rodata_cstr("cc_mk", "mk");
+  a.rodata_cstr("cc_file", "/tmp/calcdata");
+  a.rodata_cstr("cc_linkname", "/tmp/calclink");
+  a.rodata_cstr("cc_tmpdir", "/tmp");
+  a.rodata_cstr("cc_root", "/");
+  a.rodata_cstr("cc_dirname", "/tmp/calcdir");
+  a.rodata_cstr("cc_saved", "saved\n");
+  a.bss("cc_in", 8196);
+  a.bss("cc_scratch", 512);
+  a.bss("cc_tv", 8);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_screen(os::Personality p) {
+  tasm::Assembler a("screen");
+  // screen <session>: session-manager analog touching nearly the whole
+  // syscall surface (Table 1's largest policy).
+  a.func("main");
+  frame_in(a, 3);  // [8]=ttyfd [12]=logfd [16]=scratch
+  a.movi(R1, 077);
+  a.call("sys_umask");
+  a.call("sig_init");
+  a.call("sys_getpid");
+  a.call("sys_getuid");
+
+  a.lea(R1, "sc_dir");
+  a.movi(R2, 0755);
+  a.call("sys_mkdir");
+  a.lea(R1, "sc_dir");
+  a.call("sys_chdir");
+  a.lea(R1, "sc_buf");
+  a.movi(R2, 256);
+  a.call("sys_getcwd");
+
+  // Terminal handling.
+  a.lea(R1, "sc_tty");
+  a.movi(R2, O_RDWR);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  a.mov(R1, R0);
+  a.movi(R2, 0x5401);
+  a.lea(R3, "sc_buf");
+  a.call("sys_ioctl");
+  a.load(R1, SP, 8);
+  a.movi(R2, 1);
+  a.movi(R3, 0);
+  a.call("sys_fcntl");
+  a.load(R1, SP, 8);
+  a.call("sys_dup");
+  a.cmpi(R0, 0);
+  a.jlt(".no_dup");
+  a.mov(R1, R0);
+  a.call("sys_close");
+  a.label(".no_dup");
+
+  // Session log.
+  a.lea(R1, "sc_log");
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 12, R0);
+  a.load(R1, SP, 12);
+  a.lea(R2, "sc_banner");
+  a.movi(R3, 8);
+  a.call("sys_write");
+  // writev of banner + newline
+  a.lea(R11, "sc_iov");
+  a.lea(R12, "sc_banner");
+  a.store(R11, 0, R12);
+  a.movi(R12, 8);
+  a.store(R11, 4, R12);
+  a.lea(R12, "libc_nl");
+  a.store(R11, 8, R12);
+  a.movi(R12, 1);
+  a.store(R11, 12, R12);
+  a.load(R1, SP, 12);
+  a.lea(R2, "sc_iov");
+  a.movi(R3, 2);
+  a.call("sys_writev");
+  a.load(R1, SP, 12);
+  a.movi(R2, 0);
+  a.movi(R3, 0);
+  a.call("sys_lseek");
+  a.load(R1, SP, 12);
+  a.lea(R2, "sc_buf");
+  a.call("sys_fstat");
+  a.load(R1, SP, 12);
+  a.movi(R2, 64);
+  a.call("sys_ftruncate");
+  a.load(R1, SP, 12);
+  a.call("sys_close");
+
+  // Session bookkeeping: link, inspect, rotate.
+  a.lea(R1, "sc_log");
+  a.lea(R2, "sc_latest");
+  a.call("sys_symlink");
+  a.lea(R1, "sc_latest");
+  a.lea(R2, "sc_buf");
+  a.movi(R3, 64);
+  a.call("sys_readlink");
+  a.lea(R1, "sc_latest");
+  a.movi(R2, 0);
+  a.call("sys_access");
+  a.lea(R1, "sc_log");
+  a.lea(R2, "sc_stat");
+  a.call("sys_stat");
+  a.lea(R1, "sc_log");
+  a.lea(R2, "sc_rotated");
+  a.call("sys_rename");
+  a.lea(R1, "sc_rotated");
+  a.movi(R2, 0600);
+  a.call("sys_chmod");
+  a.lea(R1, "sc_latest");
+  a.call("sys_unlink");
+
+  // Remote-attach protocol.
+  a.movi(R1, 2);
+  a.movi(R2, 1);
+  a.movi(R3, 0);
+  a.call("sys_socket");
+  a.cmpi(R0, 0);
+  a.jlt(".no_net");
+  a.store(SP, 16, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "sc_buf");
+  a.movi(R3, 16);
+  a.call("sys_connect");
+  a.load(R1, SP, 16);
+  a.lea(R2, "sc_banner");
+  a.movi(R3, 8);
+  a.movi(R4, 0);
+  a.movi(R5, 0);
+  a.call("sys_sendto");
+  a.load(R1, SP, 16);
+  a.lea(R2, "sc_buf");
+  a.movi(R3, 32);
+  a.movi(R4, 0);
+  a.movi(R5, 0);
+  a.call("sys_recvfrom");
+  a.load(R1, SP, 16);
+  a.call("sys_close");
+  a.label(".no_net");
+
+  // Poll loop (two rounds), list sessions, probe init, misc.
+  a.lea(R1, "libc_sleep_ts");
+  a.movi(R2, 0);
+  a.call("sys_nanosleep");
+  a.lea(R1, "sc_dot");
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "sc_buf");
+  a.movi(R3, 256);
+  a.call("sys_getdirentries");
+  a.pop(R1);
+  a.call("sys_close");
+  a.movi(R1, 1);
+  a.movi(R2, 0);
+  a.call("sys_kill");
+  a.movi(R1, 0);
+  a.call("sys_time");
+  a.lea(R1, "sc_tv");
+  a.movi(R2, 0);
+  a.call("sys_gettimeofday");
+  a.lea(R1, "sc_buf");
+  a.call("sys_pipe");
+  a.lea(R11, "sc_buf");
+  a.load(R1, R11, 0);
+  a.call("sys_close");
+  a.lea(R11, "sc_buf");
+  a.load(R1, R11, 4);
+  a.call("sys_close");
+  // Shell spawn (ignored if /bin/true is not installed on the machine).
+  a.lea(R1, "sc_shell");
+  a.movi(R2, 0);
+  a.call("sys_spawn");
+  // Scratch dir create/remove.
+  a.lea(R1, "sc_old");
+  a.movi(R2, 0755);
+  a.call("sys_mkdir");
+  a.lea(R1, "sc_old");
+  a.call("sys_rmdir");
+  // Big allocation (madvise path) and diagnostics.
+  a.movi(R1, 131072);
+  a.call("malloc");
+  a.call("diag");
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+  a.lea(R1, "sc_root");
+  a.call("sys_chdir");
+  a.lea(R1, "sc_done");
+  a.call("print");
+  frame_out(a, 3);
+  a.movi(R0, 0);
+  a.ret();
+
+  a.rodata_cstr("sc_dir", "/tmp/screens");
+  a.rodata_cstr("sc_tty", "/dev/tty");
+  a.rodata_cstr("sc_log", "session.log");
+  a.rodata_cstr("sc_latest", "latest");
+  a.rodata_cstr("sc_rotated", "session.old");
+  a.rodata_cstr("sc_old", "oldsessions");
+  a.rodata_cstr("sc_banner", "screen \n");
+  a.rodata_cstr("sc_dot", ".");
+  a.rodata_cstr("sc_shell", "/bin/true");
+  a.rodata_cstr("sc_root", "/");
+  a.rodata_cstr("sc_done", "screen done\n");
+  a.bss("sc_buf", 512);
+  a.bss("sc_stat", 16);
+  a.bss("sc_tv", 8);
+  a.bss("sc_iov", 16);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_gcc(os::Personality p) {
+  tasm::Assembler a("gcc");
+  // gcc <in> <out>: tokenizes the input (CPU loop) and writes one object
+  // line per 512 input bytes (regular syscall activity).
+  a.func("main");
+  frame_in(a, 6);  // [8]=infd [12]=len [16]=outfd [20]=i [24]=hash [28]=pass
+  load_arg(a, 0);
+  a.lea(R2, "gc_stat");
+  a.call("sys_stat");
+  load_arg(a, 0);
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "gc_buf");
+  a.movi(R3, 32768);
+  a.call("sys_read");
+  a.store(SP, 12, R0);
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+  a.movi(R1, 4096);
+  a.call("malloc");
+  load_arg(a, 1);
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 16, R0);
+  // 16 analysis/optimization passes over the input (the CPU side); object
+  // chunks are emitted during the first pass only.
+  a.movi(R11, 0);
+  a.store(SP, 24, R11);
+  a.movi(R5, 0);
+  a.store(SP, 28, R5);  // pass counter
+  a.label(".pass");
+  a.load(R5, SP, 28);
+  a.cmpi(R5, 16);
+  a.jge(".tok_done");
+  a.movi(R11, 0);
+  a.store(SP, 20, R11);
+  a.label(".tok");
+  a.load(R11, SP, 20);
+  a.load(R12, SP, 12);
+  a.cmp(R11, R12);
+  a.jge(".pass_end");
+  // hash = hash*31 + byte (kept in the frame across the write call)
+  a.lea(R13, "gc_buf");
+  a.add(R13, R11);
+  a.loadb(R14, R13, 0);
+  a.load(R5, SP, 24);
+  a.muli(R5, 31);
+  a.add(R5, R14);
+  a.mov(R13, R5);
+  a.shri(R13, 7);
+  a.xor_(R5, R13);
+  a.store(SP, 24, R5);
+  // every 512 bytes of pass 0, emit a chunk line
+  a.load(R5, SP, 28);
+  a.cmpi(R5, 0);
+  a.jnz(".next");
+  a.mov(R14, R11);
+  a.andi(R14, 511);
+  a.cmpi(R14, 511);
+  a.jnz(".next");
+  a.load(R1, SP, 16);
+  a.lea(R2, "gc_chunk");
+  a.movi(R3, 7);
+  a.call("sys_write");
+  a.label(".next");
+  a.load(R11, SP, 20);
+  a.addi(R11, 1);
+  a.store(SP, 20, R11);
+  a.jmp(".tok");
+  a.label(".pass_end");
+  a.load(R5, SP, 28);
+  a.addi(R5, 1);
+  a.store(SP, 28, R5);
+  a.jmp(".pass");
+  a.label(".tok_done");
+  a.load(R1, SP, 16);
+  a.lea(R2, "gc_stat");
+  a.call("sys_fstat");
+  a.load(R1, SP, 16);
+  a.call("sys_close");
+  load_arg(a, 1);
+  a.movi(R2, 0644);
+  a.call("sys_chmod");
+  // assembler temp file dance
+  a.lea(R1, "gc_tmp");
+  a.call("tmpname");
+  a.lea(R1, "gc_tmp");
+  a.movi(R2, O_WRONLY | O_CREAT);
+  a.movi(R3, 0600);
+  a.call("open_or_die");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "gc_chunk");
+  a.movi(R3, 7);
+  a.call("sys_write");
+  a.pop(R1);
+  a.call("sys_close");
+  a.lea(R1, "gc_tmp");
+  a.call("sys_unlink");
+  a.load(R1, SP, 24);
+  a.call("print_num");
+  a.lea(R1, "libc_nl");
+  a.call("print");
+  frame_out(a, 6);
+  a.movi(R0, 0);
+  a.ret();
+  a.rodata_cstr("gc_chunk", "chunk.\n");
+  a.bss("gc_buf", 32772);
+  a.bss("gc_stat", 16);
+  a.bss("gc_tmp", 32);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_vortex(os::Personality p) {
+  tasm::Assembler a("vortex");
+  // vortex <n>: hash-table inserts (CPU) with a periodic database snapshot
+  // write, then a read-back verification pass.
+  a.func("main");
+  frame_in(a, 4);  // [8]=n [12]=dbfd [16]=i [20]=checksum
+  a.movi(R11, 20000);
+  a.store(SP, 8, R11);
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 0);
+  a.jz(".go");
+  load_arg(a, 0);
+  a.call("atoi");
+  a.cmpi(R0, 0);
+  a.jz(".go");
+  a.store(SP, 8, R0);
+  a.label(".go");
+  a.movi(R1, 131072);  // big allocation -> madvise path
+  a.call("malloc");
+  a.lea(R1, "vx_db");
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 12, R0);
+  a.movi(R11, 0);
+  a.store(SP, 16, R11);
+  a.store(SP, 20, R11);
+  a.label(".ins");
+  a.load(R11, SP, 16);
+  a.load(R12, SP, 8);
+  a.cmp(R11, R12);
+  a.jge(".ins_done");
+  // key = mix(i) with a short avalanche chain (the OO-database "method
+  // dispatch" CPU component); slot = key & 1023; table[slot] = key
+  a.mov(R13, R11);
+  a.muli(R13, 1664525);
+  a.addi(R13, 1013904223);
+  a.mov(R14, R13);
+  a.shri(R14, 15);
+  a.xor_(R13, R14);
+  a.muli(R13, 2246822519u);
+  a.mov(R14, R13);
+  a.shri(R14, 13);
+  a.xor_(R13, R14);
+  a.muli(R13, 3266489917u);
+  a.mov(R14, R13);
+  a.shri(R14, 16);
+  a.xor_(R13, R14);
+  a.mov(R14, R13);
+  a.andi(R14, 1023);
+  a.muli(R14, 8);
+  a.lea(R5, "vx_tab");
+  a.add(R5, R14);
+  a.store(R5, 0, R13);
+  a.store(R5, 4, R11);
+  a.load(R5, SP, 20);
+  a.add(R5, R13);
+  a.store(SP, 20, R5);
+  // snapshot every 8192 inserts
+  a.mov(R14, R11);
+  a.andi(R14, 8191);
+  a.cmpi(R14, 8191);
+  a.jnz(".ins_next");
+  a.load(R1, SP, 12);
+  a.lea(R2, "vx_tab");
+  a.movi(R3, 512);
+  a.call("sys_write");
+  a.label(".ins_next");
+  a.load(R11, SP, 16);
+  a.addi(R11, 1);
+  a.store(SP, 16, R11);
+  a.jmp(".ins");
+  a.label(".ins_done");
+  a.load(R1, SP, 12);
+  a.call("sys_close");
+  // read-back verification
+  a.lea(R1, "vx_db");
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.movi(R2, 0);
+  a.movi(R3, 0);
+  a.call("sys_lseek");
+  a.pop(R1);
+  a.push(R1);
+  a.lea(R2, "vx_tab");
+  a.movi(R3, 4096);
+  a.call("sys_read");
+  a.pop(R1);
+  a.call("sys_close");
+  a.load(R1, SP, 20);
+  a.call("print_num");
+  a.lea(R1, "libc_nl");
+  a.call("print");
+  frame_out(a, 4);
+  a.movi(R0, 0);
+  a.ret();
+  a.rodata_cstr("vx_db", "/tmp/vortex.db");
+  a.bss("vx_tab", 8192);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_pyramid(os::Personality p) {
+  tasm::Assembler a("pyramid");
+  // pyramid <n>: multidimensional index creation. Per record: fill a 4KB
+  // page (CPU), append it to the index file; every 16th record re-seeks to
+  // rewrite the directory page. A verification pass re-reads a quarter of
+  // the pages. Most syscall-dense program of the suite (Table 6's 7.92%).
+  a.func("main");
+  frame_in(a, 3);  // [8]=n [12]=fd [16]=i
+  a.movi(R11, 150);
+  a.store(SP, 8, R11);
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 0);
+  a.jz(".go");
+  load_arg(a, 0);
+  a.call("atoi");
+  a.cmpi(R0, 0);
+  a.jz(".go");
+  a.store(SP, 8, R0);
+  a.label(".go");
+  a.lea(R1, "py_idx");
+  a.movi(R2, O_RDWR | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 12, R0);
+  a.movi(R11, 0);
+  a.store(SP, 16, R11);
+  a.label(".wr");
+  a.load(R11, SP, 16);
+  a.load(R12, SP, 8);
+  a.cmp(R11, R12);
+  a.jge(".wr_done");
+  // Fill the page: 1024 words of keyed content (the CPU part).
+  a.movi(R13, 0);
+  a.mov(R14, R11);
+  a.muli(R14, 2654435761u);
+  a.label(".fill");
+  a.cmpi(R13, 4096);
+  a.jge(".filled");
+  a.lea(R5, "py_page");
+  a.add(R5, R13);
+  a.store(R5, 0, R14);
+  a.muli(R14, 1664525);
+  a.addi(R14, 1013904223);
+  a.addi(R13, 4);
+  a.jmp(".fill");
+  a.label(".filled");
+  // Directory rewrite every 16th record: seek to page 0 first.
+  a.load(R11, SP, 16);
+  a.andi(R11, 15);
+  a.cmpi(R11, 0);
+  a.jnz(".append");
+  a.load(R1, SP, 12);
+  a.movi(R2, 0);
+  a.movi(R3, 0);
+  a.call("sys_lseek");
+  a.label(".append");
+  a.load(R1, SP, 12);
+  a.lea(R2, "py_page");
+  a.movi(R3, 4096);
+  a.call("sys_write");
+  a.load(R11, SP, 16);
+  a.addi(R11, 1);
+  a.store(SP, 16, R11);
+  a.jmp(".wr");
+  a.label(".wr_done");
+  // Verification: rewind, then read every 4th page.
+  a.load(R1, SP, 12);
+  a.movi(R2, 0);
+  a.movi(R3, 0);
+  a.call("sys_lseek");
+  a.movi(R11, 0);
+  a.store(SP, 16, R11);
+  a.label(".rd");
+  a.load(R11, SP, 16);
+  a.load(R12, SP, 8);
+  a.shri(R12, 2);
+  a.cmp(R11, R12);
+  a.jge(".rd_done");
+  a.load(R1, SP, 12);
+  a.lea(R2, "py_page");
+  a.movi(R3, 4096);
+  a.call("sys_read");
+  a.load(R11, SP, 16);
+  a.addi(R11, 1);
+  a.store(SP, 16, R11);
+  a.jmp(".rd");
+  a.label(".rd_done");
+  a.load(R1, SP, 12);
+  a.lea(R2, "py_page");
+  a.call("sys_fstat");
+  a.load(R1, SP, 12);
+  a.movi(R2, 4096);
+  a.call("sys_ftruncate");
+  a.load(R1, SP, 12);
+  a.call("sys_close");
+  a.lea(R1, "py_idx");
+  a.call("sys_unlink");
+  a.load(R1, SP, 8);
+  a.call("print_num");
+  a.lea(R1, "libc_nl");
+  a.call("print");
+  frame_out(a, 3);
+  a.movi(R0, 0);
+  a.ret();
+  a.rodata_cstr("py_idx", "/tmp/pyr.idx");
+  a.bss("py_page", 4096);
+  emit_libc(a, p);
+  return a.link();
+}
+
+}  // namespace asc::apps

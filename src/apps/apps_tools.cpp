@@ -1,0 +1,728 @@
+// Andrew-benchmark tools: cat, cp, rm, mv, chmod, mkdir, sort, gzip, tar.
+#include "apps/apps.h"
+#include "apps/libtoy.h"
+#include "tasm/assembler.h"
+
+namespace asc::apps {
+
+namespace {
+
+/// Emit the common prologue: save argc/argv into a frame with `extra_words`
+/// additional slots. Frame layout: [sp+0]=argc [sp+4]=argv [sp+8..]=extras.
+void frame_in(tasm::Assembler& a, std::uint32_t extra_words) {
+  a.subi(SP, 8 + 4 * extra_words);
+  a.store(SP, 0, R1);
+  a.store(SP, 4, R2);
+}
+
+void frame_out(tasm::Assembler& a, std::uint32_t extra_words) {
+  a.addi(SP, 8 + 4 * extra_words);
+}
+
+/// dst := argv[index] using the saved frame (clobbers r11).
+void load_arg(tasm::Assembler& a, std::uint32_t index, isa::Reg dst = R1) {
+  a.load(R11, SP, 4);
+  a.load(dst, R11, static_cast<std::int32_t>(4 * index));
+}
+
+}  // namespace
+
+binary::Image build_tool_cat(os::Personality p) {
+  tasm::Assembler a("cat");
+  a.func("main");
+  frame_in(a, 2);  // [8]=i [12]=fd
+  a.movi(R11, 0);
+  a.store(SP, 8, R11);
+  a.label(".arg_loop");
+  a.load(R11, SP, 8);
+  a.load(R12, SP, 0);
+  a.cmp(R11, R12);
+  a.jge(".done");
+  a.load(R12, SP, 4);
+  a.muli(R11, 4);
+  a.add(R12, R11);
+  a.load(R1, R12, 0);
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 12, R0);
+  a.label(".read_loop");
+  a.load(R1, SP, 12);
+  a.lea(R2, "cat_buf");
+  a.movi(R3, 16384);
+  a.call("sys_read");
+  a.cmpi(R0, 0);
+  a.jle(".close");
+  a.mov(R3, R0);
+  a.movi(R1, 1);
+  a.lea(R2, "cat_buf");
+  a.call("sys_write");
+  a.jmp(".read_loop");
+  a.label(".close");
+  a.load(R1, SP, 12);
+  a.call("sys_close");
+  a.load(R11, SP, 8);
+  a.addi(R11, 1);
+  a.store(SP, 8, R11);
+  a.jmp(".arg_loop");
+  a.label(".done");
+  frame_out(a, 2);
+  a.movi(R0, 0);
+  a.ret();
+  a.bss("cat_buf", 16384);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_tool_cp(os::Personality p) {
+  tasm::Assembler a("cp");
+  a.func("main");
+  frame_in(a, 2);  // [8]=src fd [12]=dst fd
+  load_arg(a, 0);
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  load_arg(a, 1);
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 12, R0);
+  a.label(".loop");
+  a.load(R1, SP, 8);
+  a.lea(R2, "cp_buf");
+  a.movi(R3, 16384);
+  a.call("sys_read");
+  a.cmpi(R0, 0);
+  a.jle(".done");
+  a.mov(R3, R0);
+  a.load(R1, SP, 12);
+  a.lea(R2, "cp_buf");
+  a.call("sys_write");
+  a.jmp(".loop");
+  a.label(".done");
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+  a.load(R1, SP, 12);
+  a.call("sys_close");
+  load_arg(a, 1);
+  a.movi(R2, 0644);
+  a.call("sys_chmod");
+  frame_out(a, 2);
+  a.movi(R0, 0);
+  a.ret();
+  a.bss("cp_buf", 16384);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_tool_rm(os::Personality p) {
+  tasm::Assembler a("rm");
+  a.func("main");
+  frame_in(a, 1);  // [8]=i
+  a.movi(R11, 0);
+  a.store(SP, 8, R11);
+  a.label(".loop");
+  a.load(R11, SP, 8);
+  a.load(R12, SP, 0);
+  a.cmp(R11, R12);
+  a.jge(".done");
+  a.load(R12, SP, 4);
+  a.muli(R11, 4);
+  a.add(R12, R11);
+  a.load(R1, R12, 0);
+  a.call("sys_unlink");  // rm -f semantics: errors ignored
+  a.load(R11, SP, 8);
+  a.addi(R11, 1);
+  a.store(SP, 8, R11);
+  a.jmp(".loop");
+  a.label(".done");
+  frame_out(a, 1);
+  a.movi(R0, 0);
+  a.ret();
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_tool_mv(os::Personality p) {
+  tasm::Assembler a("mv");
+  a.func("main");
+  frame_in(a, 0);
+  a.load(R12, SP, 4);
+  a.load(R1, R12, 0);
+  a.load(R2, R12, 4);
+  a.call("sys_rename");
+  a.cmpi(R0, 0);
+  a.jge(".ok");
+  a.movi(R1, 1);
+  a.call("die");
+  a.label(".ok");
+  frame_out(a, 0);
+  a.movi(R0, 0);
+  a.ret();
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_tool_chmod(os::Personality p) {
+  tasm::Assembler a("chmod");
+  a.func("main");
+  frame_in(a, 1);  // [8]=mode
+  load_arg(a, 0);
+  a.call("atoi");
+  a.store(SP, 8, R0);
+  load_arg(a, 1);
+  a.load(R2, SP, 8);
+  a.call("sys_chmod");
+  a.cmpi(R0, 0);
+  a.jge(".ok");
+  a.movi(R1, 1);
+  a.call("die");
+  a.label(".ok");
+  frame_out(a, 1);
+  a.movi(R0, 0);
+  a.ret();
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_tool_mkdir(os::Personality p) {
+  tasm::Assembler a("mkdir");
+  a.func("main");
+  frame_in(a, 1);  // [8]=i
+  a.movi(R11, 0);
+  a.store(SP, 8, R11);
+  a.label(".loop");
+  a.load(R11, SP, 8);
+  a.load(R12, SP, 0);
+  a.cmp(R11, R12);
+  a.jge(".done");
+  a.load(R12, SP, 4);
+  a.muli(R11, 4);
+  a.add(R12, R11);
+  a.load(R1, R12, 0);
+  a.movi(R2, 0755);
+  a.call("sys_mkdir");
+  a.load(R11, SP, 8);
+  a.addi(R11, 1);
+  a.store(SP, 8, R11);
+  a.jmp(".loop");
+  a.label(".done");
+  frame_out(a, 1);
+  a.movi(R0, 0);
+  a.ret();
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_tool_sort(os::Personality p) {
+  tasm::Assembler a("sort");
+  // sort <file>: read (<= 60KB), split lines, bubble-sort pointers with
+  // strcmp, print the sorted lines.
+  a.func("main");
+  frame_in(a, 4);  // [8]=fd [12]=len [16]=nlines [20]=scratch
+  load_arg(a, 0);
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "sort_buf");
+  a.movi(R3, 61440);
+  a.call("sys_read");
+  a.store(SP, 12, R0);
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+
+  // Split lines: record starts in sort_lines, replace '\n' with NUL.
+  a.movi(R11, 0);  // cursor
+  a.movi(R12, 0);  // nlines
+  a.lea(R13, "sort_lines");
+  a.label(".split_start");
+  a.load(R14, SP, 12);
+  a.cmp(R11, R14);
+  a.jge(".split_done");
+  a.lea(R14, "sort_buf");
+  a.add(R14, R11);
+  a.store(R13, 0, R14);
+  a.addi(R13, 4);
+  a.addi(R12, 1);
+  a.label(".scan");
+  a.load(R14, SP, 12);
+  a.cmp(R11, R14);
+  a.jge(".split_done");
+  a.lea(R14, "sort_buf");
+  a.add(R14, R11);
+  a.loadb(R14, R14, 0);
+  a.cmpi(R14, '\n');
+  a.jz(".eol");
+  a.addi(R11, 1);
+  a.jmp(".scan");
+  a.label(".eol");
+  a.lea(R14, "sort_buf");
+  a.add(R14, R11);
+  a.movi(R5, 0);
+  a.storeb(R14, 0, R5);
+  a.addi(R11, 1);
+  a.jmp(".split_start");
+  a.label(".split_done");
+  a.store(SP, 16, R12);
+
+  // Bubble sort.
+  a.label(".pass");
+  a.movi(R11, 0);
+  a.store(SP, 20, R11);  // swapped = 0
+  a.movi(R12, 0);        // j
+  a.label(".inner");
+  a.load(R13, SP, 16);
+  a.subi(R13, 1);
+  a.cmp(R12, R13);
+  a.jge(".pass_end");
+  a.push(R12);
+  a.lea(R13, "sort_lines");
+  a.mov(R14, R12);
+  a.muli(R14, 4);
+  a.add(R13, R14);
+  a.load(R1, R13, 0);
+  a.load(R2, R13, 4);
+  a.call("strcmp");
+  a.pop(R12);
+  a.cmpi(R0, 0);
+  a.jle(".no_swap");
+  a.lea(R13, "sort_lines");
+  a.mov(R14, R12);
+  a.muli(R14, 4);
+  a.add(R13, R14);
+  a.load(R11, R13, 0);
+  a.load(R14, R13, 4);
+  a.store(R13, 0, R14);
+  a.store(R13, 4, R11);
+  a.movi(R11, 1);
+  a.store(SP, 20, R11);
+  a.label(".no_swap");
+  a.addi(R12, 1);
+  a.jmp(".inner");
+  a.label(".pass_end");
+  a.load(R11, SP, 20);
+  a.cmpi(R11, 1);
+  a.jz(".pass");
+
+  // Print.
+  a.movi(R12, 0);
+  a.store(SP, 20, R12);
+  a.label(".print");
+  a.load(R12, SP, 20);
+  a.load(R13, SP, 16);
+  a.cmp(R12, R13);
+  a.jge(".done");
+  a.lea(R13, "sort_lines");
+  a.mov(R14, R12);
+  a.muli(R14, 4);
+  a.add(R13, R14);
+  a.load(R1, R13, 0);
+  a.call("print");
+  a.lea(R1, "libc_nl");
+  a.call("print");
+  a.load(R12, SP, 20);
+  a.addi(R12, 1);
+  a.store(SP, 20, R12);
+  a.jmp(".print");
+  a.label(".done");
+  frame_out(a, 4);
+  a.movi(R0, 0);
+  a.ret();
+  a.bss("sort_buf", 61444);
+  a.bss("sort_lines", 8192);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_gzip(os::Personality p) {
+  tasm::Assembler a("gzip");
+  // gzip <file>    : RLE-compress into "<file>z", unlink the original.
+  // gzip -d <file> : decompress "<file>z"-style input into the name minus
+  //                  its final character.
+  // RLE stream: byte pairs {count, value}.
+  a.func("main");
+  frame_in(a, 7);  // [8]=fd [12]=len [16]=mode [20]=inpath [24]=i [28]=outpos [32]=scratch
+  a.movi(R11, 0);
+  a.store(SP, 16, R11);
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 2);
+  a.jlt(".have_mode");
+  load_arg(a, 0);
+  a.lea(R2, "gz_dflag");
+  a.call("strcmp");
+  a.cmpi(R0, 0);
+  a.jnz(".have_mode");
+  a.movi(R11, 1);
+  a.store(SP, 16, R11);
+  a.label(".have_mode");
+
+  // inpath = argv[mode]
+  a.load(R11, SP, 16);
+  a.load(R12, SP, 4);
+  a.muli(R11, 4);
+  a.add(R12, R11);
+  a.load(R1, R12, 0);
+  a.store(SP, 20, R1);
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "gz_in");
+  a.movi(R3, 61440);
+  a.call("sys_read");
+  a.store(SP, 12, R0);
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+
+  // Transform (no calls inside the loops; registers persist).
+  a.movi(R11, 0);
+  a.store(SP, 24, R11);  // i = 0
+  a.store(SP, 28, R11);  // outpos = 0
+  a.load(R11, SP, 16);
+  a.cmpi(R11, 1);
+  a.jz(".decompress");
+
+  // ---- compress ----
+  a.load(R11, SP, 24);  // i
+  a.load(R12, SP, 12);  // len
+  a.load(R4, SP, 28);   // outpos
+  a.label(".c_loop");
+  a.cmp(R11, R12);
+  a.jge(".c_done");
+  a.lea(R13, "gz_in");
+  a.add(R13, R11);
+  a.loadb(R14, R13, 0);  // value
+  a.movi(R5, 0);         // run count
+  a.label(".c_run");
+  a.cmp(R11, R12);
+  a.jge(".c_emit");
+  a.cmpi(R5, 255);
+  a.jge(".c_emit");
+  a.lea(R13, "gz_in");
+  a.add(R13, R11);
+  a.loadb(R3, R13, 0);
+  a.cmp(R3, R14);
+  a.jnz(".c_emit");
+  a.addi(R11, 1);
+  a.addi(R5, 1);
+  a.jmp(".c_run");
+  a.label(".c_emit");
+  a.lea(R13, "gz_out");
+  a.add(R13, R4);
+  a.storeb(R13, 0, R5);
+  a.storeb(R13, 1, R14);
+  a.addi(R4, 2);
+  a.jmp(".c_loop");
+  a.label(".c_done");
+  a.store(SP, 28, R4);
+  // outname = inpath + "z"
+  a.lea(R1, "gz_name");
+  a.load(R2, SP, 20);
+  a.call("strcpy");
+  a.lea(R1, "gz_name");
+  a.lea(R2, "gz_suffix");
+  a.call("strcat");
+  a.jmp(".write_out");
+
+  // ---- decompress ----
+  a.label(".decompress");
+  a.load(R11, SP, 24);
+  a.load(R12, SP, 12);
+  a.load(R4, SP, 28);
+  a.label(".d_loop");
+  a.cmp(R11, R12);
+  a.jge(".d_done");
+  a.lea(R13, "gz_in");
+  a.add(R13, R11);
+  a.loadb(R5, R13, 0);   // count
+  a.loadb(R14, R13, 1);  // value
+  a.addi(R11, 2);
+  a.label(".d_emit");
+  a.cmpi(R5, 0);
+  a.jz(".d_loop");
+  a.lea(R13, "gz_out");
+  a.add(R13, R4);
+  a.storeb(R13, 0, R14);
+  a.addi(R4, 1);
+  a.subi(R5, 1);
+  a.jmp(".d_emit");
+  a.label(".d_done");
+  a.store(SP, 28, R4);
+  // outname = inpath minus final char
+  a.lea(R1, "gz_name");
+  a.load(R2, SP, 20);
+  a.call("strcpy");
+  a.lea(R1, "gz_name");
+  a.call("strlen");
+  a.cmpi(R0, 1);
+  a.jle(".write_out");
+  a.lea(R13, "gz_name");
+  a.add(R13, R0);
+  a.subi(R13, 1);
+  a.movi(R14, 0);
+  a.storeb(R13, 0, R14);
+
+  // ---- write the output, fix permissions, remove the input ----
+  a.label(".write_out");
+  a.lea(R1, "gz_name");
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "gz_out");
+  a.load(R3, SP, 28);
+  a.call("sys_write");
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+  // Final permissions depend on the direction (compress -> world readable,
+  // decompress -> private): a multi-valued argument (Table 3's `mv`).
+  a.load(R11, SP, 16);
+  a.cmpi(R11, 1);
+  a.jz(".priv_mode");
+  a.movi(R2, 0644);
+  a.jmp(".do_chmod");
+  a.label(".priv_mode");
+  a.movi(R2, 0600);
+  a.label(".do_chmod");
+  a.lea(R1, "gz_name");
+  a.call("sys_chmod");
+  a.load(R1, SP, 20);
+  a.call("sys_unlink");
+  frame_out(a, 7);
+  a.movi(R0, 0);
+  a.ret();
+  a.rodata_cstr("gz_dflag", "-d");
+  a.rodata_cstr("gz_suffix", "z");
+  a.bss("gz_in", 61444);
+  a.bss("gz_out", 131072);
+  a.bss("gz_name", 256);
+  emit_libc(a, p);
+  return a.link();
+}
+
+binary::Image build_tar(os::Personality p) {
+  tasm::Assembler a("tar");
+  // tar c <archive> <dir> : archive every regular file in <dir>.
+  // tar x <archive> <dir> : extract into <dir> (created if needed).
+  // Record: {u32 namelen}{name}{u32 datalen}{data}, repeated.
+  a.func("main");
+  frame_in(a, 8);  // [8]=archfd [12]=nameslen/total [16]=pos [20]=filefd
+                   // [24]=nlen [28]=dlen [32]=scratch [36]=scratch2
+  a.movi(R1, 022);
+  a.call("sys_umask");
+  load_arg(a, 0);
+  a.lea(R2, "tar_cflag");
+  a.call("strcmp");
+  a.cmpi(R0, 0);
+  a.jnz(".extract");
+
+  // ---- create ----
+  load_arg(a, 2);
+  a.movi(R2, 0);
+  a.call("sys_access");
+  a.cmpi(R0, 0);
+  a.jge(".dir_ok");
+  a.movi(R1, 1);
+  a.call("die");
+  a.label(".dir_ok");
+  load_arg(a, 2);
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 20, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "tar_names");
+  a.movi(R3, 4096);
+  a.call("sys_getdirentries");
+  a.store(SP, 12, R0);
+  a.load(R1, SP, 20);
+  a.call("sys_close");
+  load_arg(a, 1);
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  a.movi(R11, 0);
+  a.store(SP, 16, R11);  // pos in names
+  a.label(".c_loop");
+  a.load(R11, SP, 16);
+  a.load(R12, SP, 12);
+  a.cmp(R11, R12);
+  a.jge(".c_done");
+  // name = tar_names + pos
+  a.lea(R1, "tar_names");
+  a.add(R1, R11);
+  a.call("strlen");
+  a.store(SP, 24, R0);  // nlen
+  // full path = dir + "/" + name
+  a.lea(R1, "tar_path");
+  load_arg(a, 2, R2);
+  a.call("strcpy");
+  a.lea(R1, "tar_path");
+  a.lea(R2, "tar_slash");
+  a.call("strcat");
+  a.lea(R1, "tar_path");
+  a.lea(R2, "tar_names");
+  a.load(R11, SP, 16);
+  a.add(R2, R11);
+  a.call("strcat");
+  // read the file
+  a.lea(R1, "tar_path");
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 20, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "tar_data");
+  a.movi(R3, 16384);
+  a.call("sys_read");
+  a.store(SP, 28, R0);  // dlen
+  a.load(R1, SP, 20);
+  a.call("sys_close");
+  // header
+  a.lea(R11, "tar_hdr");
+  a.load(R12, SP, 24);
+  a.store(R11, 0, R12);
+  a.load(R12, SP, 28);
+  a.store(R11, 4, R12);
+  a.load(R1, SP, 8);
+  a.lea(R2, "tar_hdr");
+  a.movi(R3, 8);
+  a.call("sys_write");
+  a.load(R1, SP, 8);
+  a.lea(R2, "tar_names");
+  a.load(R11, SP, 16);
+  a.add(R2, R11);
+  a.load(R3, SP, 24);
+  a.call("sys_write");
+  a.load(R1, SP, 8);
+  a.lea(R2, "tar_data");
+  a.load(R3, SP, 28);
+  a.call("sys_write");
+  // pos += nlen + 1
+  a.load(R11, SP, 16);
+  a.load(R12, SP, 24);
+  a.add(R11, R12);
+  a.addi(R11, 1);
+  a.store(SP, 16, R11);
+  a.jmp(".c_loop");
+  a.label(".c_done");
+  a.load(R1, SP, 8);
+  a.lea(R2, "tar_hdr");
+  a.call("sys_fstat");
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+  load_arg(a, 1);
+  a.lea(R2, "tar_hdr");
+  a.call("sys_stat");
+  a.lea(R1, "tar_done_msg");
+  a.call("print");
+  frame_out(a, 8);
+  a.movi(R0, 0);
+  a.ret();
+
+  // ---- extract ----
+  a.label(".extract");
+  load_arg(a, 2);
+  a.movi(R2, 0755);
+  a.call("sys_mkdir");  // may already exist
+  load_arg(a, 1);
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("open_or_die");
+  a.store(SP, 8, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "tar_data");
+  a.movi(R3, 61440);
+  a.call("sys_read");
+  a.store(SP, 12, R0);  // total
+  a.load(R1, SP, 8);
+  a.call("sys_close");
+  a.movi(R11, 0);
+  a.store(SP, 16, R11);  // pos
+  a.label(".x_loop");
+  a.load(R11, SP, 16);
+  a.load(R12, SP, 12);
+  a.cmp(R11, R12);
+  a.jge(".x_done");
+  a.lea(R13, "tar_data");
+  a.add(R13, R11);
+  a.load(R14, R13, 0);  // nlen
+  a.store(SP, 24, R14);
+  a.load(R14, R13, 4);  // dlen
+  a.store(SP, 28, R14);
+  // copy the name into tar_path after "<dir>/"
+  a.lea(R1, "tar_path");
+  load_arg(a, 2, R2);
+  a.call("strcpy");
+  a.lea(R1, "tar_path");
+  a.lea(R2, "tar_slash");
+  a.call("strcat");
+  a.lea(R1, "tar_path");
+  a.call("strlen");
+  a.lea(R1, "tar_path");
+  a.add(R1, R0);
+  a.lea(R2, "tar_data");
+  a.load(R11, SP, 16);
+  a.add(R2, R11);
+  a.addi(R2, 8);
+  a.load(R3, SP, 24);
+  a.push(R1);
+  a.push(R3);
+  a.call("memcpy");
+  a.pop(R3);
+  a.pop(R1);
+  a.add(R1, R3);
+  a.movi(R11, 0);
+  a.storeb(R1, 0, R11);
+  // create the file and write the data
+  a.lea(R1, "tar_path");
+  a.movi(R2, O_WRONLY | O_CREAT | O_TRUNC);
+  a.movi(R3, 0644);
+  a.call("open_or_die");
+  a.store(SP, 20, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "tar_data");
+  a.load(R11, SP, 16);
+  a.add(R2, R11);
+  a.addi(R2, 8);
+  a.load(R12, SP, 24);
+  a.add(R2, R12);
+  a.load(R3, SP, 28);
+  a.call("sys_write");
+  a.load(R1, SP, 20);
+  a.call("sys_close");
+  a.lea(R1, "tar_path");
+  a.movi(R2, 0644);
+  a.call("sys_chmod");
+  // pos += 8 + nlen + dlen
+  a.load(R11, SP, 16);
+  a.addi(R11, 8);
+  a.load(R12, SP, 24);
+  a.add(R11, R12);
+  a.load(R12, SP, 28);
+  a.add(R11, R12);
+  a.store(SP, 16, R11);
+  a.jmp(".x_loop");
+  a.label(".x_done");
+  frame_out(a, 8);
+  a.movi(R0, 0);
+  a.ret();
+
+  a.rodata_cstr("tar_cflag", "c");
+  a.rodata_cstr("tar_slash", "/");
+  a.rodata_cstr("tar_done_msg", "archived\n");
+  a.bss("tar_names", 4096);
+  a.bss("tar_path", 512);
+  a.bss("tar_data", 61444);
+  a.bss("tar_hdr", 16);
+  emit_libc(a, p);
+  return a.link();
+}
+
+}  // namespace asc::apps

@@ -1,0 +1,508 @@
+#include "apps/libtoy.h"
+
+#include "util/error.h"
+
+namespace asc::apps {
+
+using os::Personality;
+using os::SysId;
+
+std::uint16_t sysno(Personality p, SysId id) {
+  const auto n = os::syscall_number(p, id);
+  if (!n.has_value()) {
+    throw Error(std::string("libtoy: syscall ") + os::signature(id).name +
+                " unavailable on " + os::personality_name(p));
+  }
+  return *n;
+}
+
+namespace {
+
+/// Plain stub: movi r0, NR; syscall; ret.
+void stub(tasm::Assembler& a, Personality p, SysId id, const std::string& name) {
+  a.func(name);
+  a.movi(R0, sysno(p, id));
+  a.syscall_();
+  a.ret();
+}
+
+void emit_stubs(tasm::Assembler& a, Personality p) {
+  stub(a, p, SysId::Exit, "sys_exit");
+  stub(a, p, SysId::Read, "sys_read");
+  stub(a, p, SysId::Write, "sys_write");
+  stub(a, p, SysId::Open, "sys_open");
+  stub(a, p, SysId::Unlink, "sys_unlink");
+  stub(a, p, SysId::Rename, "sys_rename");
+  stub(a, p, SysId::Mkdir, "sys_mkdir");
+  stub(a, p, SysId::Rmdir, "sys_rmdir");
+  stub(a, p, SysId::Chdir, "sys_chdir");
+  stub(a, p, SysId::Getcwd, "sys_getcwd");
+  stub(a, p, SysId::Stat, "sys_stat");
+  stub(a, p, SysId::Fstat, "sys_fstat");
+  stub(a, p, SysId::Lseek, "sys_lseek");
+  stub(a, p, SysId::Dup, "sys_dup");
+  stub(a, p, SysId::Brk, "sys_brk");
+  stub(a, p, SysId::Getpid, "sys_getpid");
+  stub(a, p, SysId::Getuid, "sys_getuid");
+  stub(a, p, SysId::Gettimeofday, "sys_gettimeofday");
+  stub(a, p, SysId::Nanosleep, "sys_nanosleep");
+  stub(a, p, SysId::Kill, "sys_kill");
+  stub(a, p, SysId::Sigaction, "sys_sigaction");
+  stub(a, p, SysId::Socket, "sys_socket");
+  stub(a, p, SysId::Connect, "sys_connect");
+  stub(a, p, SysId::Sendto, "sys_sendto");
+  stub(a, p, SysId::Recvfrom, "sys_recvfrom");
+  stub(a, p, SysId::Fcntl, "sys_fcntl");
+  stub(a, p, SysId::Readlink, "sys_readlink");
+  stub(a, p, SysId::Symlink, "sys_symlink");
+  stub(a, p, SysId::Chmod, "sys_chmod");
+  stub(a, p, SysId::Access, "sys_access");
+  stub(a, p, SysId::Ftruncate, "sys_ftruncate");
+  stub(a, p, SysId::Getdirentries, "sys_getdirentries");
+  stub(a, p, SysId::Uname, "sys_uname");
+  stub(a, p, SysId::Sysconf, "sys_sysconf");
+  stub(a, p, SysId::Madvise, "sys_madvise");
+  stub(a, p, SysId::Munmap, "sys_munmap");
+  stub(a, p, SysId::Writev, "sys_writev");
+  stub(a, p, SysId::Umask, "sys_umask");
+  stub(a, p, SysId::Ioctl, "sys_ioctl");
+  stub(a, p, SysId::Spawn, "sys_spawn");
+  stub(a, p, SysId::Pipe, "sys_pipe");
+
+  // ---- close: ordinary on LinuxSim, undisassemblable on BsdSim ----
+  if (p == Personality::LinuxSim) {
+    stub(a, p, SysId::Close, "sys_close");
+  } else {
+    // A hand-optimized stub using a computed jump over an inline data byte.
+    // The VM executes it fine (the jmpr skips the junk); the static
+    // disassembler reports the function as not analyzable, so close() is
+    // missing from BsdSim policies -- reproducing Table 2's `close` row.
+    a.func("sys_close");
+    a.lea(R11, ".real");
+    a.jmpr(R11);
+    a.raw({0xff, 0x17});  // junk bytes, not a valid instruction
+    a.label(".real");
+    a.movi(R0, sysno(p, SysId::Close));
+    a.syscall_();
+    a.ret();
+  }
+
+  // ---- time ----
+  if (p == Personality::LinuxSim) {
+    stub(a, p, SysId::Time, "sys_time");
+  } else {
+    // BsdSim has no time(2); libc emulates it with gettimeofday into a
+    // scratch buffer and returns the seconds.
+    a.func("sys_time");
+    a.push(R1);
+    a.lea(R1, "libc_tv_buf");
+    a.movi(R2, 0);
+    a.movi(R0, sysno(p, SysId::Gettimeofday));
+    a.syscall_();
+    a.lea(R11, "libc_tv_buf");
+    a.load(R0, R11, 0);
+    a.pop(R1);
+    a.cmpi(R1, 0);
+    a.jz(".done");
+    a.store(R1, 0, R0);
+    a.label(".done");
+    a.ret();
+  }
+
+  // ---- fstatfs: BsdSim only ----
+  if (p == Personality::BsdSim) {
+    stub(a, p, SysId::Fstatfs, "sys_fstatfs");
+  }
+
+  // ---- mmap: direct on LinuxSim, through __syscall on BsdSim ----
+  // sys_mmap(addr, len, prot, flags) -- anonymous mappings only.
+  if (p == Personality::LinuxSim) {
+    a.func("sys_mmap");
+    a.movi(R5, 0);  // fd unused
+    a.movi(R0, sysno(p, SysId::Mmap));
+    a.syscall_();
+    a.ret();
+  } else {
+    a.func("sys_mmap");
+    a.mov(R5, R4);
+    a.mov(R4, R3);
+    a.mov(R3, R2);
+    a.mov(R2, R1);
+    a.movi(R1, 71);  // historic BSD mmap convention number
+    a.movi(R0, sysno(p, SysId::SyscallIndirect));
+    a.syscall_();
+    a.ret();
+  }
+}
+
+void emit_helpers(tasm::Assembler& a) {
+  // ---- strlen(r1 s) -> r0 ----
+  a.func("strlen");
+  a.movi(R0, 0);
+  a.label(".loop");
+  a.mov(R11, R1);
+  a.add(R11, R0);
+  a.loadb(R12, R11, 0);
+  a.cmpi(R12, 0);
+  a.jz(".done");
+  a.addi(R0, 1);
+  a.jmp(".loop");
+  a.label(".done");
+  a.ret();
+
+  // ---- strcpy(r1 dst, r2 src) -> r0 dst ----
+  a.func("strcpy");
+  a.mov(R0, R1);
+  a.label(".loop");
+  a.loadb(R11, R2, 0);
+  a.storeb(R1, 0, R11);
+  a.cmpi(R11, 0);
+  a.jz(".done");
+  a.addi(R1, 1);
+  a.addi(R2, 1);
+  a.jmp(".loop");
+  a.label(".done");
+  a.ret();
+
+  // ---- strcat(r1 dst, r2 src) -> r0 dst ----
+  a.func("strcat");
+  a.mov(R0, R1);
+  a.label(".find");
+  a.loadb(R11, R1, 0);
+  a.cmpi(R11, 0);
+  a.jz(".copy");
+  a.addi(R1, 1);
+  a.jmp(".find");
+  a.label(".copy");
+  a.loadb(R11, R2, 0);
+  a.storeb(R1, 0, R11);
+  a.cmpi(R11, 0);
+  a.jz(".done");
+  a.addi(R1, 1);
+  a.addi(R2, 1);
+  a.jmp(".copy");
+  a.label(".done");
+  a.ret();
+
+  // ---- strcmp(r1, r2) -> r0 (0 if equal) ----
+  a.func("strcmp");
+  a.label(".loop");
+  a.loadb(R11, R1, 0);
+  a.loadb(R12, R2, 0);
+  a.cmp(R11, R12);
+  a.jnz(".diff");
+  a.cmpi(R11, 0);
+  a.jz(".eq");
+  a.addi(R1, 1);
+  a.addi(R2, 1);
+  a.jmp(".loop");
+  a.label(".diff");
+  a.mov(R0, R11);
+  a.sub(R0, R12);
+  a.ret();
+  a.label(".eq");
+  a.movi(R0, 0);
+  a.ret();
+
+  // ---- memset(r1 dst, r2 val, r3 n) ----
+  a.func("memset");
+  a.label(".loop");
+  a.cmpi(R3, 0);
+  a.jz(".done");
+  a.storeb(R1, 0, R2);
+  a.addi(R1, 1);
+  a.subi(R3, 1);
+  a.jmp(".loop");
+  a.label(".done");
+  a.ret();
+
+  // ---- memcpy(r1 dst, r2 src, r3 n) ----
+  a.func("memcpy");
+  a.label(".loop");
+  a.cmpi(R3, 0);
+  a.jz(".done");
+  a.loadb(R11, R2, 0);
+  a.storeb(R1, 0, R11);
+  a.addi(R1, 1);
+  a.addi(R2, 1);
+  a.subi(R3, 1);
+  a.jmp(".loop");
+  a.label(".done");
+  a.ret();
+
+  // ---- print(r1 s): write(1, s, strlen(s)) ----
+  a.func("print");
+  a.push(R1);
+  a.call("strlen");
+  a.pop(R2);
+  a.mov(R3, R0);
+  a.movi(R1, 1);
+  a.call("sys_write");
+  a.ret();
+
+  // ---- print_err(r1 s) ----
+  a.func("print_err");
+  a.push(R1);
+  a.call("strlen");
+  a.pop(R2);
+  a.mov(R3, R0);
+  a.movi(R1, 2);
+  a.call("sys_write");
+  a.ret();
+
+  // ---- itoa(r1 value, r2 buf) -> r0 len (unsigned decimal) ----
+  a.func("itoa");
+  a.subi(SP, 16);
+  a.movi(R11, 0);  // digit count
+  a.mov(R12, R1);  // value
+  a.cmpi(R12, 0);
+  a.jnz(".digits");
+  a.movi(R13, '0');
+  a.storeb(R2, 0, R13);
+  a.movi(R13, 0);
+  a.storeb(R2, 1, R13);
+  a.movi(R0, 1);
+  a.addi(SP, 16);
+  a.ret();
+  a.label(".digits");
+  a.cmpi(R12, 0);
+  a.jz(".emit");
+  a.mov(R13, R12);
+  a.movi(R14, 10);
+  a.mod(R13, R14);
+  a.addi(R13, '0');
+  a.mov(R14, SP);
+  a.add(R14, R11);
+  a.storeb(R14, 0, R13);
+  a.addi(R11, 1);
+  a.movi(R14, 10);
+  a.div(R12, R14);
+  a.jmp(".digits");
+  a.label(".emit");
+  a.movi(R0, 0);
+  a.label(".eloop");
+  a.cmpi(R11, 0);
+  a.jz(".done");
+  a.subi(R11, 1);
+  a.mov(R13, SP);
+  a.add(R13, R11);
+  a.loadb(R14, R13, 0);
+  a.mov(R13, R2);
+  a.add(R13, R0);
+  a.storeb(R13, 0, R14);
+  a.addi(R0, 1);
+  a.jmp(".eloop");
+  a.label(".done");
+  a.mov(R13, R2);
+  a.add(R13, R0);
+  a.movi(R14, 0);
+  a.storeb(R13, 0, R14);
+  a.addi(SP, 16);
+  a.ret();
+
+  // ---- atoi(r1 s) -> r0 ----
+  a.func("atoi");
+  a.movi(R0, 0);
+  a.label(".loop");
+  a.loadb(R11, R1, 0);
+  a.cmpi(R11, '0');
+  a.jlt(".done");
+  a.cmpi(R11, '9');
+  a.jgt(".done");
+  a.muli(R0, 10);
+  a.subi(R11, '0');
+  a.add(R0, R11);
+  a.addi(R1, 1);
+  a.jmp(".loop");
+  a.label(".done");
+  a.ret();
+
+  // ---- print_num(r1 n) ----
+  a.func("print_num");
+  a.lea(R2, "libc_itoa_buf");
+  a.call("itoa");
+  a.lea(R1, "libc_itoa_buf");
+  a.call("print");
+  a.ret();
+
+  // ---- log_error_net: report a fatal error over the "syslog" socket ----
+  // Only reachable from die(); static analysis finds socket/sendto/close
+  // here even though no normal run executes them.
+  a.func("log_error_net");
+  a.movi(R1, 2);
+  a.movi(R2, 2);
+  a.movi(R3, 0);
+  a.call("sys_socket");
+  a.cmpi(R0, 0);
+  a.jlt(".skip");
+  a.subi(SP, 4);
+  a.store(SP, 0, R0);
+  a.mov(R1, R0);
+  a.lea(R2, "libc_err_msg");
+  a.movi(R3, 12);
+  a.movi(R4, 0);
+  a.movi(R5, 0);
+  a.call("sys_sendto");
+  a.load(R1, SP, 0);
+  a.addi(SP, 4);
+  a.call("sys_close");
+  a.label(".skip");
+  a.ret();
+
+  // ---- die(r1 code): never returns ----
+  a.func("die");
+  a.push(R1);
+  a.lea(R1, "libc_err_msg");
+  a.call("print_err");
+  a.call("log_error_net");
+  a.call("sys_getpid");
+  a.mov(R1, R0);
+  a.movi(R2, 9);
+  a.call("sys_kill");
+  a.pop(R1);
+  a.call("sys_exit");
+  a.halt();
+
+  // ---- open_or_die(r1 path, r2 flags, r3 mode) -> r0 fd ----
+  a.func("open_or_die");
+  a.call("sys_open");
+  a.cmpi(R0, 0);
+  a.jlt(".bad");
+  a.ret();
+  a.label(".bad");
+  a.movi(R1, 1);
+  a.call("die");
+  a.ret();
+
+  // ---- malloc(r1 n) -> r0 (brk bump allocator) ----
+  a.func("malloc");
+  a.addi(R1, 3);
+  a.andi(R1, 0xfffffffcu);
+  a.subi(SP, 8);
+  a.store(SP, 0, R1);  // n
+  a.lea(R11, "libc_malloc_cur");
+  a.load(R12, R11, 0);
+  a.cmpi(R12, 0);
+  a.jnz(".have");
+  a.movi(R1, 0);
+  a.call("sys_brk");
+  a.mov(R12, R0);
+  a.lea(R11, "libc_malloc_cur");
+  a.store(R11, 0, R12);
+  a.label(".have");
+  a.store(SP, 4, R12);  // cur
+  a.load(R13, SP, 0);
+  a.cmpi(R13, 65536);
+  a.jle(".small");
+  // Large allocation: advise the kernel (rare path; Table 2's madvise).
+  a.mov(R1, R12);
+  a.mov(R2, R13);
+  a.movi(R3, 1);
+  a.call("sys_madvise");
+  a.label(".small");
+  a.load(R12, SP, 4);
+  a.load(R13, SP, 0);
+  a.mov(R1, R12);
+  a.add(R1, R13);
+  a.call("sys_brk");
+  a.cmpi(R0, 0);
+  a.jlt(".fail");
+  a.load(R12, SP, 4);
+  a.load(R13, SP, 0);
+  a.mov(R14, R12);
+  a.add(R14, R13);
+  a.lea(R11, "libc_malloc_cur");
+  a.store(R11, 0, R14);
+  a.mov(R0, R12);
+  a.addi(SP, 8);
+  a.ret();
+  a.label(".fail");
+  a.addi(SP, 8);
+  a.movi(R1, 1);
+  a.call("die");
+  a.ret();
+
+  // ---- tmpname(r1 buf): "/tmp/t<pid>" ----
+  a.func("tmpname");
+  a.subi(SP, 4);
+  a.store(SP, 0, R1);
+  a.lea(R2, "libc_tmp_prefix");
+  a.call("strcpy");
+  a.call("sys_getpid");
+  a.mov(R1, R0);
+  a.load(R2, SP, 0);
+  a.addi(R2, 6);  // strlen("/tmp/t")
+  a.call("itoa");
+  a.load(R0, SP, 0);
+  a.addi(SP, 4);
+  a.ret();
+
+  // ---- sig_init: install handlers for TERM and INT ----
+  a.func("sig_init");
+  a.movi(R1, 15);
+  a.lea(R2, "libc_sigact_buf");
+  a.movi(R3, 0);
+  a.call("sys_sigaction");
+  a.movi(R1, 2);
+  a.lea(R2, "libc_sigact_buf");
+  a.movi(R3, 0);
+  a.call("sys_sigaction");
+  a.ret();
+
+  // ---- diag: verbose diagnostics (rare path apps expose via flags) ----
+  a.func("diag");
+  a.lea(R1, "libc_uname_buf");
+  a.call("sys_uname");
+  a.lea(R1, "libc_uname_buf");
+  a.call("print");
+  a.lea(R1, "libc_nl");
+  a.call("print");
+  a.movi(R1, 1);
+  a.call("sys_sysconf");
+  a.mov(R1, R0);
+  a.call("print_num");
+  a.lea(R1, "libc_nl");
+  a.call("print");
+  a.lea(R1, "libc_sleep_ts");
+  a.movi(R2, 0);
+  a.call("sys_nanosleep");
+  a.ret();
+
+  // ---- asc_set_hint1(r1 take): hint block for one single-star pattern ----
+  a.func("asc_set_hint1");
+  a.lea(R11, "asc_hint_buf");
+  a.movi(R12, 1);
+  a.store(R11, 0, R12);
+  a.store(R11, 4, R1);
+  a.ret();
+
+  // ---- _start ----
+  a.func("_start");
+  a.call("main");
+  a.mov(R1, R0);
+  a.call("sys_exit");
+  a.halt();
+}
+
+void emit_data(tasm::Assembler& a) {
+  a.rodata_cstr("libc_err_msg", "fatal error\n");
+  a.rodata_cstr("libc_tmp_prefix", "/tmp/t");
+  a.rodata_cstr("libc_nl", "\n");
+  a.data_words("libc_malloc_cur", {0});
+  a.data_words("libc_sleep_ts", {0, 1000});
+  a.bss("libc_itoa_buf", 16);
+  a.bss("libc_uname_buf", 64);
+  a.bss("libc_sigact_buf", 16);
+  a.bss("libc_tv_buf", 8);
+  a.bss("asc_hint_buf", 64);
+}
+
+}  // namespace
+
+void emit_libc(tasm::Assembler& a, Personality personality) {
+  emit_stubs(a, personality);
+  emit_helpers(a);
+  emit_data(a);
+}
+
+}  // namespace asc::apps

@@ -1,0 +1,43 @@
+// libtoy -- the C library of the simulated world.
+//
+// Plays the role of the statically linked libc in the paper's experiments:
+// it provides the system call stubs (which the installer inlines at each
+// call site), string/memory helpers, console I/O, a brk-based allocator, and
+// -- deliberately -- a fatal-error path (`die`) that uses socket/sendto/kill.
+// Error paths like this are what conservative static analysis finds and
+// training-based policy generation misses (Tables 1 and 2).
+//
+// Personality differences mirror the paper's Linux/OpenBSD differences:
+//   * on BsdSim, `sys_mmap` routes through the generic `__syscall`
+//     indirection, and `sys_close` is a hand-written stub with a computed
+//     jump the static disassembler cannot decode (it is reported and its
+//     close() is missing from generated policies -- Table 2's `close` row),
+//   * on LinuxSim, `sys_time` exists; on BsdSim, `sys_fstatfs` exists and
+//     time() is emulated with gettimeofday.
+//
+// ABI recap (see isa/isa.h): args r1..r5, result r0; ALL of r0-r5/r11-r14
+// are caller-saved; locals live in an sp-relative frame.
+#pragma once
+
+#include "os/syscalls.h"
+#include "tasm/assembler.h"
+
+namespace asc::apps {
+
+/// Emit `_start`, every syscall stub available under `personality`, and the
+/// helper library into `a`. Call after emitting the app's own functions
+/// (order does not matter; linking is two-pass).
+void emit_libc(tasm::Assembler& a, os::Personality personality);
+
+/// Syscall number or throw (for stubs that must exist).
+std::uint16_t sysno(os::Personality p, os::SysId id);
+
+/// Registers, for readability in app code.
+inline constexpr isa::Reg R0 = 0, R1 = 1, R2 = 2, R3 = 3, R4 = 4, R5 = 5;
+inline constexpr isa::Reg R11 = 11, R12 = 12, R13 = 13, R14 = 14, SP = isa::kSp;
+
+// open() flag values shared with os::SimFs.
+inline constexpr std::uint32_t O_RDONLY = 0, O_WRONLY = 1, O_RDWR = 2, O_CREAT = 0x40,
+                               O_TRUNC = 0x200, O_APPEND = 0x400;
+
+}  // namespace asc::apps

@@ -1,0 +1,118 @@
+// The attack target of §4.1.
+//
+// vuln_echo mirrors the paper's vulnerable program: it "reads in a file name
+// and invokes the /bin/ls program on the input. The file name is read into a
+// stack allocated buffer, which can be overflowed by an attacker to gain
+// control of the program."
+//
+// Layout inside main():
+//   [ret addr][ 64-byte buf ]   <- sp after the frame is set up
+// read(0, buf, 4096) happily writes past the 64 bytes, clobbering the return
+// address; the attack harness (tests/bench) crafts stdin payloads that
+// redirect control into injected code on the stack.
+//
+// Before the vulnerable read, main loads an optional config file -- giving
+// the program an authenticated open/read/close cluster whose control-flow
+// policy does NOT allow being reached after the stdin read. Mimicry attacks
+// that jump there are caught by the predecessor check.
+#include "apps/apps.h"
+#include "apps/libtoy.h"
+#include "tasm/assembler.h"
+
+namespace asc::apps {
+
+binary::Image build_vuln_echo(os::Personality p) {
+  tasm::Assembler a("vuln_echo");
+
+  // load_config: open/read/close of /etc/vuln.conf if present.
+  a.func("load_config");
+  a.lea(R1, "ve_conf");
+  a.movi(R2, 0);
+  a.call("sys_access");
+  a.cmpi(R0, 0);
+  a.jlt(".skip");
+  a.lea(R1, "ve_conf");
+  a.movi(R2, O_RDONLY);
+  a.movi(R3, 0);
+  a.call("sys_open");
+  a.cmpi(R0, 0);
+  a.jlt(".skip");
+  a.push(R0);
+  a.mov(R1, R0);
+  a.lea(R2, "ve_confbuf");
+  a.movi(R3, 128);
+  a.call("sys_read");
+  a.pop(R1);
+  a.call("sys_close");
+  a.label(".skip");
+  a.ret();
+
+  a.func("main");
+  a.call("load_config");
+  a.subi(SP, 64);  // buf[64] -- the vulnerable stack buffer
+  // read(0, buf, 4096): unchecked length, classic overflow.
+  a.movi(R1, 0);
+  a.mov(R2, SP);
+  a.movi(R3, 4096);
+  a.call("sys_read");
+  // NUL-terminate at the returned length (or end of buffer... the bug: no
+  // clamping). Strip a trailing newline if present.
+  a.cmpi(R0, 0);
+  a.jle(".no_input");
+  a.mov(R11, SP);
+  a.add(R11, R0);
+  a.movi(R12, 0);
+  a.storeb(R11, 0, R12);
+  a.subi(R11, 1);
+  a.loadb(R12, R11, 0);
+  a.cmpi(R12, '\n');
+  a.jnz(".no_input");
+  a.movi(R12, 0);
+  a.storeb(R11, 0, R12);
+  a.label(".no_input");
+  // spawn("/bin/ls", buf): the path is a string CONSTANT, so the installer
+  // protects it with an authenticated string.
+  a.lea(R1, "ve_ls");
+  a.mov(R2, SP);
+  a.call("sys_spawn");
+  a.lea(R1, "ve_done");
+  a.call("print");
+  a.addi(SP, 64);
+  a.movi(R0, 0);
+  a.ret();
+
+  a.rodata_cstr("ve_conf", "/etc/vuln.conf");
+  a.rodata_cstr("ve_ls", "/bin/ls");
+  a.rodata_cstr("ve_done", "listed\n");
+  a.bss("ve_confbuf", 128);
+  emit_libc(a, p);
+  return a.link();
+}
+
+std::vector<std::pair<std::string, binary::Image>> build_all(os::Personality p) {
+  std::vector<std::pair<std::string, binary::Image>> out;
+  out.emplace_back("bison", build_bison(p));
+  out.emplace_back("calc", build_calc(p));
+  out.emplace_back("screen", build_screen(p));
+  out.emplace_back("gzip-spec", build_gzip_spec(p));
+  out.emplace_back("crafty", build_crafty(p));
+  out.emplace_back("mcf", build_mcf(p));
+  out.emplace_back("vpr", build_vpr(p));
+  out.emplace_back("twolf", build_twolf(p));
+  out.emplace_back("gcc", build_gcc(p));
+  out.emplace_back("vortex", build_vortex(p));
+  out.emplace_back("pyramid", build_pyramid(p));
+  out.emplace_back("gzip", build_gzip(p));
+  out.emplace_back("tar", build_tar(p));
+  out.emplace_back("cat", build_tool_cat(p));
+  out.emplace_back("cp", build_tool_cp(p));
+  out.emplace_back("rm", build_tool_rm(p));
+  out.emplace_back("mv", build_tool_mv(p));
+  out.emplace_back("chmod", build_tool_chmod(p));
+  out.emplace_back("mkdir", build_tool_mkdir(p));
+  out.emplace_back("sort", build_tool_sort(p));
+  out.emplace_back("vuln_echo", build_vuln_echo(p));
+  return out;
+}
+
+}  // namespace asc::apps

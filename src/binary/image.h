@@ -1,0 +1,116 @@
+// TXE -- the Toy eXecutable format.
+//
+// TXE stands in for ELF in this reproduction. A TXE image has a fixed section
+// plan with generous, non-overlapping virtual address windows:
+//
+//   .text    0x08048000   code
+//   .rodata  0x08248000   read-only constants (string literals live here)
+//   .data    0x08348000   initialized writable data
+//   .asdata  0x08448000   section ADDED BY THE INSTALLER: authenticated
+//                         strings, predecessor sets, call MACs, policy state
+//   .bss     0x08548000   zero-initialized (size only)
+//   heap     0x08648000   grows up via brk
+//   stack    0x087ffff0   grows down
+//
+// Fixed windows mean data addresses survive code rewriting unchanged; only
+// text-internal addresses move when the installer inserts instructions, which
+// is exactly the remapping the relocation table enables.
+//
+// Like PLTO, the installer REQUIRES a relocatable image (every 32-bit slot
+// holding an absolute address is listed in `relocs`) and emits a
+// non-relocatable, statically-linked, authenticated image.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace asc::binary {
+
+enum class SectionKind : std::uint8_t { Text = 0, Rodata = 1, Data = 2, AsData = 3, Bss = 4 };
+
+/// Base virtual address of each section window.
+std::uint32_t section_base(SectionKind kind);
+
+/// Maximum size of each section window.
+std::uint32_t section_limit(SectionKind kind);
+
+inline constexpr std::uint32_t kHeapBase = 0x08648000;
+// 64KB of addressable slack above the stack top so that runaway writes
+// (e.g. overflow payloads spilling past the argv area) stay inside the
+// address space instead of faulting.
+inline constexpr std::uint32_t kStackTop = 0x087f0000;
+inline constexpr std::uint32_t kAddressSpaceBase = 0x08000000;
+inline constexpr std::uint32_t kAddressSpaceEnd = 0x08800000;
+
+struct Section {
+  SectionKind kind = SectionKind::Text;
+  std::vector<std::uint8_t> bytes;  // empty for Bss
+  std::uint32_t bss_size = 0;       // only meaningful for Bss
+
+  std::uint32_t vaddr() const { return section_base(kind); }
+  std::uint32_t size() const {
+    return kind == SectionKind::Bss ? bss_size : static_cast<std::uint32_t>(bytes.size());
+  }
+};
+
+enum class SymbolKind : std::uint8_t { Function = 0, Object = 1 };
+
+struct Symbol {
+  std::string name;
+  std::uint32_t addr = 0;
+  std::uint32_t size = 0;
+  SymbolKind kind = SymbolKind::Function;
+};
+
+/// A relocation marks a 32-bit little-endian slot (at virtual address `slot`)
+/// whose stored value is an absolute virtual address. The stored value is
+/// already resolved; the table only records *where addresses live* so a
+/// rewriter can (a) symbolize immediates during disassembly and (b) remap
+/// them after code motion.
+struct Reloc {
+  std::uint32_t slot = 0;
+
+  bool operator==(const Reloc&) const = default;
+};
+
+class Image {
+ public:
+  std::string name;                // program name, e.g. "bison"
+  std::uint32_t entry = 0;         // virtual address of _start
+  bool relocatable = false;        // has a (complete) relocation table
+  bool authenticated = false;      // rewritten to use authenticated syscalls
+  std::uint16_t program_id = 0;    // installer-assigned (Frankenstein defence)
+  std::vector<Section> sections;   // at most one per kind
+  std::vector<Symbol> symbols;
+  std::vector<Reloc> relocs;
+
+  /// Section accessors; the non-const form creates the section on demand.
+  const Section* find_section(SectionKind kind) const;
+  Section& section(SectionKind kind);
+
+  /// Symbol lookup by name; nullptr if absent.
+  const Symbol* find_symbol(const std::string& name) const;
+  /// Innermost symbol containing `addr` (functions only), nullptr if none.
+  const Symbol* function_at(std::uint32_t addr) const;
+
+  /// Which section window contains `addr`, if any.
+  std::optional<SectionKind> section_containing(std::uint32_t addr) const;
+
+  /// Read a NUL-terminated string at `addr` from rodata/data/asdata content.
+  /// Returns nullopt if addr is out of the initialized ranges or unterminated.
+  std::optional<std::string> cstring_at(std::uint32_t addr) const;
+
+  /// Read `n` initialized bytes at `addr`; nullopt if out of range.
+  std::optional<std::vector<std::uint8_t>> bytes_at(std::uint32_t addr, std::uint32_t n) const;
+
+  /// Serialization (the "file format"): round-trips everything above.
+  std::vector<std::uint8_t> serialize() const;
+  static Image deserialize(std::span<const std::uint8_t> file);
+};
+
+std::string section_name(SectionKind kind);
+
+}  // namespace asc::binary

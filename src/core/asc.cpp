@@ -1,0 +1,32 @@
+#include "core/asc.h"
+
+namespace asc {
+
+crypto::Key128 test_key() {
+  crypto::Key128 k{};
+  const char* seed = "asc-repro-key-16";
+  for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed[i]);
+  return k;
+}
+
+System::System(os::Personality personality, const crypto::Key128& key, os::Enforcement mode,
+               os::CostModel cost)
+    : personality_(personality), installer_(key, personality), machine_(personality, cost) {
+  machine_.kernel().set_key(key);
+  machine_.kernel().set_enforcement(mode);
+}
+
+installer::InstallResult System::install(const binary::Image& image,
+                                         const installer::InstallOptions& options) {
+  return installer_.install(image, options);
+}
+
+installer::InstallResult System::install_and_register(const std::string& path,
+                                                      const binary::Image& image,
+                                                      const installer::InstallOptions& options) {
+  installer::InstallResult r = install(image, options);
+  machine_.register_program(path, r.image);
+  return r;
+}
+
+}  // namespace asc

@@ -1,0 +1,43 @@
+// AES-128 block cipher, implemented from scratch per FIPS-197.
+//
+// The original ASC prototype linked Brian Gladman's AES library (~3,000 lines)
+// into the kernel to compute AES-CBC-OMAC message authentication codes. We
+// reproduce that dependency with a compact, table-free-at-source
+// implementation: the S-box and round constants are derived algebraically at
+// first use (multiplicative inverse in GF(2^8) + affine map), which avoids
+// transcription errors and keeps the code auditable.
+//
+// This implementation favors clarity over speed; MAC computation cost in the
+// experiments is accounted by the deterministic cycle model (see
+// os/costmodel.h), not by host wall-clock, so a bitsliced AES is unnecessary.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace asc::crypto {
+
+/// A 128-bit AES key.
+using Key128 = std::array<std::uint8_t, 16>;
+
+/// A 128-bit block.
+using Block = std::array<std::uint8_t, 16>;
+
+/// AES-128 with a fixed key schedule, usable for repeated block encryption.
+class Aes128 {
+ public:
+  explicit Aes128(const Key128& key);
+
+  /// Encrypt one 16-byte block in place.
+  void encrypt_block(Block& block) const;
+
+  /// Encrypt `in` into `out` (may alias).
+  Block encrypt(const Block& in) const;
+
+ private:
+  // 11 round keys of 16 bytes each (AES-128 = 10 rounds).
+  std::array<std::uint8_t, 176> round_keys_{};
+};
+
+}  // namespace asc::crypto

@@ -1,0 +1,74 @@
+#include "crypto/cmac.h"
+
+namespace asc::crypto {
+
+namespace {
+
+// Left-shift a 128-bit value by one bit (big-endian byte order, as SP 800-38B
+// treats blocks).
+Block shift_left(const Block& in) {
+  Block out{};
+  std::uint8_t carry = 0;
+  for (int i = 15; i >= 0; --i) {
+    std::uint8_t b = in[static_cast<std::size_t>(i)];
+    out[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>((b << 1) | carry);
+    carry = static_cast<std::uint8_t>(b >> 7);
+  }
+  return out;
+}
+
+Block derive_subkey(const Block& in) {
+  Block out = shift_left(in);
+  if (in[0] & 0x80) out[15] ^= 0x87;  // Rb for 128-bit blocks
+  return out;
+}
+
+void xor_into(Block& dst, const Block& src) {
+  for (int i = 0; i < 16; ++i) dst[static_cast<std::size_t>(i)] ^= src[static_cast<std::size_t>(i)];
+}
+
+}  // namespace
+
+Cmac::Cmac(const Key128& key) : aes_(key) {
+  Block l{};
+  aes_.encrypt_block(l);
+  k1_ = derive_subkey(l);
+  k2_ = derive_subkey(k1_);
+}
+
+Mac Cmac::compute(std::span<const std::uint8_t> message) const {
+  const std::size_t n = message.size();
+  // Number of blocks; the empty message is treated as one (padded) block.
+  const std::size_t nblocks = n == 0 ? 1 : (n + 15) / 16;
+  const bool last_complete = n != 0 && n % 16 == 0;
+
+  Block x{};  // running CBC value, starts at zero
+  for (std::size_t i = 0; i + 1 < nblocks; ++i) {
+    Block m{};
+    for (std::size_t j = 0; j < 16; ++j) m[j] = message[16 * i + j];
+    xor_into(x, m);
+    aes_.encrypt_block(x);
+  }
+
+  Block last{};
+  if (last_complete) {
+    for (std::size_t j = 0; j < 16; ++j) last[j] = message[16 * (nblocks - 1) + j];
+    xor_into(last, k1_);
+  } else {
+    const std::size_t rem = n - 16 * (nblocks - 1);
+    for (std::size_t j = 0; j < rem; ++j) last[j] = message[16 * (nblocks - 1) + j];
+    last[rem] = 0x80;
+    xor_into(last, k2_);
+  }
+  xor_into(x, last);
+  aes_.encrypt_block(x);
+  return x;
+}
+
+bool Cmac::equal(const Mac& a, const Mac& b) {
+  std::uint8_t diff = 0;
+  for (int i = 0; i < 16; ++i) diff |= static_cast<std::uint8_t>(a[static_cast<std::size_t>(i)] ^ b[static_cast<std::size_t>(i)]);
+  return diff == 0;
+}
+
+}  // namespace asc::crypto

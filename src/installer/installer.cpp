@@ -1,0 +1,35 @@
+#include "installer/installer.h"
+
+namespace asc::installer {
+
+Installer::Installer(const crypto::Key128& key, os::Personality personality)
+    : key_(key), personality_(personality) {}
+
+GeneratedPolicies Installer::analyze(const binary::Image& input,
+                                     const InstallOptions& options) const {
+  PolicyGenOptions pg;
+  pg.control_flow = options.control_flow;
+  pg.capability_tracking = options.capability_tracking;
+  pg.metapolicy = options.metapolicy;
+  return generate_policies(input, personality_, pg);
+}
+
+InstallResult Installer::rewrite(const binary::Image& input, GeneratedPolicies gp,
+                                 const InstallOptions& options) {
+  InstallResult result;
+  result.warnings = gp.warnings;
+  result.inline_report = gp.inline_report;
+  RewriteOptions ro;
+  ro.program_id = next_program_id_++;
+  ro.unique_block_ids = options.unique_block_ids;
+  RewriteResult rr = rewrite_with_policies(input, std::move(gp), key_, ro);
+  result.image = std::move(rr.image);
+  result.policies = std::move(rr.policies);
+  return result;
+}
+
+InstallResult Installer::install(const binary::Image& input, const InstallOptions& options) {
+  return rewrite(input, analyze(input, options), options);
+}
+
+}  // namespace asc::installer

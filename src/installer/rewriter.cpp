@@ -1,0 +1,423 @@
+#include "installer/rewriter.h"
+
+#include <map>
+#include <set>
+
+#include "analysis/dataflow.h"
+#include "isa/encode.h"
+#include "policy/authstring.h"
+#include "util/error.h"
+#include "util/hex.h"
+
+namespace asc::installer {
+
+namespace {
+
+using analysis::IrFunction;
+using analysis::IrInstr;
+using analysis::RefKind;
+using binary::SectionKind;
+
+/// Allocator for the .asdata section.
+class AsDataBuilder {
+ public:
+  /// Reserve `n` bytes; returns the virtual address of the first byte.
+  std::uint32_t reserve(std::uint32_t n) {
+    const std::uint32_t addr = binary::section_base(SectionKind::AsData) +
+                               static_cast<std::uint32_t>(bytes_.size());
+    bytes_.resize(bytes_.size() + n, 0);
+    if (bytes_.size() > binary::section_limit(SectionKind::AsData)) {
+      throw Error("rewriter: .asdata exceeds section window");
+    }
+    return addr;
+  }
+
+  /// Append an AS blob; returns the BODY address.
+  std::uint32_t add_as(const crypto::MacKey& key, std::span<const std::uint8_t> content) {
+    const auto blob = policy::build_authenticated_string(key, content);
+    const std::uint32_t addr = reserve(static_cast<std::uint32_t>(blob.size()));
+    write(addr, blob);
+    return addr + policy::as_body_offset();
+  }
+
+  /// Deduplicated AS for a string constant.
+  std::uint32_t add_string_as(const crypto::MacKey& key, const std::string& s) {
+    auto it = string_cache_.find(s);
+    if (it != string_cache_.end()) return it->second;
+    std::vector<std::uint8_t> content(s.begin(), s.end());
+    content.push_back(0);  // keep NUL termination for the guest
+    // The AS length covers the string WITHOUT the NUL (the kernel MACs the
+    // logical string); store len = size-1 by building manually.
+    std::vector<std::uint8_t> blob;
+    util::put_u32(blob, static_cast<std::uint32_t>(s.size()));
+    const crypto::Mac mac = key.mac(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+    blob.insert(blob.end(), mac.begin(), mac.end());
+    blob.insert(blob.end(), content.begin(), content.end());
+    const std::uint32_t addr = reserve(static_cast<std::uint32_t>(blob.size()));
+    write(addr, blob);
+    const std::uint32_t body = addr + policy::as_body_offset();
+    string_cache_[s] = body;
+    return body;
+  }
+
+  void write(std::uint32_t addr, std::span<const std::uint8_t> data) {
+    const std::uint32_t off = addr - binary::section_base(SectionKind::AsData);
+    if (off + data.size() > bytes_.size()) throw Error("rewriter: .asdata write out of range");
+    std::copy(data.begin(), data.end(), bytes_.begin() + off);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  std::map<std::string, std::uint32_t> string_cache_;
+};
+
+}  // namespace
+
+RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicies gp,
+                                    const crypto::MacKey& key, const RewriteOptions& options) {
+  if (!gp.holes.empty()) {
+    throw Error("rewriter: policy template has " + std::to_string(gp.holes.size()) +
+                " unfilled holes (metapolicy not satisfied)");
+  }
+  analysis::ProgramIr& ir = gp.ir;
+
+  auto compose = [&](std::uint32_t local) {
+    return policy::make_block_id(options.program_id, local, options.unique_block_ids);
+  };
+
+  AsDataBuilder asdata;
+
+  // ---- allocate policy state in .asdata (writable in this VM) ----
+  const std::uint32_t state_addr = asdata.reserve(policy::kPolicyStateSize);
+
+  // ---- per-site .asdata allocation: strings, patterns, pred sets, MACs ----
+  const std::size_t nsites = gp.scan.sites.size();
+  struct SiteAlloc {
+    std::array<std::uint32_t, os::kMaxSyscallArgs> as_body{};   // AS body addr per String arg
+    std::array<std::uint32_t, os::kMaxSyscallArgs> pattern_body{};  // per Pattern arg
+    std::uint32_t pred_body = 0;
+    std::uint32_t mac_slot = 0;
+  };
+  std::vector<SiteAlloc> allocs(nsites);
+  bool any_pattern = false;
+
+  for (std::size_t si = 0; si < nsites; ++si) {
+    policy::SyscallPolicy& pol = gp.policies[si];
+    SiteAlloc& al = allocs[si];
+    std::vector<policy::PatternRef> pattern_refs;
+    for (int a = 0; a < pol.arity; ++a) {
+      const auto idx = static_cast<std::size_t>(a);
+      if (pol.args[idx].kind == policy::ArgPolicy::Kind::String) {
+        al.as_body[idx] = asdata.add_string_as(key, pol.args[idx].str);
+      } else if (pol.args[idx].kind == policy::ArgPolicy::Kind::Pattern) {
+        any_pattern = true;
+        const std::string& pat = pol.args[idx].str;
+        al.pattern_body[idx] = asdata.add_as(
+            key, std::span<const std::uint8_t>(
+                     reinterpret_cast<const std::uint8_t*>(pat.data()), pat.size()));
+        pattern_refs.push_back(
+            policy::PatternRef{static_cast<std::uint32_t>(a), al.pattern_body[idx]});
+      }
+    }
+    // Compose block ids now.
+    pol.block_id = compose(pol.block_id);
+    for (auto& p : pol.predecessors) p = compose(p);
+    for (auto& c : pol.fd_sources) c = compose(c);
+    if (pol.control_flow || !pattern_refs.empty() || !pol.fd_sources.empty()) {
+      pol.control_flow = true;  // the blob rides on the control-flow tuple
+      const auto blob = policy::encode_pred_set(pol.predecessors, pol.fd_sources, pattern_refs);
+      al.pred_body = asdata.add_as(key, blob);
+    }
+    al.mac_slot = asdata.reserve(16);
+  }
+
+  // ---- locate the guest hint buffer if patterns are used ----
+  std::uint32_t hint_buf_addr = 0;
+  if (any_pattern) {
+    const binary::Symbol* sym = input.find_symbol(kHintBufferSymbol);
+    if (sym == nullptr) {
+      throw Error(std::string("rewriter: pattern policies require the guest symbol ") +
+                  kHintBufferSymbol);
+    }
+    hint_buf_addr = sym->addr;
+  }
+
+  // ---- retarget string-argument LEAs and insert extra-arg setup ----
+  // Group sites by function; rebuild each function's instruction list once.
+  std::map<std::size_t, std::vector<std::size_t>> sites_by_func;
+  for (std::size_t si = 0; si < nsites; ++si) {
+    sites_by_func[gp.scan.sites[si].func].push_back(si);
+  }
+
+  for (auto& [fi, site_ids] : sites_by_func) {
+    IrFunction& f = ir.funcs[fi];
+
+    // Retarget defining LEAs of String arguments.
+    const analysis::ReachingDefs rd(ir, gp.cfg, fi);
+    for (std::size_t si : site_ids) {
+      const analysis::SyscallSite& site = gp.scan.sites[si];
+      const policy::SyscallPolicy& pol = gp.policies[si];
+      for (int a = 0; a < pol.arity; ++a) {
+        const auto idx = static_cast<std::size_t>(a);
+        if (pol.args[idx].kind != policy::ArgPolicy::Kind::String) continue;
+        const std::uint32_t body = allocs[si].as_body[idx];
+        for (std::size_t d : rd.defs_at(site.instr, static_cast<isa::Reg>(1 + a))) {
+          if (d == analysis::kEntryDef) continue;
+          IrInstr& din = f.instrs[d];
+          if (din.ins.op == isa::Op::Lea && din.ref == RefKind::DataAddr) {
+            din.ref_addr = body;
+          }
+        }
+      }
+    }
+
+    // Insert the extra-argument setup before each SYSCALL of this function.
+    std::vector<IrInstr> out;
+    out.reserve(f.instrs.size() + site_ids.size() * 6);
+    std::vector<std::size_t> new_index(f.instrs.size());
+    std::map<std::size_t, std::size_t> site_at_instr;  // old instr idx -> site idx
+    for (std::size_t si : site_ids) site_at_instr[gp.scan.sites[si].instr] = si;
+
+    for (std::size_t i = 0; i < f.instrs.size(); ++i) {
+      auto hit = site_at_instr.find(i);
+      if (hit != site_at_instr.end()) {
+        const std::size_t si = hit->second;
+        const policy::SyscallPolicy& pol = gp.policies[si];
+        const SiteAlloc& al = allocs[si];
+        auto emit = [&](IrInstr instr) { out.push_back(instr); };
+        IrInstr mi;
+        mi.ins = {isa::Op::Movi, isa::kRegPolicyDescriptor, 0, pol.descriptor().bits()};
+        emit(mi);
+        mi.ins = {isa::Op::Movi, isa::kRegBlockId, 0, pol.block_id};
+        emit(mi);
+        if (pol.control_flow) {
+          IrInstr lp;
+          lp.ins = {isa::Op::Lea, isa::kRegPredSet, 0, 0};
+          lp.ref = RefKind::DataAddr;
+          lp.ref_addr = al.pred_body;
+          emit(lp);
+          lp.ins = {isa::Op::Lea, isa::kRegStatePtr, 0, 0};
+          lp.ref_addr = state_addr;
+          emit(lp);
+        }
+        IrInstr lm;
+        lm.ins = {isa::Op::Lea, isa::kRegCallMac, 0, 0};
+        lm.ref = RefKind::DataAddr;
+        lm.ref_addr = al.mac_slot;
+        emit(lm);
+        bool has_pattern = false;
+        for (int a = 0; a < pol.arity; ++a) {
+          if (pol.args[static_cast<std::size_t>(a)].kind == policy::ArgPolicy::Kind::Pattern) {
+            has_pattern = true;
+          }
+        }
+        if (has_pattern) {
+          IrInstr lh;
+          lh.ins = {isa::Op::Lea, isa::kRegHintPtr, 0, 0};
+          lh.ref = RefKind::DataAddr;
+          lh.ref_addr = hint_buf_addr;
+          emit(lh);
+        }
+      }
+      new_index[i] = out.size();
+      out.push_back(f.instrs[i]);
+    }
+    // Remap CodeLocal refs and site instruction indexes.
+    for (auto& instr : out) {
+      if (instr.ref == RefKind::CodeLocal) instr.ref_index = new_index[instr.ref_index];
+    }
+    for (std::size_t si : site_ids) {
+      gp.scan.sites[si].instr = new_index[gp.scan.sites[si].instr];
+    }
+    f.instrs = std::move(out);
+  }
+
+  // ---- layout pass: assign final addresses ----
+  std::vector<std::uint32_t> func_addr(ir.funcs.size(), 0);
+  std::vector<std::vector<std::uint32_t>> instr_addr(ir.funcs.size());
+  std::uint32_t pc = binary::section_base(SectionKind::Text);
+  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+    const IrFunction& f = ir.funcs[fi];
+    if (f.inlined_away) continue;
+    func_addr[fi] = pc;
+    instr_addr[fi].resize(f.instrs.size());
+    if (f.opaque) {
+      // Opaque functions are copied byte-for-byte from the input (they were
+      // never decoded); size comes from the original symbol.
+      const binary::Symbol* sym = input.find_symbol(f.name);
+      if (sym == nullptr) throw Error("rewriter: lost symbol for opaque function");
+      pc += sym->size;
+      continue;
+    }
+    for (std::size_t i = 0; i < f.instrs.size(); ++i) {
+      instr_addr[fi][i] = pc;
+      pc += static_cast<std::uint32_t>(isa::size_of(f.instrs[i].ins.op));
+    }
+  }
+  if (pc - binary::section_base(SectionKind::Text) > binary::section_limit(SectionKind::Text)) {
+    throw Error("rewriter: .text exceeds section window");
+  }
+
+  // ---- emit .text ----
+  std::vector<std::uint8_t> text;
+  text.reserve(pc - binary::section_base(SectionKind::Text));
+  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+    const IrFunction& f = ir.funcs[fi];
+    if (f.inlined_away) continue;
+    if (f.opaque) {
+      const binary::Symbol* sym = input.find_symbol(f.name);
+      const auto bytes = input.bytes_at(sym->addr, sym->size);
+      if (!bytes.has_value()) throw Error("rewriter: cannot copy opaque function bytes");
+      // NOTE: opaque functions may contain absolute self-references that
+      // would be stale after relocation; the toy libc only uses
+      // position-relative tricks inside opaque stubs, but we verify no
+      // relocation slot of the input falls inside an opaque function whose
+      // address changed.
+      if (sym->addr != func_addr[fi]) {
+        for (const auto& r : input.relocs) {
+          if (r.slot >= sym->addr && r.slot < sym->addr + sym->size) {
+            throw Error("rewriter: opaque function " + f.name +
+                        " has relocations but moved; cannot rewrite safely");
+          }
+        }
+      }
+      text.insert(text.end(), bytes->begin(), bytes->end());
+      continue;
+    }
+    for (std::size_t i = 0; i < f.instrs.size(); ++i) {
+      isa::Instr ins = f.instrs[i].ins;
+      switch (f.instrs[i].ref) {
+        case RefKind::None:
+          break;
+        case RefKind::CodeLocal:
+          ins.imm = instr_addr[fi][f.instrs[i].ref_index];
+          break;
+        case RefKind::FuncEntry:
+          ins.imm = func_addr[f.instrs[i].ref_index];
+          break;
+        case RefKind::DataAddr:
+          ins.imm = f.instrs[i].ref_addr;
+          break;
+      }
+      isa::encode(ins, text);
+    }
+  }
+
+  // ---- opaque functions that moved: the check above threw if unsafe ----
+
+  // ---- build the output image ----
+  RewriteResult result;
+  binary::Image& out = result.image;
+  out.sections.reserve(8);  // section() grows the vector; see tasm::link
+  out.name = input.name;
+  out.relocatable = false;
+  out.authenticated = true;
+  out.program_id = options.program_id;
+  out.section(SectionKind::Text).bytes = std::move(text);
+  if (const auto* s = input.find_section(SectionKind::Rodata)) out.sections.push_back(*s);
+  if (const auto* s = input.find_section(SectionKind::Data)) out.sections.push_back(*s);
+  if (const auto* s = input.find_section(SectionKind::Bss)) out.sections.push_back(*s);
+
+  // Retarget data-resident code pointers.
+  for (const auto& [slot, target_func] : ir.data_code_ptrs) {
+    const auto sk = out.section_containing(slot);
+    if (!sk.has_value()) continue;
+    auto& sec = out.section(*sk);
+    util::set_u32(sec.bytes, slot - sec.vaddr(), func_addr[target_func]);
+  }
+
+  // Symbols: functions at new addresses; data objects unchanged.
+  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+    const IrFunction& f = ir.funcs[fi];
+    if (f.inlined_away) continue;
+    std::uint32_t size = 0;
+    if (f.opaque) {
+      size = input.find_symbol(f.name)->size;
+    } else if (!f.instrs.empty()) {
+      const std::size_t lastix = f.instrs.size() - 1;
+      size = instr_addr[fi][lastix] +
+             static_cast<std::uint32_t>(isa::size_of(f.instrs[lastix].ins.op)) - func_addr[fi];
+    }
+    out.symbols.push_back(
+        binary::Symbol{f.name, func_addr[fi], size, binary::SymbolKind::Function});
+  }
+  for (const auto& s : input.symbols) {
+    if (s.kind == binary::SymbolKind::Object) out.symbols.push_back(s);
+  }
+  out.entry = func_addr[ir.entry_func];
+
+  // ---- final call sites & encoded policies/MACs ----
+  for (std::size_t si = 0; si < nsites; ++si) {
+    policy::SyscallPolicy& pol = gp.policies[si];
+    const analysis::SyscallSite& site = gp.scan.sites[si];
+    pol.call_site = instr_addr[site.func][site.instr];
+
+    policy::EncodedPolicyInputs in;
+    in.sysno = pol.sysno;
+    in.descriptor = pol.descriptor();
+    in.call_site = pol.call_site;
+    in.block_id = pol.block_id;
+    in.arity = pol.arity;
+    for (int a = 0; a < pol.arity; ++a) {
+      const auto idx = static_cast<std::size_t>(a);
+      switch (pol.args[idx].kind) {
+        case policy::ArgPolicy::Kind::Const:
+          in.const_values[idx] = pol.args[idx].value;
+          break;
+        case policy::ArgPolicy::Kind::String: {
+          policy::AsRef as;
+          as.addr = allocs[si].as_body[idx];
+          as.len = static_cast<std::uint32_t>(pol.args[idx].str.size());
+          as.mac = key.mac(std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(pol.args[idx].str.data()),
+              pol.args[idx].str.size()));
+          in.as_args[idx] = as;
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if (pol.control_flow) {
+      std::vector<policy::PatternRef> pattern_refs;
+      for (int a = 0; a < pol.arity; ++a) {
+        const auto idx = static_cast<std::size_t>(a);
+        if (pol.args[idx].kind == policy::ArgPolicy::Kind::Pattern) {
+          pattern_refs.push_back(
+              policy::PatternRef{static_cast<std::uint32_t>(a), allocs[si].pattern_body[idx]});
+        }
+      }
+      const auto blob = policy::encode_pred_set(pol.predecessors, pol.fd_sources, pattern_refs);
+      policy::AsRef pred;
+      pred.addr = allocs[si].pred_body;
+      pred.len = static_cast<std::uint32_t>(blob.size());
+      pred.mac = key.mac(blob);
+      in.pred_set = pred;
+      in.lb_ptr = state_addr;
+    }
+    const auto encoded = policy::encode_policy(in);
+    const crypto::Mac call_mac = key.mac(encoded);
+    asdata.write(allocs[si].mac_slot, call_mac);
+  }
+
+  // ---- initialize the policy state ----
+  {
+    std::vector<std::uint8_t> state;
+    const std::uint32_t start = policy::make_block_id(
+        options.program_id, policy::kStartBlockLocal, options.unique_block_ids);
+    util::put_u32(state, start);
+    const auto msg = policy::encode_policy_state(start, 0);
+    const crypto::Mac m = key.mac(msg);
+    state.insert(state.end(), m.begin(), m.end());
+    asdata.write(state_addr, state);
+  }
+
+  out.section(SectionKind::AsData).bytes = asdata.take();
+  result.policies = std::move(gp.policies);
+  return result;
+}
+
+}  // namespace asc::installer

@@ -1,0 +1,44 @@
+// The binary rewriter: transform a relocatable image + generated policies
+// into a non-relocatable AUTHENTICATED image (§3.3).
+//
+// Transformations:
+//   * string constants used as constrained syscall arguments become
+//     authenticated strings in the new .asdata section; the defining LEA
+//     instructions are retargeted at the AS body,
+//   * every syscall site gains the five extra-argument setup instructions
+//     (polDes, blockID, predSet, lbPtr, callMAC -- plus the hint pointer for
+//     pattern policies),
+//   * the per-program policy state {lastBlock, lbMAC} is allocated and
+//     initialized (lastBlock = composed start block, lbMAC = MAC(start, 0)),
+//   * predecessor sets and call MACs are computed over the FINAL layout
+//     (call sites are final addresses) and stored in .asdata,
+//   * data-resident code pointers are retargeted at moved function entries.
+#pragma once
+
+#include <cstdint>
+
+#include "binary/image.h"
+#include "crypto/cmac.h"
+#include "installer/policygen.h"
+
+namespace asc::installer {
+
+struct RewriteOptions {
+  std::uint16_t program_id = 1;
+  bool unique_block_ids = true;  // §5.5 Frankenstein defence
+};
+
+struct RewriteResult {
+  binary::Image image;
+  /// Final policies: call_site filled, block ids composed.
+  std::vector<policy::SyscallPolicy> policies;
+};
+
+/// `gp` is consumed (its IR is mutated by instruction insertion).
+RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicies gp,
+                                    const crypto::MacKey& key, const RewriteOptions& options);
+
+/// Name of the guest-side hint buffer symbol required by pattern policies.
+inline constexpr const char* kHintBufferSymbol = "asc_hint_buf";
+
+}  // namespace asc::installer

@@ -1,0 +1,54 @@
+#include "isa/decode.h"
+
+#include "util/error.h"
+#include "util/hex.h"
+
+namespace asc::isa {
+
+Decoded decode(std::span<const std::uint8_t> buf, std::size_t offset) {
+  if (offset >= buf.size()) throw DecodeError("decode: offset past end of buffer");
+  const std::uint8_t opbyte = buf[offset];
+  if (!is_valid_opcode(opbyte)) throw DecodeError("decode: invalid opcode");
+  const Op op = static_cast<Op>(opbyte);
+  const std::size_t size = size_of(op);
+  if (offset + size > buf.size()) throw DecodeError("decode: truncated instruction");
+
+  Instr ins;
+  ins.op = op;
+  switch (format_of(op)) {
+    case Fmt::None:
+      break;
+    case Fmt::R:
+      ins.rd = buf[offset + 1];
+      if (ins.rd >= kNumRegs) throw DecodeError("decode: bad register");
+      break;
+    case Fmt::RR:
+      ins.rd = static_cast<Reg>(buf[offset + 1] >> 4);
+      ins.rs = static_cast<Reg>(buf[offset + 1] & 0xf);
+      break;
+    case Fmt::RI:
+      ins.rd = buf[offset + 1];
+      if (ins.rd >= kNumRegs) throw DecodeError("decode: bad register");
+      ins.imm = util::get_u32(buf, offset + 2);
+      break;
+    case Fmt::Mem:
+      ins.rd = static_cast<Reg>(buf[offset + 1] >> 4);
+      ins.rs = static_cast<Reg>(buf[offset + 1] & 0xf);
+      ins.imm = util::get_u32(buf, offset + 2);
+      break;
+    case Fmt::Addr:
+      ins.imm = util::get_u32(buf, offset + 1);
+      break;
+  }
+  return Decoded{ins, size};
+}
+
+std::optional<Decoded> try_decode(std::span<const std::uint8_t> buf, std::size_t offset) {
+  try {
+    return decode(buf, offset);
+  } catch (const DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace asc::isa

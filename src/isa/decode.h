@@ -1,0 +1,26 @@
+// TSA instruction decoder.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "isa/isa.h"
+
+namespace asc::isa {
+
+struct Decoded {
+  Instr ins;
+  std::size_t size = 0;  // encoded size in bytes
+};
+
+/// Decode one instruction at `buf[offset]`. Throws asc::DecodeError when the
+/// opcode is invalid or the buffer is truncated. The runtime (VM) and the
+/// static disassembler both use this; the static disassembler catches the
+/// error to report "cannot completely disassemble" (the paper's PLTO caveat).
+Decoded decode(std::span<const std::uint8_t> buf, std::size_t offset);
+
+/// Non-throwing variant; returns nullopt on any decoding failure.
+std::optional<Decoded> try_decode(std::span<const std::uint8_t> buf, std::size_t offset);
+
+}  // namespace asc::isa

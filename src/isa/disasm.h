@@ -1,0 +1,13 @@
+// Textual disassembly of TSA instructions (debugging / policy explorer).
+#pragma once
+
+#include <string>
+
+#include "isa/isa.h"
+
+namespace asc::isa {
+
+/// Human-readable one-line form, e.g. "movi r1, 0x5" or "load r2, [r15+8]".
+std::string to_string(const Instr& ins);
+
+}  // namespace asc::isa

@@ -1,0 +1,57 @@
+#include "isa/encode.h"
+
+#include "util/error.h"
+#include "util/hex.h"
+
+namespace asc::isa {
+
+std::size_t encode(const Instr& ins, std::vector<std::uint8_t>& out) {
+  const std::size_t start = out.size();
+  out.push_back(static_cast<std::uint8_t>(ins.op));
+  switch (format_of(ins.op)) {
+    case Fmt::None:
+      break;
+    case Fmt::R:
+      if (ins.rd >= kNumRegs) throw Error("encode: bad register");
+      out.push_back(ins.rd);
+      break;
+    case Fmt::RR:
+      if (ins.rd >= kNumRegs || ins.rs >= kNumRegs) throw Error("encode: bad register");
+      out.push_back(static_cast<std::uint8_t>(ins.rd << 4 | ins.rs));
+      break;
+    case Fmt::RI:
+      if (ins.rd >= kNumRegs) throw Error("encode: bad register");
+      out.push_back(ins.rd);
+      util::put_u32(out, ins.imm);
+      break;
+    case Fmt::Mem:
+      if (ins.rd >= kNumRegs || ins.rs >= kNumRegs) throw Error("encode: bad register");
+      out.push_back(static_cast<std::uint8_t>(ins.rd << 4 | ins.rs));
+      util::put_u32(out, ins.imm);
+      break;
+    case Fmt::Addr:
+      util::put_u32(out, ins.imm);
+      break;
+  }
+  return out.size() - start;
+}
+
+std::vector<std::uint8_t> encode_one(const Instr& ins) {
+  std::vector<std::uint8_t> out;
+  encode(ins, out);
+  return out;
+}
+
+std::size_t imm_offset(Op op) {
+  switch (format_of(op)) {
+    case Fmt::RI:
+    case Fmt::Mem:
+      return 2;
+    case Fmt::Addr:
+      return 1;
+    default:
+      throw Error("imm_offset: format has no imm32 field");
+  }
+}
+
+}  // namespace asc::isa

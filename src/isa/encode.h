@@ -1,0 +1,22 @@
+// TSA instruction encoder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.h"
+
+namespace asc::isa {
+
+/// Append the encoding of `ins` to `out`. Returns the encoded size.
+std::size_t encode(const Instr& ins, std::vector<std::uint8_t>& out);
+
+/// Encode a single instruction into a fresh byte vector.
+std::vector<std::uint8_t> encode_one(const Instr& ins);
+
+/// Byte offset (within the encoding) of the 32-bit immediate/offset/address
+/// field, for formats that have one. Used to place relocations on
+/// address-bearing fields. Throws for formats without an imm32.
+std::size_t imm_offset(Op op);
+
+}  // namespace asc::isa

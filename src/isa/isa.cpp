@@ -1,0 +1,276 @@
+#include "isa/isa.h"
+
+#include "util/error.h"
+
+namespace asc::isa {
+
+Fmt format_of(Op op) {
+  switch (op) {
+    case Op::Nop:
+    case Op::Halt:
+    case Op::Syscall:
+    case Op::Ret:
+      return Fmt::None;
+    case Op::Not:
+    case Op::Neg:
+    case Op::Push:
+    case Op::Pop:
+    case Op::Callr:
+    case Op::Jmpr:
+      return Fmt::R;
+    case Op::Mov:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Mod:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Cmp:
+      return Fmt::RR;
+    case Op::Movi:
+    case Op::Addi:
+    case Op::Subi:
+    case Op::Muli:
+    case Op::Andi:
+    case Op::Ori:
+    case Op::Xori:
+    case Op::Shli:
+    case Op::Shri:
+    case Op::Cmpi:
+    case Op::Lea:
+      return Fmt::RI;
+    case Op::Load:
+    case Op::Store:
+    case Op::Loadb:
+    case Op::Storeb:
+      return Fmt::Mem;
+    case Op::Call:
+    case Op::Jmp:
+    case Op::Jz:
+    case Op::Jnz:
+    case Op::Jlt:
+    case Op::Jle:
+    case Op::Jgt:
+    case Op::Jge:
+      return Fmt::Addr;
+  }
+  throw DecodeError("format_of: unknown opcode");
+}
+
+bool is_valid_opcode(std::uint8_t byte) {
+  switch (static_cast<Op>(byte)) {
+    case Op::Nop:
+    case Op::Halt:
+    case Op::Syscall:
+    case Op::Movi:
+    case Op::Mov:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Mod:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Addi:
+    case Op::Subi:
+    case Op::Muli:
+    case Op::Andi:
+    case Op::Ori:
+    case Op::Xori:
+    case Op::Shli:
+    case Op::Shri:
+    case Op::Not:
+    case Op::Neg:
+    case Op::Cmp:
+    case Op::Cmpi:
+    case Op::Load:
+    case Op::Store:
+    case Op::Loadb:
+    case Op::Storeb:
+    case Op::Push:
+    case Op::Pop:
+    case Op::Lea:
+    case Op::Call:
+    case Op::Callr:
+    case Op::Ret:
+    case Op::Jmp:
+    case Op::Jz:
+    case Op::Jnz:
+    case Op::Jlt:
+    case Op::Jle:
+    case Op::Jgt:
+    case Op::Jge:
+    case Op::Jmpr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t size_of(Op op) {
+  switch (format_of(op)) {
+    case Fmt::None:
+      return 1;
+    case Fmt::R:
+      return 2;
+    case Fmt::RR:
+      return 2;
+    case Fmt::RI:
+      return 6;
+    case Fmt::Mem:
+      return 6;
+    case Fmt::Addr:
+      return 5;
+  }
+  throw DecodeError("size_of: unknown format");
+}
+
+std::string mnemonic(Op op) {
+  switch (op) {
+    case Op::Nop: return "nop";
+    case Op::Halt: return "halt";
+    case Op::Syscall: return "syscall";
+    case Op::Movi: return "movi";
+    case Op::Mov: return "mov";
+    case Op::Add: return "add";
+    case Op::Sub: return "sub";
+    case Op::Mul: return "mul";
+    case Op::Div: return "div";
+    case Op::Mod: return "mod";
+    case Op::And: return "and";
+    case Op::Or: return "or";
+    case Op::Xor: return "xor";
+    case Op::Shl: return "shl";
+    case Op::Shr: return "shr";
+    case Op::Addi: return "addi";
+    case Op::Subi: return "subi";
+    case Op::Muli: return "muli";
+    case Op::Andi: return "andi";
+    case Op::Ori: return "ori";
+    case Op::Xori: return "xori";
+    case Op::Shli: return "shli";
+    case Op::Shri: return "shri";
+    case Op::Not: return "not";
+    case Op::Neg: return "neg";
+    case Op::Cmp: return "cmp";
+    case Op::Cmpi: return "cmpi";
+    case Op::Load: return "load";
+    case Op::Store: return "store";
+    case Op::Loadb: return "loadb";
+    case Op::Storeb: return "storeb";
+    case Op::Push: return "push";
+    case Op::Pop: return "pop";
+    case Op::Lea: return "lea";
+    case Op::Call: return "call";
+    case Op::Callr: return "callr";
+    case Op::Ret: return "ret";
+    case Op::Jmp: return "jmp";
+    case Op::Jz: return "jz";
+    case Op::Jnz: return "jnz";
+    case Op::Jlt: return "jlt";
+    case Op::Jle: return "jle";
+    case Op::Jgt: return "jgt";
+    case Op::Jge: return "jge";
+    case Op::Jmpr: return "jmpr";
+  }
+  return "??";
+}
+
+bool is_control_transfer(Op op) {
+  switch (op) {
+    case Op::Call:
+    case Op::Callr:
+    case Op::Ret:
+    case Op::Jmp:
+    case Op::Jz:
+    case Op::Jnz:
+    case Op::Jlt:
+    case Op::Jle:
+    case Op::Jgt:
+    case Op::Jge:
+    case Op::Jmpr:
+    case Op::Halt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_conditional_branch(Op op) {
+  switch (op) {
+    case Op::Jz:
+    case Op::Jnz:
+    case Op::Jlt:
+    case Op::Jle:
+    case Op::Jgt:
+    case Op::Jge:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_block_terminator(Op op) {
+  // Calls do NOT terminate basic blocks for intraprocedural purposes (they
+  // return to the next instruction), matching PLTO's treatment; the syscall
+  // graph handles interprocedural flow separately. Ret/Jmp/branches/Halt and
+  // indirect jumps do terminate blocks.
+  switch (op) {
+    case Op::Ret:
+    case Op::Jmp:
+    case Op::Jmpr:
+    case Op::Jz:
+    case Op::Jnz:
+    case Op::Jlt:
+    case Op::Jle:
+    case Op::Jgt:
+    case Op::Jge:
+    case Op::Halt:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_rd(Op op) {
+  switch (op) {
+    case Op::Movi:
+    case Op::Mov:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Mod:
+    case Op::And:
+    case Op::Or:
+    case Op::Xor:
+    case Op::Shl:
+    case Op::Shr:
+    case Op::Addi:
+    case Op::Subi:
+    case Op::Muli:
+    case Op::Andi:
+    case Op::Ori:
+    case Op::Xori:
+    case Op::Shli:
+    case Op::Shri:
+    case Op::Not:
+    case Op::Neg:
+    case Op::Load:
+    case Op::Loadb:
+    case Op::Pop:
+    case Op::Lea:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace asc::isa

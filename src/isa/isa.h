@@ -1,0 +1,143 @@
+// TSA -- the Toy System Architecture.
+//
+// TSA is the ISA of the simulated machine that stands in for IA-32 in this
+// reproduction. It is designed to exercise the same binary-analysis problems
+// the paper's PLTO-based installer faces on x86:
+//
+//   * variable-length instruction encoding (disassembly is nontrivial; a
+//     malformed or hand-crafted byte stream can defeat the disassembler,
+//     reproducing the OpenBSD `close` stub caveat of Table 2),
+//   * absolute addresses embedded in instructions (so relocation information
+//     is required for rewriting, just as PLTO requires relocatable ELF),
+//   * a trap instruction (SYSCALL) with the system call number in a register
+//     (r0 plays the role of EAX before `int 0x80`),
+//   * indirect calls/jumps that force conservative call-graph analysis.
+//
+// Register convention (the "toy ABI"):
+//   r0        system call number / function & syscall return value
+//   r1..r5    function and system call arguments (caller sets, callee may clobber)
+//   r6..r10   RESERVED for the ASC rewriter: policy descriptor, block id,
+//             predecessor-set pointer, policy-state pointer, call-MAC pointer.
+//             Compiled (toy-libc) code never holds live values here across a
+//             system call; the installer relies on this.
+//   r11..r14  general purpose, callee-clobbered
+//   r15       stack pointer (sp); stack grows down
+//
+// Condition flags Z (equal) and N (signed less-than) are set only by CMP/CMPI
+// and consumed by the conditional jumps.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace asc::isa {
+
+/// Register index (0..15). r15 is the stack pointer.
+using Reg = std::uint8_t;
+
+inline constexpr Reg kNumRegs = 16;
+inline constexpr Reg kSp = 15;
+
+// ASC reserved registers (extra authenticated-call arguments).
+inline constexpr Reg kRegPolicyDescriptor = 6;
+inline constexpr Reg kRegBlockId = 7;
+inline constexpr Reg kRegPredSet = 8;
+inline constexpr Reg kRegStatePtr = 9;
+inline constexpr Reg kRegCallMac = 10;
+// When a call's policy includes argument patterns (§5.1), r11 carries the
+// pointer to the (untrusted) match-hint block the application computed.
+inline constexpr Reg kRegHintPtr = 11;
+
+/// Operand format of an instruction.
+enum class Fmt : std::uint8_t {
+  None,  // [op]
+  R,     // [op][rd]
+  RR,    // [op][rd<<4|rs]
+  RI,    // [op][rd][imm32]
+  Mem,   // [op][rd<<4|rs][off32]      load rd <- [rs+off] / store [rs+off] <- rd
+  Addr,  // [op][addr32]               control transfer to absolute address
+};
+
+enum class Op : std::uint8_t {
+  Nop = 0x00,
+  Halt = 0x01,     // abnormal stop (guest bug); normal exit is the Exit syscall
+  Syscall = 0x02,  // trap to kernel; number in r0, args in r1..r5
+
+  Movi = 0x10,  // RI: rd = imm (plain constant)
+  Mov = 0x11,   // RR: rd = rs
+  Add = 0x12,   // RR: rd += rs
+  Sub = 0x13,
+  Mul = 0x14,
+  Div = 0x15,  // signed; divide-by-zero faults the guest
+  Mod = 0x16,
+  And = 0x17,
+  Or = 0x18,
+  Xor = 0x19,
+  Shl = 0x1a,  // shift amount = rs & 31
+  Shr = 0x1b,  // logical
+
+  Addi = 0x20,  // RI: rd += imm
+  Subi = 0x21,
+  Muli = 0x22,
+  Andi = 0x23,
+  Ori = 0x24,
+  Xori = 0x25,
+  Shli = 0x26,
+  Shri = 0x27,
+  Not = 0x28,  // R
+  Neg = 0x29,  // R
+
+  Cmp = 0x30,   // RR: set Z/N from rd - rs (signed)
+  Cmpi = 0x31,  // RI
+
+  Load = 0x40,    // Mem: rd = mem32[rs+off]
+  Store = 0x41,   // Mem: mem32[rs+off] = rd
+  Loadb = 0x42,   // Mem: rd = zext(mem8[rs+off])
+  Storeb = 0x43,  // Mem: mem8[rs+off] = rd & 0xff
+  Push = 0x44,    // R
+  Pop = 0x45,     // R
+  Lea = 0x46,     // RI: rd = absolute address (always relocated)
+
+  Call = 0x50,   // Addr: push return address; pc = addr
+  Callr = 0x51,  // R: indirect call
+  Ret = 0x52,    // None
+
+  Jmp = 0x60,  // Addr
+  Jz = 0x61,
+  Jnz = 0x62,
+  Jlt = 0x63,
+  Jle = 0x64,
+  Jgt = 0x65,
+  Jge = 0x66,
+  Jmpr = 0x67,  // R: indirect jump
+};
+
+/// Decoded instruction. `imm` holds the immediate, memory offset, or absolute
+/// address depending on the format.
+struct Instr {
+  Op op = Op::Nop;
+  Reg rd = 0;
+  Reg rs = 0;
+  std::uint32_t imm = 0;
+
+  bool operator==(const Instr&) const = default;
+};
+
+/// Operand format for an opcode. Throws DecodeError for an unknown opcode.
+Fmt format_of(Op op);
+
+/// True if `byte` is a defined opcode.
+bool is_valid_opcode(std::uint8_t byte);
+
+/// Encoded size in bytes of an instruction with this opcode.
+std::size_t size_of(Op op);
+
+/// Mnemonic ("movi", "jz", ...).
+std::string mnemonic(Op op);
+
+/// Classification helpers used by the analyses.
+bool is_control_transfer(Op op);           // call/ret/jmp/branches/halt/jmpr
+bool is_conditional_branch(Op op);         // jz..jge
+bool is_block_terminator(Op op);           // ends a basic block
+bool writes_rd(Op op);                     // instruction defines rd
+}  // namespace asc::isa

@@ -1,0 +1,21 @@
+#include "monitor/ktable.h"
+
+namespace asc::monitor {
+
+os::MonitorPolicy table_from_asc_policies(const std::vector<policy::SyscallPolicy>& policies) {
+  os::MonitorPolicy pol;
+  for (const auto& p : policies) {
+    pol.allowed.insert(p.sysno);
+    // Carry exact string-argument constraints where the ASC policy has them
+    // for the first path argument.
+    const auto& sig = os::signature(p.sys);
+    if (p.arity > 0 && sig.args[0] == os::ArgKind::PathIn &&
+        p.args[0].kind == policy::ArgPolicy::Kind::String) {
+      auto& pats = pol.path_patterns[p.sysno];
+      pats.push_back(p.args[0].str);
+    }
+  }
+  return pol;
+}
+
+}  // namespace asc::monitor

@@ -1,0 +1,22 @@
+// In-kernel table monitor baseline.
+//
+// Represents the "implemented entirely in the kernel" family of monitors
+// (§1): the kernel holds a per-program table of permitted syscalls and
+// checks each trap with a table lookup. Cheap per call, but the kernel must
+// store and manage every program's policy -- the complexity ASC moves into
+// the application binary. Used by the monitor-comparison ablation bench.
+#pragma once
+
+#include <vector>
+
+#include "os/kernel.h"
+#include "policy/policy.h"
+
+namespace asc::monitor {
+
+/// Build a kernel-table policy equivalent (at syscall-set granularity) to a
+/// set of ASC policies, so the ablation compares enforcement mechanisms on
+/// the same policy content.
+os::MonitorPolicy table_from_asc_policies(const std::vector<policy::SyscallPolicy>& policies);
+
+}  // namespace asc::monitor

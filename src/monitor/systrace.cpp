@@ -1,0 +1,46 @@
+#include "monitor/systrace.h"
+
+namespace asc::monitor {
+
+SystracePolicy make_published_policy(const os::MonitorPolicy& trained,
+                                     os::Personality personality) {
+  SystracePolicy out;
+  out.runtime = trained;
+
+  bool saw_fsread = false;
+  bool saw_fswrite = false;
+  for (std::uint16_t sysno : trained.allowed) {
+    const auto id = os::syscall_from_number(personality, sysno);
+    if (!id.has_value()) continue;
+    const auto& sig = os::signature(*id);
+    if (sig.category == os::Category::FsRead) {
+      saw_fsread = true;
+      continue;  // folded into the alias, not named individually
+    }
+    if (sig.category == os::Category::FsWrite) {
+      saw_fswrite = true;
+      continue;
+    }
+    out.named.insert(sig.name);
+    out.permitted.insert(sig.name);
+  }
+  // The published policies almost always carry both aliases once any
+  // filesystem access is observed (hand edits favor generality).
+  if (saw_fsread || saw_fswrite) {
+    saw_fsread = saw_fswrite = true;
+  }
+  out.runtime.allow_fsread = saw_fsread;
+  out.runtime.allow_fswrite = saw_fswrite;
+  if (saw_fsread) out.named.insert("fsread");
+  if (saw_fswrite) out.named.insert("fswrite");
+  for (os::SysId id : os::available_syscalls(personality)) {
+    const auto& sig = os::signature(id);
+    if ((saw_fsread && sig.category == os::Category::FsRead) ||
+        (saw_fswrite && sig.category == os::Category::FsWrite)) {
+      out.permitted.insert(sig.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace asc::monitor

@@ -1,0 +1,36 @@
+// The Systrace stand-in (§4.2).
+//
+// Published Systrace policies (Project Hairy Eyeball) are produced by
+// training plus hand edits, and use two generic aliases -- `fsread` and
+// `fswrite` -- that implicitly permit whole families of filesystem calls.
+// make_published_policy() reproduces that: it takes a trained policy and
+// generalizes path-oriented calls into the aliases, which both (a) hides
+// some trained calls behind the aliases and (b) implicitly permits
+// filesystem calls the application never makes (the mkdir/readlink/rmdir/
+// unlink rows of Table 2).
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "os/kernel.h"
+#include "os/syscalls.h"
+
+namespace asc::monitor {
+
+struct SystracePolicy {
+  os::MonitorPolicy runtime;  // enforceable by the Daemon/KernelTable modes
+  /// Distinct syscall names the policy *names directly* (what a published
+  /// policy file lists; the Table 1 "Systrace policy" count).
+  std::set<std::string> named;
+  /// Every syscall name the policy actually PERMITS, i.e. named calls plus
+  /// alias expansions (used for the Table 2 comparison).
+  std::set<std::string> permitted;
+};
+
+/// Generalize a trained policy the way the published OpenBSD policies are
+/// written.
+SystracePolicy make_published_policy(const os::MonitorPolicy& trained,
+                                     os::Personality personality);
+
+}  // namespace asc::monitor

@@ -1,0 +1,38 @@
+#include "monitor/training.h"
+
+#include <algorithm>
+
+namespace asc::monitor {
+
+os::MonitorPolicy policy_from_trace(const std::vector<os::TraceEntry>& trace,
+                                    const TrainingOptions& options) {
+  os::MonitorPolicy pol;
+  for (const auto& t : trace) {
+    pol.allowed.insert(t.sysno);
+    if (options.learn_paths && !t.path.empty()) {
+      auto& pats = pol.path_patterns[t.sysno];
+      if (std::find(pats.begin(), pats.end(), t.path) == pats.end()) pats.push_back(t.path);
+    }
+  }
+  return pol;
+}
+
+os::MonitorPolicy train_policy(vm::Machine& machine, const binary::Image& image,
+                               const std::vector<TrainingRun>& runs,
+                               const TrainingOptions& options) {
+  auto& kernel = machine.kernel();
+  const auto saved_mode = kernel.enforcement();
+  kernel.set_enforcement(os::Enforcement::Off);
+  kernel.set_tracing(true);
+  kernel.clear_trace();
+  for (const auto& run : runs) {
+    (void)machine.run(image, run.argv, run.stdin_data);
+  }
+  os::MonitorPolicy pol = policy_from_trace(kernel.trace(), options);
+  kernel.set_tracing(false);
+  kernel.clear_trace();
+  kernel.set_enforcement(saved_mode);
+  return pol;
+}
+
+}  // namespace asc::monitor

@@ -1,0 +1,41 @@
+// Training-based policy generation -- the approach most existing system call
+// monitors use (§2.2) and the baseline our static-analysis policies are
+// compared against in Tables 1 and 2.
+//
+// The program is executed on a set of SAMPLE inputs with kernel tracing on;
+// the observed syscalls (and, optionally, their path arguments) become the
+// policy. By construction the policy misses anything the samples did not
+// exercise -- error paths, rare features -- which is exactly the
+// false-alarm weakness the paper demonstrates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "binary/image.h"
+#include "os/kernel.h"
+#include "vm/machine.h"
+
+namespace asc::monitor {
+
+struct TrainingRun {
+  std::vector<std::string> argv;
+  std::string stdin_data;
+};
+
+struct TrainingOptions {
+  bool learn_paths = true;  // record path arguments as allowed patterns
+};
+
+/// Run `image` on every sample in `runs` inside `machine` (tracing is
+/// enabled and restored) and distill a MonitorPolicy from the union of the
+/// observed traces.
+os::MonitorPolicy train_policy(vm::Machine& machine, const binary::Image& image,
+                               const std::vector<TrainingRun>& runs,
+                               const TrainingOptions& options = {});
+
+/// Distill from an already-captured trace.
+os::MonitorPolicy policy_from_trace(const std::vector<os::TraceEntry>& trace,
+                                    const TrainingOptions& options = {});
+
+}  // namespace asc::monitor

@@ -1,0 +1,228 @@
+#include "os/checker.h"
+
+#include <algorithm>
+
+#include "policy/authstring.h"
+#include "policy/pattern.h"
+#include "policy/policy.h"
+#include "util/error.h"
+#include "util/hex.h"
+
+namespace asc::os {
+
+namespace {
+
+using policy::AsRef;
+using policy::Descriptor;
+
+/// Read the 20-byte AS header {len, MAC} that precedes an AS body pointer.
+/// Returns false when the pointer is implausible (out of range, oversized
+/// length) -- the denial-of-service guard of §3.2.
+bool read_as_header(const vm::Memory& mem, std::uint32_t body_addr, AsRef& out) {
+  if (body_addr < policy::kAsHeaderSize) return false;
+  const std::uint32_t hdr = body_addr - policy::kAsHeaderSize;
+  if (!mem.in_range(hdr, policy::kAsHeaderSize)) return false;
+  out.addr = body_addr;
+  out.len = mem.r32(hdr);
+  if (out.len > policy::kAsMaxLength) return false;
+  if (!mem.in_range(body_addr, out.len)) return false;
+  for (int i = 0; i < 16; ++i) {
+    out.mac[static_cast<std::size_t>(i)] = mem.r8(hdr + 4 + static_cast<std::uint32_t>(i));
+  }
+  return true;
+}
+
+crypto::Mac read_mac(const vm::Memory& mem, std::uint32_t addr) {
+  crypto::Mac m{};
+  for (int i = 0; i < 16; ++i) m[static_cast<std::size_t>(i)] = mem.r8(addr + static_cast<std::uint32_t>(i));
+  return m;
+}
+
+}  // namespace
+
+CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::uint16_t sysno,
+                                     const SyscallSig& sig, const crypto::MacKey& key,
+                                     const CostModel& cost, bool capability_checking) {
+  CheckResult res;
+  res.cycles = cost.check_fixed;
+  auto fail = [&](Violation v, std::string detail) {
+    res.violation = v;
+    res.detail = std::move(detail);
+    return res;
+  };
+
+  const auto& regs = p.cpu.regs;
+  const Descriptor des(regs[isa::kRegPolicyDescriptor]);
+  const std::uint32_t block_id = regs[isa::kRegBlockId];
+  const std::uint32_t pred_body = regs[isa::kRegPredSet];
+  const std::uint32_t lb_ptr = regs[isa::kRegStatePtr];
+  const std::uint32_t mac_ptr = regs[isa::kRegCallMac];
+
+  try {
+    // ---- step 1: reconstruct the encoded call and verify the call MAC ----
+    policy::EncodedPolicyInputs in;
+    in.sysno = sysno;
+    in.descriptor = des;
+    in.call_site = call_site;
+    in.block_id = block_id;
+    in.arity = sig.arity;
+    for (int i = 0; i < sig.arity; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (des.arg_is_authenticated_string(i)) {
+        AsRef as;
+        if (!read_as_header(p.mem, regs[1 + idx], as)) {
+          return fail(Violation::BadCallMac, "unreadable AS header for argument " +
+                                                 std::to_string(i));
+        }
+        in.as_args[idx] = as;
+        res.cycles += cost.check_per_as_arg;
+      } else if (des.arg_constrained(i)) {
+        in.const_values[idx] = regs[1 + idx];
+      }
+    }
+    AsRef pred_as;
+    if (des.control_flow_constrained()) {
+      if (!read_as_header(p.mem, pred_body, pred_as)) {
+        return fail(Violation::BadCallMac, "unreadable predecessor-set header");
+      }
+      in.pred_set = pred_as;
+      in.lb_ptr = lb_ptr;
+    }
+    const auto encoded = policy::encode_policy(in);
+    res.cycles += cost.mac_cost(encoded.size());
+    if (!p.mem.in_range(mac_ptr, 16)) {
+      return fail(Violation::BadCallMac, "call MAC pointer out of range");
+    }
+    const crypto::Mac claimed = read_mac(p.mem, mac_ptr);
+    if (!key.verify(encoded, claimed)) {
+      return fail(Violation::BadCallMac,
+                  std::string("call MAC mismatch for ") + sig.name + " at site 0x" +
+                      util::to_hex(std::vector<std::uint8_t>{
+                          static_cast<std::uint8_t>(call_site >> 24),
+                          static_cast<std::uint8_t>(call_site >> 16),
+                          static_cast<std::uint8_t>(call_site >> 8),
+                          static_cast<std::uint8_t>(call_site)}));
+    }
+
+    // ---- step 2: verify authenticated string contents ----
+    for (int i = 0; i < sig.arity; ++i) {
+      const auto idx = static_cast<std::size_t>(i);
+      if (!des.arg_is_authenticated_string(i)) continue;
+      const AsRef& as = in.as_args[idx];
+      const auto content = p.mem.read_bytes(as.addr, as.len);
+      res.cycles += cost.mac_cost(content.size());
+      if (!key.verify(content, as.mac)) {
+        return fail(Violation::BadStringArg,
+                    std::string("string argument ") + std::to_string(i) + " of " + sig.name +
+                        " was modified");
+      }
+    }
+
+    // ---- step 3: control-flow policy ----
+    std::vector<std::uint32_t> preds;
+    std::vector<std::uint32_t> fd_sources;
+    std::vector<policy::PatternRef> patterns;
+    if (des.control_flow_constrained()) {
+      const auto pred_blob = p.mem.read_bytes(pred_as.addr, pred_as.len);
+      res.cycles += cost.mac_cost(pred_blob.size());
+      if (!key.verify(pred_blob, pred_as.mac)) {
+        return fail(Violation::BadStringArg, "predecessor set was modified");
+      }
+      if (!policy::decode_pred_set(pred_blob, preds, fd_sources, patterns)) {
+        return fail(Violation::BadStringArg, "malformed predecessor set");
+      }
+
+      // 3.1: verify the policy state (online memory checker).
+      if (!p.mem.in_range(lb_ptr, policy::kPolicyStateSize)) {
+        return fail(Violation::BadPolicyState, "policy state pointer out of range");
+      }
+      const std::uint32_t last_block = p.mem.r32(lb_ptr);
+      const crypto::Mac lb_mac = read_mac(p.mem, lb_ptr + 4);
+      const auto state_msg = policy::encode_policy_state(last_block, p.asc_counter);
+      res.cycles += cost.mac_cost(state_msg.size());
+      if (!key.verify(state_msg, lb_mac)) {
+        return fail(Violation::BadPolicyState, "lastBlock/lbMAC tampered or replayed");
+      }
+
+      // 3.2: lastBlock must be an allowed predecessor.
+      if (std::find(preds.begin(), preds.end(), last_block) == preds.end()) {
+        return fail(Violation::BadPredecessor,
+                    std::string(sig.name) + ": previous syscall block " +
+                        std::to_string(last_block) + " not in predecessor set");
+      }
+
+      // 3.3-3.5: increment the nonce, update lastBlock, re-MAC.
+      ++p.asc_counter;
+      p.mem.w32(lb_ptr, block_id);
+      const auto new_msg = policy::encode_policy_state(block_id, p.asc_counter);
+      res.cycles += cost.mac_cost(new_msg.size());
+      const crypto::Mac new_mac = key.mac(new_msg);
+      p.mem.write_bytes(lb_ptr + 4, new_mac);
+    }
+
+    // ---- step 4 (§5.3): fd capability provenance ----
+    if (capability_checking && !fd_sources.empty()) {
+      for (int i = 0; i < sig.arity; ++i) {
+        if (sig.args[static_cast<std::size_t>(i)] != ArgKind::Fd) continue;
+        const std::uint32_t fdnum = regs[1 + static_cast<std::size_t>(i)];
+        const FdEntry* e = p.fd(fdnum);
+        if (e == nullptr) {
+          return fail(Violation::BadCapability, "fd argument not a live descriptor");
+        }
+        if (std::find(fd_sources.begin(), fd_sources.end(), e->origin_block) ==
+            fd_sources.end()) {
+          return fail(Violation::BadCapability,
+                      "fd " + std::to_string(fdnum) + " originated at block " +
+                          std::to_string(e->origin_block) + ", not an allowed source");
+        }
+        break;  // the capability set applies to the first fd argument
+      }
+    }
+
+    // ---- step 5 (§5.1): pattern arguments with proof hints ----
+    if (!patterns.empty()) {
+      std::uint32_t hint_ptr = regs[isa::kRegHintPtr];
+      for (const auto& pr : patterns) {
+        if (pr.arg_index >= static_cast<std::uint32_t>(sig.arity)) {
+          return fail(Violation::BadPattern, "pattern references nonexistent argument");
+        }
+        // Verify the pattern AS itself.
+        AsRef pat_as;
+        if (!read_as_header(p.mem, pr.pattern_addr, pat_as)) {
+          return fail(Violation::BadPattern, "unreadable pattern");
+        }
+        const auto pat_bytes = p.mem.read_bytes(pat_as.addr, pat_as.len);
+        res.cycles += cost.mac_cost(pat_bytes.size());
+        if (!key.verify(pat_bytes, pat_as.mac)) {
+          return fail(Violation::BadPattern, "pattern was modified");
+        }
+        const std::string pattern(pat_bytes.begin(), pat_bytes.end());
+        // Read the actual argument string (bounded).
+        const std::string actual =
+            p.mem.read_cstr(regs[1 + static_cast<std::size_t>(pr.arg_index)], 4096);
+        // Read this argument's hint block: {u32 n, n x u32}.
+        if (!p.mem.in_range(hint_ptr, 4)) {
+          return fail(Violation::BadPattern, "hint pointer out of range");
+        }
+        const std::uint32_t nwords = p.mem.r32(hint_ptr);
+        if (nwords > 256 || !p.mem.in_range(hint_ptr + 4, nwords * 4)) {
+          return fail(Violation::BadPattern, "oversized hint");
+        }
+        std::vector<std::uint32_t> hint(nwords);
+        for (std::uint32_t w = 0; w < nwords; ++w) hint[w] = p.mem.r32(hint_ptr + 4 + 4 * w);
+        hint_ptr += 4 + 4 * nwords;
+        res.cycles += 2 * policy::verify_cost(pattern, actual);
+        if (!policy::verify_match(pattern, actual, hint)) {
+          return fail(Violation::BadPattern, std::string(sig.name) + "(" + actual +
+                                                 ") fails pattern \"" + pattern + "\"");
+        }
+      }
+    }
+  } catch (const GuestFault& f) {
+    return fail(Violation::GuestFaulted, f.what());
+  }
+
+  return res;
+}
+
+}  // namespace asc::os

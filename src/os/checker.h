@@ -1,0 +1,48 @@
+// Kernel-side verification of authenticated system calls (§3.4).
+//
+// On every trap in Asc mode the kernel receives the regular arguments
+// (r0..r5) plus the five extra arguments the installer compiled in:
+//
+//   r6  polDes   -- policy descriptor
+//   r7  blockID  -- composed basic-block id of this call
+//   r8  predSet  -- pointer to the predecessor-set authenticated string body
+//   r9  lbPtr    -- pointer to {u32 lastBlock, 16B lbMAC} in app memory
+//   r10 callMAC  -- pointer to the 16-byte call MAC
+//   r11 hintPtr  -- (only when the policy has pattern args) pointer to the
+//                   application-computed match hint
+//
+// Checking performs, in order:
+//   1. reconstruct the *encoded call* from the actual trap state and verify
+//      callMAC against it,
+//   2. verify the content MAC of every authenticated string argument (and of
+//      the predecessor set),
+//   3. verify and update the control-flow policy state
+//      (lastBlock/lbMAC/counter -- the online memory checker),
+//   4. (§5.3 extension) verify fd capability provenance,
+//   5. (§5.1 extension) verify pattern matches using the supplied hints.
+//
+// Any failure yields a Violation; the kernel then terminates the process,
+// logs the call, and alerts the administrator (fail-stop).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/cmac.h"
+#include "os/costmodel.h"
+#include "os/process.h"
+#include "os/syscalls.h"
+
+namespace asc::os {
+
+struct CheckResult {
+  Violation violation = Violation::None;
+  std::string detail;
+  std::uint64_t cycles = 0;  // modeled cost of the checking work
+};
+
+CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::uint16_t sysno,
+                                     const SyscallSig& sig, const crypto::MacKey& key,
+                                     const CostModel& cost, bool capability_checking);
+
+}  // namespace asc::os

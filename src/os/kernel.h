@@ -1,0 +1,140 @@
+// The simulated kernel: syscall dispatch, the software trap handler, and the
+// enforcement hook.
+//
+// This is the component the paper implements by adding 248 lines to the Linux
+// trap handler plus a crypto library. Our trap handler supports four
+// enforcement modes so the benches can compare monitoring architectures:
+//
+//   Off         -- no monitoring (the paper's "original" baseline)
+//   Asc         -- authenticated system calls (§3.4 checking; the paper's
+//                  contribution). Every call is checked; unauthenticated
+//                  calls are blocked.
+//   Daemon      -- user-space policy daemon baseline (Systrace/Ostia style):
+//                  each call costs two extra context switches plus a policy
+//                  lookup in the daemon.
+//   KernelTable -- fully in-kernel policy table baseline.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "crypto/cmac.h"
+#include "os/costmodel.h"
+#include "os/fs.h"
+#include "os/process.h"
+#include "os/syscalls.h"
+
+namespace asc::os {
+
+enum class Enforcement : std::uint8_t { Off, Asc, Daemon, KernelTable };
+
+std::string enforcement_name(Enforcement e);
+
+/// One observed system call (used by training-based policy generation and by
+/// tests that assert on guest behavior).
+struct TraceEntry {
+  SysId id = SysId::Exit;
+  std::uint16_t sysno = 0;
+  std::uint32_t call_site = 0;
+  std::array<std::uint32_t, kMaxSyscallArgs> args{};
+  std::string path;  // resolved first PathIn argument, if any
+  std::int64_t ret = 0;
+};
+
+/// Policy format used by the two baseline monitors (Daemon / KernelTable):
+/// a set of permitted syscall numbers, optionally with path patterns, plus
+/// Systrace-style fsread/fswrite aliases.
+struct MonitorPolicy {
+  std::set<std::uint16_t> allowed;
+  std::map<std::uint16_t, std::vector<std::string>> path_patterns;  // empty vec = any path
+  bool allow_fsread = false;   // permit every Category::FsRead call
+  bool allow_fswrite = false;  // permit every Category::FsWrite call
+};
+
+class Kernel {
+ public:
+  explicit Kernel(Personality personality, CostModel cost = {});
+
+  Personality personality() const { return personality_; }
+  const CostModel& cost() const { return cost_; }
+  CostModel& mutable_cost() { return cost_; }
+
+  SimFs& fs() { return fs_; }
+  const SimFs& fs() const { return fs_; }
+
+  // ---- enforcement configuration ----
+  void set_enforcement(Enforcement e) { enforcement_ = e; }
+  Enforcement enforcement() const { return enforcement_; }
+  /// Install the MAC key (required for Asc mode). In the real system only
+  /// the installer and the kernel ever hold this key.
+  void set_key(const crypto::Key128& key);
+  const crypto::MacKey* key() const { return key_ ? &*key_ : nullptr; }
+  /// Policy for the baseline monitors, per program name.
+  void set_monitor_policy(const std::string& program, MonitorPolicy policy);
+  /// Enable kernel-side fd capability checking (§5.3).
+  void set_capability_checking(bool on) { capability_checking_ = on; }
+  bool capability_checking() const { return capability_checking_; }
+  /// Normalize path arguments before checking baseline-monitor path
+  /// policies (§5.4).
+  void set_normalize_paths(bool on) { normalize_paths_ = on; }
+
+  // ---- tracing & logging ----
+  void set_tracing(bool on) { tracing_ = on; }
+  const std::vector<TraceEntry>& trace() const { return trace_; }
+  void clear_trace() { trace_.clear(); }
+  /// Security/audit log: spawn events, monitor kills ("alert the
+  /// administrator"), network sends.
+  const std::vector<std::string>& event_log() const { return events_; }
+  void clear_events() { events_.clear(); }
+
+  /// Virtual wall clock (ns); advanced by nanosleep and by retired cycles.
+  std::uint64_t virtual_time_ns() const { return vtime_ns_; }
+  void advance_time(std::uint64_t ns) { vtime_ns_ += ns; }
+
+  /// Hook used by the Spawn syscall: run another program to completion and
+  /// return its exit status (or a negative error). Installed by vm::Machine.
+  using SpawnHandler = std::function<std::int64_t(Process& parent, const std::string& path,
+                                                  const std::vector<std::string>& argv)>;
+  void set_spawn_handler(SpawnHandler h) { spawn_ = std::move(h); }
+
+  /// The software trap handler. Entered by the VM on a SYSCALL instruction;
+  /// `call_site` is the address of the trapping instruction (derived from
+  /// the interrupt return address in the real system). Performs enforcement
+  /// then dispatch; on violation, terminates the process (fail-stop).
+  void on_syscall(Process& p, std::uint32_t call_site);
+
+ private:
+  void charge(Process& p, std::uint64_t cycles) { p.cycles += cycles; }
+  void deny(Process& p, Violation v, const std::string& detail);
+  std::int64_t dispatch(Process& p, SysId id, std::array<std::uint32_t, 5> args,
+                        std::uint32_t call_site);
+  bool monitor_allows(Process& p, std::uint16_t sysno, SysId id,
+                      const std::array<std::uint32_t, 5>& args, std::string* why);
+  std::string read_path(Process& p, std::uint32_t addr);
+
+  // Individual handlers (args already shifted for __syscall indirection).
+  std::int64_t sys_open(Process& p, const std::array<std::uint32_t, 5>& a, std::uint32_t site);
+  std::int64_t sys_read(Process& p, const std::array<std::uint32_t, 5>& a);
+  std::int64_t sys_write(Process& p, const std::array<std::uint32_t, 5>& a);
+
+  Personality personality_;
+  CostModel cost_;
+  SimFs fs_;
+  Enforcement enforcement_ = Enforcement::Off;
+  std::optional<crypto::MacKey> key_;
+  std::map<std::string, MonitorPolicy> monitor_policies_;
+  bool capability_checking_ = false;
+  bool normalize_paths_ = false;
+  bool tracing_ = false;
+  std::vector<TraceEntry> trace_;
+  std::vector<std::string> events_;
+  std::uint64_t vtime_ns_ = 1'000'000'000;  // arbitrary epoch
+  SpawnHandler spawn_;
+};
+
+}  // namespace asc::os

@@ -1,0 +1,43 @@
+#include "os/process.h"
+
+namespace asc::os {
+
+std::string violation_name(Violation v) {
+  switch (v) {
+    case Violation::None: return "none";
+    case Violation::UnknownSyscall: return "unknown-syscall";
+    case Violation::BadCallMac: return "bad-call-mac";
+    case Violation::BadStringArg: return "bad-string-arg";
+    case Violation::BadPolicyState: return "bad-policy-state";
+    case Violation::BadPredecessor: return "bad-predecessor";
+    case Violation::BadCapability: return "bad-capability";
+    case Violation::BadPattern: return "bad-pattern";
+    case Violation::MonitorDenied: return "monitor-denied";
+    case Violation::GuestFaulted: return "guest-faulted";
+  }
+  return "?";
+}
+
+Process::Process() {
+  fds.resize(3);
+  fds[0].kind = FdEntry::Kind::Stdin;
+  fds[1].kind = FdEntry::Kind::Stdout;
+  fds[2].kind = FdEntry::Kind::Stderr;
+}
+
+std::int32_t Process::alloc_fd() {
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].kind == FdEntry::Kind::Closed) return static_cast<std::int32_t>(i);
+  }
+  if (fds.size() >= 256) return -1;
+  fds.push_back(FdEntry{});
+  return static_cast<std::int32_t>(fds.size() - 1);
+}
+
+FdEntry* Process::fd(std::uint32_t n) {
+  if (n >= fds.size()) return nullptr;
+  if (fds[n].kind == FdEntry::Kind::Closed) return nullptr;
+  return &fds[n];
+}
+
+}  // namespace asc::os

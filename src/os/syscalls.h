@@ -1,0 +1,84 @@
+// System call inventory for the simulated OS.
+//
+// The kernel supports two *personalities* -- LinuxSim and BsdSim -- standing
+// in for the paper's Linux prototype and its OpenBSD policy-generation port.
+// A personality fixes (a) which system calls exist and (b) their numbers.
+// Differences between the two reproduce the effects in Tables 1 and 2:
+//
+//   * numbers differ, so a policy generated for one OS is meaningless on the
+//     other ("policies for one operating system cannot simply be used on
+//     another"),
+//   * BsdSim reaches `mmap` only through a generic indirect system call
+//     (`__syscall`), mirroring OpenBSD,
+//   * BsdSim has `fstatfs`; LinuxSim has `time` (libc-level differences make
+//     the per-program syscall sets differ across personalities).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace asc::os {
+
+/// OS-independent system call identity.
+enum class SysId : std::uint8_t {
+  Exit, Read, Write, Open, Close, Unlink, Rename, Mkdir, Rmdir, Chdir,
+  Getcwd, Stat, Fstat, Fstatfs, Lseek, Dup, Brk, Getpid, Getuid,
+  Gettimeofday, Time, Nanosleep, Kill, Sigaction, Socket, Connect, Sendto,
+  Recvfrom, Fcntl, Readlink, Symlink, Chmod, Access, Ftruncate,
+  Getdirentries, Uname, Sysconf, Madvise, Mmap, Munmap, Writev, Umask,
+  Ioctl, Spawn, Pipe, SyscallIndirect,
+  kCount,
+};
+
+inline constexpr std::size_t kNumSysIds = static_cast<std::size_t>(SysId::kCount);
+inline constexpr int kMaxSyscallArgs = 5;
+
+/// Role of each argument; drives the Table 3 classification (output-only
+/// arguments, file descriptors) and the kernel handlers.
+enum class ArgKind : std::uint8_t {
+  Int,     // plain integer
+  Fd,      // file descriptor (candidate for capability tracking, §5.3)
+  PathIn,  // NUL-terminated path string read by the kernel
+  StrIn,   // NUL-terminated non-path string read by the kernel
+  BufIn,   // input buffer pointer (length in another argument)
+  BufOut,  // output buffer pointer -- output-only
+  OutPtr,  // output struct pointer -- output-only
+};
+
+/// Coarse category used by the Systrace stand-in's fsread/fswrite aliases.
+enum class Category : std::uint8_t { Other, FsRead, FsWrite, Net, Proc, Mem, Time };
+
+struct SyscallSig {
+  SysId id;
+  const char* name;
+  int arity;
+  std::array<ArgKind, kMaxSyscallArgs> args;
+  bool returns_fd;
+  Category category;
+};
+
+/// Signature for a syscall; never null for valid ids.
+const SyscallSig& signature(SysId id);
+
+/// True if the argument kind is output-only (the kernel writes through it).
+bool is_output_arg(ArgKind kind);
+
+enum class Personality : std::uint8_t { LinuxSim, BsdSim };
+
+std::string personality_name(Personality p);
+
+/// Syscall number for `id` under personality `p`; nullopt if the call does
+/// not exist there (e.g. Time on BsdSim, Fstatfs on LinuxSim,
+/// SyscallIndirect on LinuxSim).
+std::optional<std::uint16_t> syscall_number(Personality p, SysId id);
+
+/// Reverse mapping; nullopt for unknown numbers.
+std::optional<SysId> syscall_from_number(Personality p, std::uint16_t number);
+
+/// All syscalls available under a personality.
+std::vector<SysId> available_syscalls(Personality p);
+
+}  // namespace asc::os

@@ -1,0 +1,20 @@
+#include "policy/authstring.h"
+
+#include "util/error.h"
+#include "util/hex.h"
+
+namespace asc::policy {
+
+std::vector<std::uint8_t> build_authenticated_string(const crypto::MacKey& key,
+                                                     std::span<const std::uint8_t> content) {
+  if (content.size() > kAsMaxLength) throw Error("authenticated string too long");
+  std::vector<std::uint8_t> blob;
+  blob.reserve(kAsHeaderSize + content.size());
+  util::put_u32(blob, static_cast<std::uint32_t>(content.size()));
+  const crypto::Mac mac = key.mac(content);
+  blob.insert(blob.end(), mac.begin(), mac.end());
+  blob.insert(blob.end(), content.begin(), content.end());
+  return blob;
+}
+
+}  // namespace asc::policy

@@ -1,0 +1,30 @@
+// The authenticated string (AS) abstraction (§3.2).
+//
+// Memory layout: {u32 length}{16-byte MAC}{bytes...}. A system call argument
+// that is an AS points at `bytes`; the kernel reads the 20-byte header at
+// pointer-20 and verifies MAC(key, bytes[0..length)) before trusting the
+// content. Predecessor sets and argument patterns are stored the same way.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/cmac.h"
+
+namespace asc::policy {
+
+inline constexpr std::uint32_t kAsHeaderSize = 20;
+/// Upper bound the kernel enforces on AS length to prevent an attacker from
+/// pointing the checker at a huge or unmapped range (the denial-of-service
+/// concern of §3.2).
+inline constexpr std::uint32_t kAsMaxLength = 1u << 16;
+
+/// Build the full in-memory blob {len, MAC, content} for `content`.
+std::vector<std::uint8_t> build_authenticated_string(const crypto::MacKey& key,
+                                                     std::span<const std::uint8_t> content);
+
+/// Offset of the content within the blob (== kAsHeaderSize).
+inline std::uint32_t as_body_offset() { return kAsHeaderSize; }
+
+}  // namespace asc::policy

@@ -1,0 +1,63 @@
+// Capability-tracking policies (§5.3) and the authenticated dictionary that
+// backs them.
+//
+// A capability policy requires an fd argument to be a value previously
+// returned by one of an allowed set of open/socket call sites. The kernel
+// records, per process, which call site produced each live fd; the policy's
+// allowed-source set travels inside the predecessor-set blob (see
+// policy/policy.h) so no extra trap argument is needed.
+//
+// The paper's preferred implementation keeps the set of active descriptors in
+// APPLICATION memory, verified with an authenticated dictionary, so the
+// kernel only holds a counter nonce. AuthenticatedFdSet below implements that
+// scheme over an arbitrary byte buffer (which may be guest memory): layout
+//   u32 count | u32 slots[capacity] | 16B MAC(count ‖ slots ‖ nonce)
+// Every mutation verifies the current MAC, applies the update, increments the
+// trusted nonce, and re-MACs -- the online-memory-checker discipline used for
+// lastBlock/lbMAC (§3.2), generalized to a set.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "crypto/cmac.h"
+
+namespace asc::policy {
+
+class AuthenticatedFdSet {
+ public:
+  /// Bytes required for a set with `capacity` slots.
+  static std::size_t blob_size(std::size_t capacity);
+
+  /// Initialize an empty set in `blob` under `key` with nonce `counter`.
+  static void init(std::span<std::uint8_t> blob, std::size_t capacity,
+                   const crypto::MacKey& key, std::uint64_t counter);
+
+  /// Verify integrity of the blob against the trusted nonce.
+  static bool verify(std::span<const std::uint8_t> blob, std::size_t capacity,
+                     const crypto::MacKey& key, std::uint64_t counter);
+
+  /// Verified membership test. Returns nullopt if the blob fails
+  /// verification (tampering), else whether fd is present.
+  static std::optional<bool> contains(std::span<const std::uint8_t> blob, std::size_t capacity,
+                                      const crypto::MacKey& key, std::uint64_t counter,
+                                      std::uint32_t fd);
+
+  /// Verified insert/remove. On success the nonce is incremented and the
+  /// MAC rewritten; returns false on verification failure, a full set
+  /// (insert) or a missing element (remove).
+  static bool insert(std::span<std::uint8_t> blob, std::size_t capacity,
+                     const crypto::MacKey& key, std::uint64_t& counter, std::uint32_t fd);
+  static bool remove(std::span<std::uint8_t> blob, std::size_t capacity,
+                     const crypto::MacKey& key, std::uint64_t& counter, std::uint32_t fd);
+
+ private:
+  static crypto::Mac mac_of(std::span<const std::uint8_t> blob, std::size_t capacity,
+                            const crypto::MacKey& key, std::uint64_t counter);
+};
+
+/// Sentinel fd slot value meaning "empty".
+inline constexpr std::uint32_t kEmptyFdSlot = 0xffffffffu;
+
+}  // namespace asc::policy

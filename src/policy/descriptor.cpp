@@ -1,0 +1,22 @@
+#include "policy/descriptor.h"
+
+namespace asc::policy {
+
+std::string Descriptor::to_string() const {
+  std::string out;
+  if (site_constrained()) out += "site ";
+  if (control_flow_constrained()) out += "cflow ";
+  for (int i = 0; i < 5; ++i) {
+    if (arg_is_authenticated_string(i)) {
+      out += "arg" + std::to_string(i) + "=AS ";
+    } else if (arg_constrained(i)) {
+      out += "arg" + std::to_string(i) + "=const ";
+    } else if (arg_has_pattern(i)) {
+      out += "arg" + std::to_string(i) + "=pattern ";
+    }
+  }
+  if (!out.empty()) out.pop_back();
+  return out;
+}
+
+}  // namespace asc::policy

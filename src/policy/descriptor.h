@@ -1,0 +1,59 @@
+// The 32-bit policy descriptor (§3.2).
+//
+// The descriptor travels as the first extra argument of every authenticated
+// system call and tells the kernel which properties of the call its policy
+// constrains, so the kernel can reconstruct the encoded call byte string.
+// Layout:
+//
+//   bit 0        call site constrained
+//   bit 1        control-flow (predecessor set) constrained
+//   bits 2..7    reserved
+//   bit 8+i      argument i's value is constrained (i in 0..4)
+//   bit 16+i     argument i is an authenticated string (implies bit 8+i)
+//   bit 24+i     argument i must match a pattern (§5.1 extension;
+//                implies NOT bit 8+i -- patterns replace exact values)
+//   bits 29..31  reserved
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/error.h"
+
+namespace asc::policy {
+
+class Descriptor {
+ public:
+  Descriptor() = default;
+  explicit Descriptor(std::uint32_t bits) : bits_(bits) {}
+
+  std::uint32_t bits() const { return bits_; }
+
+  bool site_constrained() const { return (bits_ & 1u) != 0; }
+  bool control_flow_constrained() const { return (bits_ & 2u) != 0; }
+  bool arg_constrained(int i) const { return (bits_ & (1u << (8 + check(i)))) != 0; }
+  bool arg_is_authenticated_string(int i) const { return (bits_ & (1u << (16 + check(i)))) != 0; }
+  bool arg_has_pattern(int i) const { return (bits_ & (1u << (24 + check(i)))) != 0; }
+
+  void set_site() { bits_ |= 1u; }
+  void set_control_flow() { bits_ |= 2u; }
+  void set_arg_constrained(int i) { bits_ |= 1u << (8 + check(i)); }
+  void set_arg_authenticated_string(int i) {
+    bits_ |= 1u << (8 + check(i));
+    bits_ |= 1u << (16 + check(i));
+  }
+  void set_arg_pattern(int i) { bits_ |= 1u << (24 + check(i)); }
+
+  bool operator==(const Descriptor&) const = default;
+
+  std::string to_string() const;
+
+ private:
+  static int check(int i) {
+    if (i < 0 || i > 4) throw Error("Descriptor: argument index out of range");
+    return i;
+  }
+  std::uint32_t bits_ = 0;
+};
+
+}  // namespace asc::policy

@@ -1,0 +1,167 @@
+#include "policy/pattern.h"
+
+#include "util/error.h"
+
+namespace asc::policy {
+
+namespace {
+
+// Parsed pattern element.
+struct Elem {
+  enum class Kind : std::uint8_t { Lit, Any, Star, Alt } kind = Kind::Lit;
+  char lit = 0;
+  std::vector<std::string> alts;
+};
+
+std::vector<Elem> parse(const std::string& pattern) {
+  std::vector<Elem> out;
+  for (std::size_t i = 0; i < pattern.size(); ++i) {
+    const char c = pattern[i];
+    if (c == '?') {
+      out.push_back(Elem{Elem::Kind::Any, 0, {}});
+    } else if (c == '*') {
+      out.push_back(Elem{Elem::Kind::Star, 0, {}});
+    } else if (c == '{') {
+      Elem e{Elem::Kind::Alt, 0, {}};
+      std::string cur;
+      ++i;
+      bool closed = false;
+      for (; i < pattern.size(); ++i) {
+        if (pattern[i] == '}') {
+          e.alts.push_back(cur);
+          closed = true;
+          break;
+        }
+        if (pattern[i] == ',') {
+          e.alts.push_back(cur);
+          cur.clear();
+        } else if (pattern[i] == '{') {
+          throw Error("pattern: nested '{' not supported");
+        } else {
+          cur.push_back(pattern[i]);
+        }
+      }
+      if (!closed) throw Error("pattern: unclosed '{'");
+      out.push_back(std::move(e));
+    } else if (c == '}') {
+      throw Error("pattern: stray '}'");
+    } else {
+      out.push_back(Elem{Elem::Kind::Lit, c, {}});
+    }
+  }
+  return out;
+}
+
+// Backtracking matcher over parsed elements, building the hint as it goes.
+bool match_rec(const std::vector<Elem>& elems, std::size_t ei, const std::string& arg,
+               std::size_t ai, std::vector<std::uint32_t>& hint) {
+  if (ei == elems.size()) return ai == arg.size();
+  const Elem& e = elems[ei];
+  switch (e.kind) {
+    case Elem::Kind::Lit:
+      if (ai < arg.size() && arg[ai] == e.lit) return match_rec(elems, ei + 1, arg, ai + 1, hint);
+      return false;
+    case Elem::Kind::Any:
+      if (ai < arg.size()) return match_rec(elems, ei + 1, arg, ai + 1, hint);
+      return false;
+    case Elem::Kind::Star: {
+      for (std::size_t take = 0; take <= arg.size() - ai; ++take) {
+        hint.push_back(static_cast<std::uint32_t>(take));
+        if (match_rec(elems, ei + 1, arg, ai + take, hint)) return true;
+        hint.pop_back();
+      }
+      return false;
+    }
+    case Elem::Kind::Alt: {
+      for (std::size_t choice = 0; choice < e.alts.size(); ++choice) {
+        const std::string& alt = e.alts[choice];
+        if (arg.compare(ai, alt.size(), alt) == 0) {
+          hint.push_back(static_cast<std::uint32_t>(choice));
+          if (match_rec(elems, ei + 1, arg, ai + alt.size(), hint)) return true;
+          hint.pop_back();
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+void validate_pattern(const std::string& pattern) { (void)parse(pattern); }
+
+std::optional<std::vector<std::uint32_t>> match_and_prove(const std::string& pattern,
+                                                          const std::string& arg) {
+  const auto elems = parse(pattern);
+  std::vector<std::uint32_t> hint;
+  if (match_rec(elems, 0, arg, 0, hint)) return hint;
+  return std::nullopt;
+}
+
+bool verify_match(const std::string& pattern, const std::string& arg,
+                  const std::vector<std::uint32_t>& hint) {
+  std::vector<Elem> elems;
+  try {
+    elems = parse(pattern);
+  } catch (const Error&) {
+    return false;  // a malformed pattern never verifies
+  }
+  std::size_t ai = 0;
+  std::size_t hi = 0;
+  for (const Elem& e : elems) {
+    switch (e.kind) {
+      case Elem::Kind::Lit:
+        if (ai >= arg.size() || arg[ai] != e.lit) return false;
+        ++ai;
+        break;
+      case Elem::Kind::Any:
+        if (ai >= arg.size()) return false;
+        ++ai;
+        break;
+      case Elem::Kind::Star: {
+        if (hi >= hint.size()) return false;
+        const std::uint32_t take = hint[hi++];
+        if (take > arg.size() - ai) return false;
+        ai += take;
+        break;
+      }
+      case Elem::Kind::Alt: {
+        if (hi >= hint.size()) return false;
+        const std::uint32_t choice = hint[hi++];
+        if (choice >= e.alts.size()) return false;
+        const std::string& alt = e.alts[choice];
+        if (arg.compare(ai, alt.size(), alt) != 0) return false;
+        ai += alt.size();
+        break;
+      }
+    }
+  }
+  // The whole argument must be consumed and the hint must not carry junk.
+  return ai == arg.size() && hi == hint.size();
+}
+
+std::size_t verify_cost(const std::string& pattern, const std::string& arg) {
+  // One comparison per literal/any/alt character plus cursor arithmetic per
+  // star; bounded by |pattern| + |arg|.
+  std::size_t cost = 0;
+  std::vector<Elem> elems = parse(pattern);
+  for (const Elem& e : elems) {
+    switch (e.kind) {
+      case Elem::Kind::Lit:
+      case Elem::Kind::Any:
+      case Elem::Kind::Star:
+        cost += 1;
+        break;
+      case Elem::Kind::Alt: {
+        std::size_t longest = 0;
+        for (const auto& a : e.alts) longest = std::max(longest, a.size());
+        cost += longest;
+        break;
+      }
+    }
+  }
+  return cost + arg.size();
+}
+
+}  // namespace asc::policy

@@ -1,0 +1,48 @@
+// Argument patterns with proof hints (§5.1).
+//
+// Policies may require a string argument to match a glob-style pattern such
+// as "/tmp/{foo,bar}*baz". Instead of teaching the kernel to do regular
+// expression matching, the paper borrows from program checking /
+// proof-carrying code: the UNTRUSTED application matches the argument itself
+// and hands the kernel a hint -- one integer per choice point -- that lets
+// the kernel verify the match with a single linear scan.
+//
+// Pattern syntax: literal characters, `?` (any one char), `*` (any sequence,
+// including empty), `{a,b,c}` (alternation of literal strings; no nesting).
+// Hint encoding, in pattern order: for each `{...}` the chosen alternative's
+// index; for each `*` the number of characters it consumed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace asc::policy {
+
+/// Untrusted-side matcher: finds a witness hint if `arg` matches `pattern`.
+/// This is the computation the application performs before the call
+/// (exponential in the worst case -- which is exactly why the kernel
+/// delegates it). Returns nullopt if there is no match.
+std::optional<std::vector<std::uint32_t>> match_and_prove(const std::string& pattern,
+                                                          const std::string& arg);
+
+/// Trusted-side verifier: single linear scan over pattern+arg, consuming the
+/// hint. Returns true iff the hint demonstrates that `arg` matches
+/// `pattern`. A wrong or truncated hint fails verification even if the
+/// argument would match with a different hint (the paper's semantics: "If
+/// the argument does not match the pattern or the hint is incorrect, the
+/// check will fail").
+bool verify_match(const std::string& pattern, const std::string& arg,
+                  const std::vector<std::uint32_t>& hint);
+
+/// Work metric for the verifier: number of character comparisons a linear
+/// verification performs (used by the ablation bench to show verification
+/// is O(n) while matching is potentially exponential).
+std::size_t verify_cost(const std::string& pattern, const std::string& arg);
+
+/// Syntax check; throws asc::Error on malformed patterns (unclosed '{',
+/// nested alternation).
+void validate_pattern(const std::string& pattern);
+
+}  // namespace asc::policy

@@ -1,0 +1,156 @@
+// tasm -- a programmatic assembler/static-linker for TSA guest programs.
+//
+// Guest applications (the toy libc plus the benchmark programs of Tables 1-6)
+// are written in C++ against this builder API, which plays the role of
+// `gcc ... -static -Wl,-q` in the paper: it emits a *relocatable*, statically
+// linked TXE image, with symbols for every function and data object and a
+// relocation entry for every 32-bit slot that holds an absolute address
+// (LEA immediates, CALL/JMP/Jcc targets, and pointer words in .data).
+//
+// Label scoping: names beginning with '.' are local to the current function
+// (internally prefixed with the function name); all other names are global.
+//
+// Usage sketch:
+//   Assembler a("hello");
+//   a.func("main");
+//   a.lea(1, "msg");
+//   a.call("print");
+//   a.movi(0, 0);
+//   a.ret();
+//   a.rodata_cstr("msg", "hello, world\n");
+//   emit_libc(a, personality);          // from apps/libtoy.h
+//   binary::Image img = a.link();
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "binary/image.h"
+#include "isa/isa.h"
+
+namespace asc::tasm {
+
+class Assembler {
+ public:
+  explicit Assembler(std::string program_name);
+
+  // ---- functions and labels ----
+
+  /// Begin a new function. Implicitly ends the previous one.
+  void func(const std::string& name);
+
+  /// Define a label at the current position. Names starting with '.' are
+  /// function-local.
+  void label(const std::string& name);
+
+  // ---- instructions ----
+  void nop();
+  void halt();
+  void syscall_();
+
+  void movi(isa::Reg rd, std::uint32_t imm);
+  void mov(isa::Reg rd, isa::Reg rs);
+  void add(isa::Reg rd, isa::Reg rs);
+  void sub(isa::Reg rd, isa::Reg rs);
+  void mul(isa::Reg rd, isa::Reg rs);
+  void div(isa::Reg rd, isa::Reg rs);
+  void mod(isa::Reg rd, isa::Reg rs);
+  void and_(isa::Reg rd, isa::Reg rs);
+  void or_(isa::Reg rd, isa::Reg rs);
+  void xor_(isa::Reg rd, isa::Reg rs);
+  void shl(isa::Reg rd, isa::Reg rs);
+  void shr(isa::Reg rd, isa::Reg rs);
+  void addi(isa::Reg rd, std::uint32_t imm);
+  void subi(isa::Reg rd, std::uint32_t imm);
+  void muli(isa::Reg rd, std::uint32_t imm);
+  void andi(isa::Reg rd, std::uint32_t imm);
+  void ori(isa::Reg rd, std::uint32_t imm);
+  void xori(isa::Reg rd, std::uint32_t imm);
+  void shli(isa::Reg rd, std::uint32_t imm);
+  void shri(isa::Reg rd, std::uint32_t imm);
+  void not_(isa::Reg rd);
+  void neg(isa::Reg rd);
+  void cmp(isa::Reg rd, isa::Reg rs);
+  void cmpi(isa::Reg rd, std::uint32_t imm);
+
+  void load(isa::Reg rd, isa::Reg rs, std::int32_t off = 0);
+  void store(isa::Reg rs_base, std::int32_t off, isa::Reg rd_value);
+  void loadb(isa::Reg rd, isa::Reg rs, std::int32_t off = 0);
+  void storeb(isa::Reg rs_base, std::int32_t off, isa::Reg rd_value);
+  void push(isa::Reg r);
+  void pop(isa::Reg r);
+
+  /// rd = address of a symbol or label (emits a relocation).
+  void lea(isa::Reg rd, const std::string& sym);
+
+  void call(const std::string& fn);
+  void callr(isa::Reg r);
+  void ret();
+  void jmp(const std::string& lbl);
+  void jz(const std::string& lbl);
+  void jnz(const std::string& lbl);
+  void jlt(const std::string& lbl);
+  void jle(const std::string& lbl);
+  void jgt(const std::string& lbl);
+  void jge(const std::string& lbl);
+  void jmpr(isa::Reg r);
+
+  /// Emit raw bytes into the instruction stream of the current function.
+  /// Used to craft sequences the static disassembler cannot decode (the
+  /// OpenBSD `close` stub of Table 2). The VM never executes these bytes if
+  /// control flow jumps over them.
+  void raw(std::vector<std::uint8_t> bytes);
+
+  // ---- data ----
+  void rodata_cstr(const std::string& sym, const std::string& value);
+  void rodata_bytes(const std::string& sym, std::vector<std::uint8_t> bytes);
+  void data_words(const std::string& sym, const std::vector<std::uint32_t>& words);
+  void data_bytes(const std::string& sym, std::vector<std::uint8_t> bytes);
+  /// A pointer-sized .data word holding the address of `target` (reloc'd).
+  void data_ptr(const std::string& sym, const std::string& target);
+  void bss(const std::string& sym, std::uint32_t size);
+
+  /// True if a function with this name has been defined.
+  bool has_func(const std::string& name) const;
+
+  // ---- linking ----
+
+  /// Resolve all references and produce a relocatable image. `entry` names
+  /// the start function (default "_start"). Throws asc::Error on undefined
+  /// or duplicate symbols.
+  binary::Image link(const std::string& entry = "_start");
+
+ private:
+  struct Item {
+    // Either an instruction (possibly with a symbolic immediate) or raw bytes.
+    isa::Instr ins;
+    std::string symref;  // non-empty: imm = address of this symbol at link time
+    std::vector<std::uint8_t> raw_bytes;
+    bool is_raw = false;
+  };
+  struct Func {
+    std::string name;
+    std::vector<Item> items;
+    std::map<std::string, std::size_t> labels;  // label -> item index
+  };
+  struct DataObj {
+    std::string name;
+    binary::SectionKind section;
+    std::vector<std::uint8_t> bytes;
+    std::uint32_t bss_size = 0;
+    std::vector<std::pair<std::uint32_t, std::string>> ptr_slots;  // offset -> target symbol
+  };
+
+  void emit(isa::Instr ins, std::string symref = {});
+  Func& cur();
+  std::string scoped(const std::string& label_name) const;
+
+  std::string program_name_;
+  std::vector<Func> funcs_;
+  std::vector<DataObj> objects_;
+};
+
+}  // namespace asc::tasm

@@ -1,0 +1,35 @@
+// Error type used across the ASC library.
+//
+// We use exceptions for conditions that indicate misuse of the library or a
+// malformed input artifact (bad binary image, undecodable instruction stream,
+// unsatisfiable installer request). Expected runtime outcomes that callers
+// branch on -- e.g. "this system call violates policy" -- are modeled as
+// enums/result structs, never exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace asc {
+
+/// Base exception for all errors raised by the ASC library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when a binary image or instruction stream cannot be parsed.
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error(what) {}
+};
+
+/// Raised when the guest program performs an illegal operation (bad memory
+/// access, invalid opcode at runtime, stack overflow). The VM converts these
+/// into a fault termination of the guest rather than crashing the host.
+class GuestFault : public Error {
+ public:
+  explicit GuestFault(const std::string& what) : Error(what) {}
+};
+
+}  // namespace asc

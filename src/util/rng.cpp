@@ -1,0 +1,44 @@
+#include "util/rng.h"
+
+#include "util/error.h"
+
+namespace asc::util {
+
+std::uint64_t Rng::next_u64() {
+  // SplitMix64 (public domain, Sebastiano Vigna).
+  state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw Error("Rng::next_below: zero bound");
+  return next_u64() % bound;
+}
+
+std::int64_t Rng::next_in(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw Error("Rng::next_in: empty range");
+  return lo + static_cast<std::int64_t>(next_below(static_cast<std::uint64_t>(hi - lo + 1)));
+}
+
+bool Rng::chance(std::uint64_t num, std::uint64_t den) {
+  return next_below(den) < num;
+}
+
+std::vector<std::uint8_t> Rng::next_bytes(std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(next_u64());
+  return out;
+}
+
+std::string Rng::next_name(std::size_t min_len, std::size_t max_len) {
+  std::size_t len = min_len + static_cast<std::size_t>(next_below(max_len - min_len + 1));
+  std::string s;
+  s.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) s.push_back(static_cast<char>('a' + next_below(26)));
+  return s;
+}
+
+}  // namespace asc::util

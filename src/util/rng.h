@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generator used by property tests, the
+// random guest-program generator, and workload generators. Deliberately not
+// cryptographic; the MAC key material in tests is fixed or derived from it
+// explicitly so experiments are reproducible run to run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asc::util {
+
+/// SplitMix64-based deterministic RNG.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform value in [lo, hi] inclusive.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with probability num/den.
+  bool chance(std::uint64_t num, std::uint64_t den);
+
+  /// Random bytes.
+  std::vector<std::uint8_t> next_bytes(std::size_t n);
+
+  /// Random lowercase identifier of length in [min_len, max_len].
+  std::string next_name(std::size_t min_len, std::size_t max_len);
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace asc::util

@@ -1,0 +1,38 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace asc::util {
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  s.n = samples.size();
+  if (samples.empty()) return s;
+  s.min = samples.front();
+  s.max = samples.front();
+  double sum = 0.0;
+  for (double v : samples) {
+    sum += v;
+    s.min = std::min(s.min, v);
+    s.max = std::max(s.max, v);
+  }
+  s.mean = sum / static_cast<double>(samples.size());
+  if (samples.size() >= 2) {
+    double sq = 0.0;
+    for (double v : samples) sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(samples.size() - 1));
+  }
+  return s;
+}
+
+Summary summarize_trimmed(std::vector<double> samples) {
+  if (samples.size() < 3) throw Error("summarize_trimmed: need at least 3 samples");
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> trimmed(samples.begin() + 1, samples.end() - 1);
+  return summarize(trimmed);
+}
+
+}  // namespace asc::util

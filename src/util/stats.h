@@ -1,0 +1,27 @@
+// Small statistics helper used by the benchmark harnesses to reproduce the
+// paper's measurement protocol: Table 4 repeats each experiment 12 times,
+// drops the highest and lowest reading, and averages the remaining 10;
+// Tables 5/6 average 4 repetitions and report the standard deviation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace asc::util {
+
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;  // sample standard deviation (n-1), 0 if n < 2
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+/// Plain mean/stddev/min/max over all samples.
+Summary summarize(const std::vector<double>& samples);
+
+/// The paper's Table 4 protocol: discard one highest and one lowest sample,
+/// then summarize the rest. Requires at least 3 samples.
+Summary summarize_trimmed(std::vector<double> samples);
+
+}  // namespace asc::util

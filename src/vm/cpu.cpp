@@ -1,0 +1,124 @@
+#include "vm/cpu.h"
+
+#include "isa/decode.h"
+#include "util/error.h"
+
+namespace asc::vm {
+
+using isa::Instr;
+using isa::Op;
+
+void Cpu::step(os::Process& p, os::Kernel& kernel) {
+  auto& cpu = p.cpu;
+  auto& mem = p.mem;
+  auto& regs = cpu.regs;
+
+  if (!mem.in_range(cpu.pc)) throw GuestFault("pc out of range");
+  const auto dec = isa::decode(mem.flat(), Memory::index_of(cpu.pc));
+  const Instr& ins = dec.ins;
+  const std::uint32_t next_pc = cpu.pc + static_cast<std::uint32_t>(dec.size);
+
+  p.cycles += kernel.cost().instr_cost(ins.op);
+  ++p.instr_count;
+
+  auto signed_of = [](std::uint32_t v) { return static_cast<std::int32_t>(v); };
+
+  switch (ins.op) {
+    case Op::Nop:
+      break;
+    case Op::Halt:
+      p.running = false;
+      p.exit_code = 134;  // abort-like
+      p.violation_detail = "halt instruction";
+      return;
+    case Op::Syscall:
+      cpu.pc = next_pc;
+      kernel.on_syscall(p, cpu.pc - static_cast<std::uint32_t>(dec.size));
+      return;
+
+    case Op::Movi: regs[ins.rd] = ins.imm; break;
+    case Op::Lea: regs[ins.rd] = ins.imm; break;
+    case Op::Mov: regs[ins.rd] = regs[ins.rs]; break;
+    case Op::Add: regs[ins.rd] += regs[ins.rs]; break;
+    case Op::Sub: regs[ins.rd] -= regs[ins.rs]; break;
+    case Op::Mul: regs[ins.rd] *= regs[ins.rs]; break;
+    case Op::Div: {
+      if (regs[ins.rs] == 0) throw GuestFault("division by zero");
+      regs[ins.rd] = static_cast<std::uint32_t>(signed_of(regs[ins.rd]) / signed_of(regs[ins.rs]));
+      break;
+    }
+    case Op::Mod: {
+      if (regs[ins.rs] == 0) throw GuestFault("division by zero");
+      regs[ins.rd] = static_cast<std::uint32_t>(signed_of(regs[ins.rd]) % signed_of(regs[ins.rs]));
+      break;
+    }
+    case Op::And: regs[ins.rd] &= regs[ins.rs]; break;
+    case Op::Or: regs[ins.rd] |= regs[ins.rs]; break;
+    case Op::Xor: regs[ins.rd] ^= regs[ins.rs]; break;
+    case Op::Shl: regs[ins.rd] <<= regs[ins.rs] & 31u; break;
+    case Op::Shr: regs[ins.rd] >>= regs[ins.rs] & 31u; break;
+
+    case Op::Addi: regs[ins.rd] += ins.imm; break;
+    case Op::Subi: regs[ins.rd] -= ins.imm; break;
+    case Op::Muli: regs[ins.rd] *= ins.imm; break;
+    case Op::Andi: regs[ins.rd] &= ins.imm; break;
+    case Op::Ori: regs[ins.rd] |= ins.imm; break;
+    case Op::Xori: regs[ins.rd] ^= ins.imm; break;
+    case Op::Shli: regs[ins.rd] <<= ins.imm & 31u; break;
+    case Op::Shri: regs[ins.rd] >>= ins.imm & 31u; break;
+    case Op::Not: regs[ins.rd] = ~regs[ins.rd]; break;
+    case Op::Neg: regs[ins.rd] = static_cast<std::uint32_t>(-signed_of(regs[ins.rd])); break;
+
+    case Op::Cmp: {
+      cpu.zf = regs[ins.rd] == regs[ins.rs];
+      cpu.nf = signed_of(regs[ins.rd]) < signed_of(regs[ins.rs]);
+      break;
+    }
+    case Op::Cmpi: {
+      cpu.zf = regs[ins.rd] == ins.imm;
+      cpu.nf = signed_of(regs[ins.rd]) < signed_of(ins.imm);
+      break;
+    }
+
+    case Op::Load: regs[ins.rd] = mem.r32(regs[ins.rs] + ins.imm); break;
+    case Op::Store: mem.w32(regs[ins.rs] + ins.imm, regs[ins.rd]); break;
+    case Op::Loadb: regs[ins.rd] = mem.r8(regs[ins.rs] + ins.imm); break;
+    case Op::Storeb: mem.w8(regs[ins.rs] + ins.imm, static_cast<std::uint8_t>(regs[ins.rd])); break;
+
+    case Op::Push:
+      regs[isa::kSp] -= 4;
+      mem.w32(regs[isa::kSp], regs[ins.rd]);
+      break;
+    case Op::Pop:
+      regs[ins.rd] = mem.r32(regs[isa::kSp]);
+      regs[isa::kSp] += 4;
+      break;
+
+    case Op::Call:
+      regs[isa::kSp] -= 4;
+      mem.w32(regs[isa::kSp], next_pc);
+      cpu.pc = ins.imm;
+      return;
+    case Op::Callr:
+      regs[isa::kSp] -= 4;
+      mem.w32(regs[isa::kSp], next_pc);
+      cpu.pc = regs[ins.rd];
+      return;
+    case Op::Ret:
+      cpu.pc = mem.r32(regs[isa::kSp]);
+      regs[isa::kSp] += 4;
+      return;
+
+    case Op::Jmp: cpu.pc = ins.imm; return;
+    case Op::Jmpr: cpu.pc = regs[ins.rd]; return;
+    case Op::Jz: cpu.pc = cpu.zf ? ins.imm : next_pc; return;
+    case Op::Jnz: cpu.pc = !cpu.zf ? ins.imm : next_pc; return;
+    case Op::Jlt: cpu.pc = cpu.nf ? ins.imm : next_pc; return;
+    case Op::Jle: cpu.pc = (cpu.nf || cpu.zf) ? ins.imm : next_pc; return;
+    case Op::Jgt: cpu.pc = (!cpu.nf && !cpu.zf) ? ins.imm : next_pc; return;
+    case Op::Jge: cpu.pc = !cpu.nf ? ins.imm : next_pc; return;
+  }
+  cpu.pc = next_pc;
+}
+
+}  // namespace asc::vm

@@ -1,0 +1,25 @@
+// TSA interpreter.
+//
+// Executes one process against guest memory, trapping into the kernel on
+// SYSCALL. Instructions are fetched from guest memory with no execute
+// permission check (data and stack are executable -- see vm/memory.h), so
+// injected shellcode runs; the point of the paper is that it cannot make
+// useful system calls.
+#pragma once
+
+#include <cstdint>
+
+#include "os/kernel.h"
+#include "os/process.h"
+
+namespace asc::vm {
+
+class Cpu {
+ public:
+  /// Execute one instruction of `p`. Traps into `kernel` on SYSCALL.
+  /// Throws asc::GuestFault on illegal operations (the Machine converts
+  /// this into an abnormal termination).
+  static void step(os::Process& p, os::Kernel& kernel);
+};
+
+}  // namespace asc::vm

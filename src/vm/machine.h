@@ -1,0 +1,81 @@
+// Machine = kernel + program registry + process runner.
+//
+// The Machine is the top-level simulation object an experiment constructs:
+// pick a personality and enforcement mode, register installed programs under
+// paths (the "file system" of executables, enabling the spawn syscall and the
+// Andrew-style multiprogram benchmark), then run programs to completion and
+// inspect RunResult.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "binary/image.h"
+#include "os/kernel.h"
+#include "os/process.h"
+
+namespace asc::vm {
+
+struct RunResult {
+  bool completed = false;  // ran to exit() (even nonzero); false on kill/fault/limit
+  int exit_code = 0;
+  os::Violation violation = os::Violation::None;
+  std::string violation_detail;
+  std::string stdout_data;
+  std::string stderr_data;
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t syscalls = 0;
+  bool cycle_limit_hit = false;
+
+  bool killed_by_monitor() const { return violation != os::Violation::None; }
+};
+
+class Machine {
+ public:
+  explicit Machine(os::Personality personality, os::CostModel cost = {});
+
+  os::Kernel& kernel() { return kernel_; }
+  const os::Kernel& kernel() const { return kernel_; }
+
+  /// Register an executable under a path (e.g. "/bin/gzip") for spawn() and
+  /// run_path(). The image is copied.
+  void register_program(const std::string& path, binary::Image image);
+  const binary::Image* find_program(const std::string& path) const;
+
+  /// Run an image to completion.
+  RunResult run(const binary::Image& image, const std::vector<std::string>& argv = {},
+                const std::string& stdin_data = {});
+
+  /// Run a registered program.
+  RunResult run_path(const std::string& path, const std::vector<std::string>& argv = {},
+                     const std::string& stdin_data = {});
+
+  void set_cycle_limit(std::uint64_t limit) { cycle_limit_ = limit; }
+
+  /// Test hooks. `pre_syscall_hook` fires just before the kernel sees each
+  /// SYSCALL (after the trap, before checking) -- attack tests use it to
+  /// tamper with registers/memory at precise moments. `pre_instr_hook`
+  /// fires before every instruction.
+  std::function<void(os::Process&)> pre_instr_hook;
+  std::function<void(os::Process&, std::uint32_t call_site)> pre_syscall_hook;
+
+ private:
+  RunResult run_internal(const binary::Image& image, const std::vector<std::string>& argv,
+                         const std::string& stdin_data, int depth);
+
+  os::Kernel kernel_;
+  std::map<std::string, binary::Image> registry_;
+  std::uint64_t cycle_limit_ = 4'000'000'000ull;
+  int next_pid_ = 1;
+  int spawn_depth_ = 0;
+};
+
+/// Set up the initial stack: argv strings + pointer array; returns
+/// {argc in r1, argv pointer in r2} by mutating the process.
+void setup_initial_stack(os::Process& p, const std::vector<std::string>& argv);
+
+}  // namespace asc::vm

@@ -1,0 +1,76 @@
+#include "vm/memory.h"
+
+namespace asc::vm {
+
+Memory::Memory() : bytes_(binary::kAddressSpaceEnd - binary::kAddressSpaceBase, 0) {}
+
+std::size_t Memory::index_of(std::uint32_t addr) { return addr - binary::kAddressSpaceBase; }
+
+bool Memory::in_range(std::uint32_t addr, std::uint32_t n) const {
+  return addr >= binary::kAddressSpaceBase && n <= binary::kAddressSpaceEnd - addr;
+}
+
+void Memory::check(std::uint32_t addr, std::uint32_t n) const {
+  if (!in_range(addr, n)) {
+    throw GuestFault("guest memory access out of range at 0x" + std::to_string(addr));
+  }
+}
+
+void Memory::load_image(const binary::Image& image) {
+  for (const auto& s : image.sections) {
+    if (s.kind == binary::SectionKind::Bss) continue;  // already zeroed
+    check(s.vaddr(), static_cast<std::uint32_t>(s.bytes.size()));
+    std::copy(s.bytes.begin(), s.bytes.end(), bytes_.begin() + static_cast<std::ptrdiff_t>(index_of(s.vaddr())));
+  }
+}
+
+std::uint8_t Memory::r8(std::uint32_t addr) const {
+  check(addr, 1);
+  return bytes_[index_of(addr)];
+}
+
+void Memory::w8(std::uint32_t addr, std::uint8_t value) {
+  check(addr, 1);
+  bytes_[index_of(addr)] = value;
+}
+
+std::uint32_t Memory::r32(std::uint32_t addr) const {
+  check(addr, 4);
+  const std::size_t i = index_of(addr);
+  return static_cast<std::uint32_t>(bytes_[i]) | static_cast<std::uint32_t>(bytes_[i + 1]) << 8 |
+         static_cast<std::uint32_t>(bytes_[i + 2]) << 16 |
+         static_cast<std::uint32_t>(bytes_[i + 3]) << 24;
+}
+
+void Memory::w32(std::uint32_t addr, std::uint32_t value) {
+  check(addr, 4);
+  const std::size_t i = index_of(addr);
+  bytes_[i] = static_cast<std::uint8_t>(value);
+  bytes_[i + 1] = static_cast<std::uint8_t>(value >> 8);
+  bytes_[i + 2] = static_cast<std::uint8_t>(value >> 16);
+  bytes_[i + 3] = static_cast<std::uint8_t>(value >> 24);
+}
+
+std::vector<std::uint8_t> Memory::read_bytes(std::uint32_t addr, std::uint32_t n) const {
+  check(addr, n);
+  const std::size_t i = index_of(addr);
+  return std::vector<std::uint8_t>(bytes_.begin() + static_cast<std::ptrdiff_t>(i),
+                                   bytes_.begin() + static_cast<std::ptrdiff_t>(i + n));
+}
+
+void Memory::write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
+  check(addr, static_cast<std::uint32_t>(bytes.size()));
+  std::copy(bytes.begin(), bytes.end(), bytes_.begin() + static_cast<std::ptrdiff_t>(index_of(addr)));
+}
+
+std::string Memory::read_cstr(std::uint32_t addr, std::uint32_t max_len) const {
+  std::string out;
+  for (std::uint32_t i = 0; i < max_len; ++i) {
+    const std::uint8_t b = r8(addr + i);
+    if (b == 0) return out;
+    out.push_back(static_cast<char>(b));
+  }
+  throw GuestFault("unterminated string in guest memory");
+}
+
+}  // namespace asc::vm

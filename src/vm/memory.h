@@ -1,0 +1,53 @@
+// Flat guest address space for one simulated process.
+//
+// The guest sees addresses in [kAddressSpaceBase, kAddressSpaceEnd); the host
+// backs that window with a single byte vector. All accesses are bounds
+// checked and raise asc::GuestFault (which the VM converts into an abnormal
+// guest termination, and the kernel-side checker converts into a policy
+// violation when triggered by a syscall argument).
+//
+// Deliberately NO page permissions: like the paper's threat model, data and
+// stack are writable AND executable, so code-injection attacks are possible
+// and must be stopped by system call checking, not by W^X.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "binary/image.h"
+#include "util/error.h"
+
+namespace asc::vm {
+
+class Memory {
+ public:
+  Memory();
+
+  /// Copy the image's sections into the address space.
+  void load_image(const binary::Image& image);
+
+  std::uint8_t r8(std::uint32_t addr) const;
+  void w8(std::uint32_t addr, std::uint8_t value);
+  std::uint32_t r32(std::uint32_t addr) const;
+  void w32(std::uint32_t addr, std::uint32_t value);
+
+  /// Bulk accessors. Throw GuestFault when any byte is out of range.
+  std::vector<std::uint8_t> read_bytes(std::uint32_t addr, std::uint32_t n) const;
+  void write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes);
+
+  /// NUL-terminated string, at most `max_len` bytes (fault if unterminated).
+  std::string read_cstr(std::uint32_t addr, std::uint32_t max_len = 4096) const;
+
+  /// Read-only view of the whole space (used by the VM instruction fetch).
+  std::span<const std::uint8_t> flat() const { return bytes_; }
+  static std::size_t index_of(std::uint32_t addr);
+  bool in_range(std::uint32_t addr, std::uint32_t n = 1) const;
+
+ private:
+  void check(std::uint32_t addr, std::uint32_t n) const;
+  std::vector<std::uint8_t> bytes_;
+};
+
+}  // namespace asc::vm

@@ -1,0 +1,152 @@
+// Edge cases of the kernel-side checker (§3.4): hostile pointers, oversized
+// lengths, malformed blobs -- the places where a naive checker would crash
+// or stall the kernel (the §3.2 denial-of-service concern).
+#include <gtest/gtest.h>
+
+#include "apps/libtoy.h"
+#include "util/hex.h"
+#include "tasm/assembler.h"
+#include "workloads.h"
+
+namespace asc {
+namespace {
+
+struct Harness {
+  System sys{os::Personality::LinuxSim};
+  installer::InstallResult inst;
+
+  Harness() {
+    testing::prepare_fs(sys.kernel().fs());
+    inst = sys.install(apps::build_tool_cat(os::Personality::LinuxSim));
+  }
+
+  /// Run with a one-shot register/memory mutation at syscall `n`.
+  vm::RunResult run_with(int n, std::function<void(os::Process&)> mutate) {
+    int count = 0;
+    sys.machine().pre_syscall_hook = [&](os::Process& p, std::uint32_t) {
+      if (++count == n) mutate(p);
+    };
+    return sys.machine().run(inst.image, {"/lines.txt"});
+  }
+};
+
+TEST(CheckerEdge, NullExtraArgumentsDoNotCrashTheKernel) {
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    for (isa::Reg reg = 6; reg <= 10; ++reg) p.cpu.regs[reg] = 0;
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.violation, os::Violation::None);
+}
+
+TEST(CheckerEdge, PointersJustBelowAddressSpaceAreRejected) {
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    p.cpu.regs[isa::kRegPredSet] = binary::kAddressSpaceBase + 2;  // header underflows
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+}
+
+TEST(CheckerEdge, PointersAtAddressSpaceEndAreRejected) {
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    p.cpu.regs[isa::kRegCallMac] = binary::kAddressSpaceEnd - 4;  // 16B read overflows
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+}
+
+TEST(CheckerEdge, OversizedAsLengthIsRejectedNotScanned) {
+  // An attacker rewrites an AS length field to a huge value: the kernel
+  // must refuse rather than MAC megabytes of memory (denial of service).
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    const std::uint32_t body = p.cpu.regs[isa::kRegPredSet];
+    p.mem.w32(body - 20, 0x7fffffff);
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+}
+
+TEST(CheckerEdge, TruncatedPredSetBlobIsRejected) {
+  // Shrink the claimed length: the header no longer matches the call MAC.
+  Harness h;
+  auto r = h.run_with(3, [](os::Process& p) {
+    const std::uint32_t body = p.cpu.regs[isa::kRegPredSet];
+    p.mem.w32(body - 20, 4);
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_NE(r.violation, os::Violation::None);
+}
+
+TEST(CheckerEdge, SwappingTwoAuthenticStringsIsCaught) {
+  // Both strings have valid MACs; using one where the policy names the
+  // other must fail, because the encoded call binds the ADDRESS.
+  System sys(os::Personality::LinuxSim);
+  testing::prepare_fs(sys.kernel().fs());
+  auto inst = sys.install(apps::build_vuln_echo(os::Personality::LinuxSim));
+  // Find the two AS bodies: "/etc/vuln.conf" (config open) and "/bin/ls".
+  const auto* sec = inst.image.find_section(binary::SectionKind::AsData);
+  auto body_of = [&](const std::string& s) -> std::uint32_t {
+    for (std::size_t i = 20; i + s.size() <= sec->bytes.size(); ++i) {
+      if (std::equal(s.begin(), s.end(), sec->bytes.begin() + static_cast<std::ptrdiff_t>(i)) &&
+          util::get_u32(sec->bytes, i - 20) == s.size()) {
+        return sec->vaddr() + static_cast<std::uint32_t>(i);
+      }
+    }
+    return 0;
+  };
+  const std::uint32_t conf = body_of("/etc/vuln.conf");
+  ASSERT_NE(conf, 0u);
+  const std::uint16_t spawn_no =
+      *os::syscall_number(os::Personality::LinuxSim, os::SysId::Spawn);
+  sys.machine().pre_syscall_hook = [&](os::Process& p, std::uint32_t) {
+    if (p.cpu.regs[0] == spawn_no) p.cpu.regs[1] = conf;  // authentic, wrong string
+  };
+  auto r = sys.machine().run(inst.image, {}, "x\n");
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+}
+
+TEST(CheckerEdge, BlockIdFromAnotherSiteOfSameProgramIsCaught) {
+  // Claiming a different (valid!) block id of the same program changes the
+  // encoded call -> call MAC mismatch. The id cannot be mixed and matched.
+  Harness h;
+  std::uint32_t first_block = 0;
+  auto r = h.run_with(2, [&](os::Process& p) {
+    first_block = p.cpu.regs[isa::kRegBlockId];
+    p.cpu.regs[isa::kRegBlockId] = first_block ^ 1;
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+}
+
+TEST(CheckerEdge, CheckingCostIsChargedToTheProcess) {
+  // The checker must account its own cycles (MAC work) to the calling
+  // process -- this is what every performance table measures.
+  System off(os::Personality::LinuxSim, test_key(), os::Enforcement::Off);
+  System on(os::Personality::LinuxSim);
+  testing::prepare_fs(off.kernel().fs());
+  testing::prepare_fs(on.kernel().fs());
+  auto img = apps::build_tool_cat(os::Personality::LinuxSim);
+  auto r0 = off.machine().run(img, {"/lines.txt"});
+  auto r1 = on.machine().run(on.install(img).image, {"/lines.txt"});
+  ASSERT_TRUE(r0.completed);
+  ASSERT_TRUE(r1.completed);
+  const double per_call =
+      static_cast<double>(r1.cycles - r0.cycles) / static_cast<double>(r1.syscalls);
+  EXPECT_GT(per_call, 2000.0) << "checking cannot be nearly free";
+  EXPECT_LT(per_call, 20000.0) << "checking cost out of calibrated range";
+}
+
+TEST(CheckerEdge, EnforcementRequiresAKey) {
+  os::Kernel kernel(os::Personality::LinuxSim);
+  kernel.set_enforcement(os::Enforcement::Asc);
+  os::Process p;
+  p.cpu.regs[0] = 20;  // getpid
+  EXPECT_THROW(kernel.on_syscall(p, 0x8048000), Error);
+}
+
+}  // namespace
+}  // namespace asc

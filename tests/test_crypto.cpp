@@ -1,0 +1,111 @@
+// AES-128 and AES-CMAC against official test vectors, plus MAC properties
+// the ASC design depends on.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/cmac.h"
+#include "util/hex.h"
+#include "util/rng.h"
+
+namespace asc::crypto {
+namespace {
+
+Key128 key_of(const std::string& hex) {
+  Key128 k{};
+  auto v = util::from_hex(hex);
+  std::copy(v.begin(), v.end(), k.begin());
+  return k;
+}
+
+TEST(Aes, Fips197AppendixB) {
+  Aes128 aes(key_of("2b7e151628aed2a6abf7158809cf4f3c"));
+  Block b{};
+  auto pt = util::from_hex("3243f6a8885a308d313198a2e0370734");
+  std::copy(pt.begin(), pt.end(), b.begin());
+  aes.encrypt_block(b);
+  EXPECT_EQ(util::to_hex(b), "3925841d02dc09fbdc118597196a0b32");
+}
+
+TEST(Aes, Fips197AppendixCKeyZeroPattern) {
+  // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...ff.
+  Aes128 aes(key_of("000102030405060708090a0b0c0d0e0f"));
+  Block b{};
+  auto pt = util::from_hex("00112233445566778899aabbccddeeff");
+  std::copy(pt.begin(), pt.end(), b.begin());
+  aes.encrypt_block(b);
+  EXPECT_EQ(util::to_hex(b), "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+struct CmacVector {
+  std::size_t len;
+  const char* msg_hex;
+  const char* mac_hex;
+};
+
+// NIST SP 800-38B Appendix D.1 (AES-128).
+const CmacVector kVectors[] = {
+    {0, "", "bb1d6929e95937287fa37d129b756746"},
+    {16, "6bc1bee22e409f96e93d7e117393172a", "070a16b46b4d4144f79bdd9dd04a287c"},
+    {40,
+     "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411",
+     "dfa66747de9ae63030ca32611497c827"},
+    {64,
+     "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e5130c81c46a35ce411e5fbc119"
+     "1a0a52eff69f2445df4f9b17ad2b417be66c3710",
+     "51f0bebf7e3b9d92fc49741779363cfe"},
+};
+
+class CmacVectors : public ::testing::TestWithParam<CmacVector> {};
+
+TEST_P(CmacVectors, MatchesNist) {
+  Cmac cmac(key_of("2b7e151628aed2a6abf7158809cf4f3c"));
+  const auto msg = util::from_hex(GetParam().msg_hex);
+  ASSERT_EQ(msg.size(), GetParam().len);
+  EXPECT_EQ(util::to_hex(cmac.compute(msg)), GetParam().mac_hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(Nist, CmacVectors, ::testing::ValuesIn(kVectors));
+
+TEST(Cmac, SingleBitFlipsChangeTheMac) {
+  // The whole security argument rests on MAC sensitivity: flipping any bit
+  // of a message must change the MAC. (Not a proof, but a strong smoke
+  // check across positions and lengths.)
+  Cmac cmac(key_of("000102030405060708090a0b0c0d0e0f"));
+  util::Rng rng(42);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto msg = rng.next_bytes(1 + rng.next_below(96));
+    const Mac original = cmac.compute(msg);
+    const std::size_t byte = rng.next_below(msg.size());
+    const int bit = static_cast<int>(rng.next_below(8));
+    msg[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    EXPECT_FALSE(Cmac::equal(original, cmac.compute(msg)));
+  }
+}
+
+TEST(Cmac, LengthExtensionDoesNotPreserveMac) {
+  Cmac cmac(key_of("000102030405060708090a0b0c0d0e0f"));
+  const auto msg = util::bytes_of("authenticated system call");
+  auto longer = msg;
+  longer.push_back(0);
+  EXPECT_FALSE(Cmac::equal(cmac.compute(msg), cmac.compute(longer)));
+}
+
+TEST(Cmac, DistinctKeysDistinctMacs) {
+  Cmac a(key_of("000102030405060708090a0b0c0d0e0f"));
+  Cmac b(key_of("000102030405060708090a0b0c0d0e10"));
+  const auto msg = util::bytes_of("policy");
+  EXPECT_FALSE(Cmac::equal(a.compute(msg), b.compute(msg)));
+}
+
+TEST(MacKey, VerifyRoundTrip) {
+  MacKey key(key_of("00112233445566778899aabbccddeeff"));
+  const auto msg = util::bytes_of("encoded policy bytes");
+  const Mac m = key.mac(msg);
+  EXPECT_TRUE(key.verify(msg, m));
+  Mac wrong = m;
+  wrong[3] ^= 1;
+  EXPECT_FALSE(key.verify(msg, wrong));
+}
+
+}  // namespace
+}  // namespace asc::crypto
