@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_checks.dir/bench_ablation_checks.cpp.o"
+  "CMakeFiles/bench_ablation_checks.dir/bench_ablation_checks.cpp.o.d"
+  "bench_ablation_checks"
+  "bench_ablation_checks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

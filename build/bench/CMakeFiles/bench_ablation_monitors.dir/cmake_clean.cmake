@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_monitors.dir/bench_ablation_monitors.cpp.o"
+  "CMakeFiles/bench_ablation_monitors.dir/bench_ablation_monitors.cpp.o.d"
+  "bench_ablation_monitors"
+  "bench_ablation_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_patterns.dir/bench_ablation_patterns.cpp.o"
+  "CMakeFiles/bench_ablation_patterns.dir/bench_ablation_patterns.cpp.o.d"
+  "bench_ablation_patterns"
+  "bench_ablation_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_andrew.dir/bench_andrew.cpp.o"
+  "CMakeFiles/bench_andrew.dir/bench_andrew.cpp.o.d"
+  "bench_andrew"
+  "bench_andrew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_andrew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_policy_diff.dir/bench_table2_policy_diff.cpp.o"
+  "CMakeFiles/bench_table2_policy_diff.dir/bench_table2_policy_diff.cpp.o.d"
+  "bench_table2_policy_diff"
+  "bench_table2_policy_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_policy_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

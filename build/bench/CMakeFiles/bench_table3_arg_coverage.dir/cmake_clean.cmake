@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_arg_coverage.dir/bench_table3_arg_coverage.cpp.o"
+  "CMakeFiles/bench_table3_arg_coverage.dir/bench_table3_arg_coverage.cpp.o.d"
+  "bench_table3_arg_coverage"
+  "bench_table3_arg_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_arg_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

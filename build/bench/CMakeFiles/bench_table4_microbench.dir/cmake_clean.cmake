@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_microbench.dir/bench_table4_microbench.cpp.o"
+  "CMakeFiles/bench_table4_microbench.dir/bench_table4_microbench.cpp.o.d"
+  "bench_table4_microbench"
+  "bench_table4_microbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_microbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_asctool.dir/asctool.cpp.o"
+  "CMakeFiles/example_asctool.dir/asctool.cpp.o.d"
+  "example_asctool"
+  "example_asctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_asctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_patterns_and_capabilities.dir/patterns_and_capabilities.cpp.o"
+  "CMakeFiles/example_patterns_and_capabilities.dir/patterns_and_capabilities.cpp.o.d"
+  "example_patterns_and_capabilities"
+  "example_patterns_and_capabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_patterns_and_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_patterns_and_capabilities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for example_patterns_and_capabilities.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,63 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/argclass.cpp" "src/CMakeFiles/asc.dir/analysis/argclass.cpp.o" "gcc" "src/CMakeFiles/asc.dir/analysis/argclass.cpp.o.d"
+  "/root/repo/src/analysis/callgraph.cpp" "src/CMakeFiles/asc.dir/analysis/callgraph.cpp.o" "gcc" "src/CMakeFiles/asc.dir/analysis/callgraph.cpp.o.d"
+  "/root/repo/src/analysis/cfg.cpp" "src/CMakeFiles/asc.dir/analysis/cfg.cpp.o" "gcc" "src/CMakeFiles/asc.dir/analysis/cfg.cpp.o.d"
+  "/root/repo/src/analysis/dataflow.cpp" "src/CMakeFiles/asc.dir/analysis/dataflow.cpp.o" "gcc" "src/CMakeFiles/asc.dir/analysis/dataflow.cpp.o.d"
+  "/root/repo/src/analysis/disassembler.cpp" "src/CMakeFiles/asc.dir/analysis/disassembler.cpp.o" "gcc" "src/CMakeFiles/asc.dir/analysis/disassembler.cpp.o.d"
+  "/root/repo/src/analysis/inliner.cpp" "src/CMakeFiles/asc.dir/analysis/inliner.cpp.o" "gcc" "src/CMakeFiles/asc.dir/analysis/inliner.cpp.o.d"
+  "/root/repo/src/analysis/syscallgraph.cpp" "src/CMakeFiles/asc.dir/analysis/syscallgraph.cpp.o" "gcc" "src/CMakeFiles/asc.dir/analysis/syscallgraph.cpp.o.d"
+  "/root/repo/src/analysis/syscallsites.cpp" "src/CMakeFiles/asc.dir/analysis/syscallsites.cpp.o" "gcc" "src/CMakeFiles/asc.dir/analysis/syscallsites.cpp.o.d"
+  "/root/repo/src/apps/apps_cpu.cpp" "src/CMakeFiles/asc.dir/apps/apps_cpu.cpp.o" "gcc" "src/CMakeFiles/asc.dir/apps/apps_cpu.cpp.o.d"
+  "/root/repo/src/apps/apps_syscall.cpp" "src/CMakeFiles/asc.dir/apps/apps_syscall.cpp.o" "gcc" "src/CMakeFiles/asc.dir/apps/apps_syscall.cpp.o.d"
+  "/root/repo/src/apps/apps_tools.cpp" "src/CMakeFiles/asc.dir/apps/apps_tools.cpp.o" "gcc" "src/CMakeFiles/asc.dir/apps/apps_tools.cpp.o.d"
+  "/root/repo/src/apps/libtoy.cpp" "src/CMakeFiles/asc.dir/apps/libtoy.cpp.o" "gcc" "src/CMakeFiles/asc.dir/apps/libtoy.cpp.o.d"
+  "/root/repo/src/apps/vuln.cpp" "src/CMakeFiles/asc.dir/apps/vuln.cpp.o" "gcc" "src/CMakeFiles/asc.dir/apps/vuln.cpp.o.d"
+  "/root/repo/src/binary/image.cpp" "src/CMakeFiles/asc.dir/binary/image.cpp.o" "gcc" "src/CMakeFiles/asc.dir/binary/image.cpp.o.d"
+  "/root/repo/src/core/asc.cpp" "src/CMakeFiles/asc.dir/core/asc.cpp.o" "gcc" "src/CMakeFiles/asc.dir/core/asc.cpp.o.d"
+  "/root/repo/src/crypto/aes.cpp" "src/CMakeFiles/asc.dir/crypto/aes.cpp.o" "gcc" "src/CMakeFiles/asc.dir/crypto/aes.cpp.o.d"
+  "/root/repo/src/crypto/cmac.cpp" "src/CMakeFiles/asc.dir/crypto/cmac.cpp.o" "gcc" "src/CMakeFiles/asc.dir/crypto/cmac.cpp.o.d"
+  "/root/repo/src/installer/installer.cpp" "src/CMakeFiles/asc.dir/installer/installer.cpp.o" "gcc" "src/CMakeFiles/asc.dir/installer/installer.cpp.o.d"
+  "/root/repo/src/installer/policygen.cpp" "src/CMakeFiles/asc.dir/installer/policygen.cpp.o" "gcc" "src/CMakeFiles/asc.dir/installer/policygen.cpp.o.d"
+  "/root/repo/src/installer/rewriter.cpp" "src/CMakeFiles/asc.dir/installer/rewriter.cpp.o" "gcc" "src/CMakeFiles/asc.dir/installer/rewriter.cpp.o.d"
+  "/root/repo/src/isa/decode.cpp" "src/CMakeFiles/asc.dir/isa/decode.cpp.o" "gcc" "src/CMakeFiles/asc.dir/isa/decode.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/asc.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/asc.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/encode.cpp" "src/CMakeFiles/asc.dir/isa/encode.cpp.o" "gcc" "src/CMakeFiles/asc.dir/isa/encode.cpp.o.d"
+  "/root/repo/src/isa/isa.cpp" "src/CMakeFiles/asc.dir/isa/isa.cpp.o" "gcc" "src/CMakeFiles/asc.dir/isa/isa.cpp.o.d"
+  "/root/repo/src/monitor/ktable.cpp" "src/CMakeFiles/asc.dir/monitor/ktable.cpp.o" "gcc" "src/CMakeFiles/asc.dir/monitor/ktable.cpp.o.d"
+  "/root/repo/src/monitor/systrace.cpp" "src/CMakeFiles/asc.dir/monitor/systrace.cpp.o" "gcc" "src/CMakeFiles/asc.dir/monitor/systrace.cpp.o.d"
+  "/root/repo/src/monitor/training.cpp" "src/CMakeFiles/asc.dir/monitor/training.cpp.o" "gcc" "src/CMakeFiles/asc.dir/monitor/training.cpp.o.d"
+  "/root/repo/src/os/checker.cpp" "src/CMakeFiles/asc.dir/os/checker.cpp.o" "gcc" "src/CMakeFiles/asc.dir/os/checker.cpp.o.d"
+  "/root/repo/src/os/fs.cpp" "src/CMakeFiles/asc.dir/os/fs.cpp.o" "gcc" "src/CMakeFiles/asc.dir/os/fs.cpp.o.d"
+  "/root/repo/src/os/kernel.cpp" "src/CMakeFiles/asc.dir/os/kernel.cpp.o" "gcc" "src/CMakeFiles/asc.dir/os/kernel.cpp.o.d"
+  "/root/repo/src/os/process.cpp" "src/CMakeFiles/asc.dir/os/process.cpp.o" "gcc" "src/CMakeFiles/asc.dir/os/process.cpp.o.d"
+  "/root/repo/src/os/syscalls.cpp" "src/CMakeFiles/asc.dir/os/syscalls.cpp.o" "gcc" "src/CMakeFiles/asc.dir/os/syscalls.cpp.o.d"
+  "/root/repo/src/policy/authstring.cpp" "src/CMakeFiles/asc.dir/policy/authstring.cpp.o" "gcc" "src/CMakeFiles/asc.dir/policy/authstring.cpp.o.d"
+  "/root/repo/src/policy/capability.cpp" "src/CMakeFiles/asc.dir/policy/capability.cpp.o" "gcc" "src/CMakeFiles/asc.dir/policy/capability.cpp.o.d"
+  "/root/repo/src/policy/descriptor.cpp" "src/CMakeFiles/asc.dir/policy/descriptor.cpp.o" "gcc" "src/CMakeFiles/asc.dir/policy/descriptor.cpp.o.d"
+  "/root/repo/src/policy/metapolicy.cpp" "src/CMakeFiles/asc.dir/policy/metapolicy.cpp.o" "gcc" "src/CMakeFiles/asc.dir/policy/metapolicy.cpp.o.d"
+  "/root/repo/src/policy/pattern.cpp" "src/CMakeFiles/asc.dir/policy/pattern.cpp.o" "gcc" "src/CMakeFiles/asc.dir/policy/pattern.cpp.o.d"
+  "/root/repo/src/policy/policy.cpp" "src/CMakeFiles/asc.dir/policy/policy.cpp.o" "gcc" "src/CMakeFiles/asc.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/tasm/assembler.cpp" "src/CMakeFiles/asc.dir/tasm/assembler.cpp.o" "gcc" "src/CMakeFiles/asc.dir/tasm/assembler.cpp.o.d"
+  "/root/repo/src/util/hex.cpp" "src/CMakeFiles/asc.dir/util/hex.cpp.o" "gcc" "src/CMakeFiles/asc.dir/util/hex.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/asc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/asc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/asc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/asc.dir/util/stats.cpp.o.d"
+  "/root/repo/src/vm/cpu.cpp" "src/CMakeFiles/asc.dir/vm/cpu.cpp.o" "gcc" "src/CMakeFiles/asc.dir/vm/cpu.cpp.o.d"
+  "/root/repo/src/vm/machine.cpp" "src/CMakeFiles/asc.dir/vm/machine.cpp.o" "gcc" "src/CMakeFiles/asc.dir/vm/machine.cpp.o.d"
+  "/root/repo/src/vm/memory.cpp" "src/CMakeFiles/asc.dir/vm/memory.cpp.o" "gcc" "src/CMakeFiles/asc.dir/vm/memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analysis.cpp" "tests/CMakeFiles/asc_tests.dir/test_analysis.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_analysis.cpp.o.d"
+  "/root/repo/tests/test_attacks.cpp" "tests/CMakeFiles/asc_tests.dir/test_attacks.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_attacks.cpp.o.d"
+  "/root/repo/tests/test_checker_edge.cpp" "tests/CMakeFiles/asc_tests.dir/test_checker_edge.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_checker_edge.cpp.o.d"
+  "/root/repo/tests/test_crypto.cpp" "tests/CMakeFiles/asc_tests.dir/test_crypto.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_crypto.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/asc_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_fs_kernel.cpp" "tests/CMakeFiles/asc_tests.dir/test_fs_kernel.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_fs_kernel.cpp.o.d"
+  "/root/repo/tests/test_installer_monitor.cpp" "tests/CMakeFiles/asc_tests.dir/test_installer_monitor.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_installer_monitor.cpp.o.d"
+  "/root/repo/tests/test_integration_apps.cpp" "tests/CMakeFiles/asc_tests.dir/test_integration_apps.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_integration_apps.cpp.o.d"
+  "/root/repo/tests/test_isa_binary.cpp" "tests/CMakeFiles/asc_tests.dir/test_isa_binary.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_isa_binary.cpp.o.d"
+  "/root/repo/tests/test_policy.cpp" "tests/CMakeFiles/asc_tests.dir/test_policy.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_policy.cpp.o.d"
+  "/root/repo/tests/test_property.cpp" "tests/CMakeFiles/asc_tests.dir/test_property.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_property.cpp.o.d"
+  "/root/repo/tests/test_smoke.cpp" "tests/CMakeFiles/asc_tests.dir/test_smoke.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_smoke.cpp.o.d"
+  "/root/repo/tests/test_tasm_vm.cpp" "tests/CMakeFiles/asc_tests.dir/test_tasm_vm.cpp.o" "gcc" "tests/CMakeFiles/asc_tests.dir/test_tasm_vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/asc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

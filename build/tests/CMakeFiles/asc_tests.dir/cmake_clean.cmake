@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asc_tests.dir/test_analysis.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_analysis.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_attacks.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_attacks.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_checker_edge.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_checker_edge.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_crypto.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_crypto.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_extensions.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_extensions.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_fs_kernel.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_fs_kernel.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_installer_monitor.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_installer_monitor.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_integration_apps.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_integration_apps.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_isa_binary.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_isa_binary.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_policy.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_policy.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_property.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_property.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_smoke.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_smoke.cpp.o.d"
+  "CMakeFiles/asc_tests.dir/test_tasm_vm.cpp.o"
+  "CMakeFiles/asc_tests.dir/test_tasm_vm.cpp.o.d"
+  "asc_tests"
+  "asc_tests.pdb"
+  "asc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
