@@ -1,0 +1,273 @@
+#include "fault/campaign.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/asc.h"
+#include "isa/isa.h"
+#include "policy/descriptor.h"
+#include "policy/policy.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace asc::fault {
+
+std::string outcome_name(Outcome o) {
+  switch (o) {
+    case Outcome::Benign: return "benign";
+    case Outcome::Detected: return "detected";
+    case Outcome::WrongVerdict: return "wrong-verdict";
+    case Outcome::SilentBypass: return "silent-bypass";
+    case Outcome::HostCrash: return "host-crash";
+    case Outcome::NotApplied: return "not-applied";
+  }
+  return "?";
+}
+
+void CampaignResult::merge(const CampaignResult& other) {
+  verdicts.insert(verdicts.end(), other.verdicts.begin(), other.verdicts.end());
+  benign += other.benign;
+  detected += other.detected;
+  wrong_verdict += other.wrong_verdict;
+  silent_bypass += other.silent_bypass;
+  host_crash += other.host_crash;
+  not_applied += other.not_applied;
+  for (const auto& [cls, row] : other.matrix) {
+    for (const auto& [v, n] : row) matrix[cls][v] += n;
+  }
+}
+
+std::string CampaignResult::summary() const {
+  // Column set: every Violation observed anywhere in the matrix.
+  std::vector<os::Violation> cols;
+  for (const auto& [cls, row] : matrix) {
+    for (const auto& [v, n] : row) {
+      if (std::find(cols.begin(), cols.end(), v) == cols.end()) cols.push_back(v);
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+
+  char buf[160];
+  std::string out = "mutation class x Violation coverage matrix\n";
+  std::snprintf(buf, sizeof buf, "%-22s", "");
+  out += buf;
+  for (const auto v : cols) {
+    std::snprintf(buf, sizeof buf, " %16s", os::violation_name(v).c_str());
+    out += buf;
+  }
+  out += "\n";
+  for (const auto& [cls, row] : matrix) {
+    std::snprintf(buf, sizeof buf, "%-22s", mutation_class_name(cls).c_str());
+    out += buf;
+    for (const auto v : cols) {
+      const auto it = row.find(v);
+      std::snprintf(buf, sizeof buf, " %16d", it == row.end() ? 0 : it->second);
+      out += buf;
+    }
+    out += "\n";
+  }
+  std::snprintf(buf, sizeof buf,
+                "applied=%d detected=%d benign=%d wrong=%d bypass=%d crash=%d skipped=%d\n",
+                total_applied(), detected, benign, wrong_verdict, silent_bypass, host_crash,
+                not_applied);
+  out += buf;
+  return out;
+}
+
+namespace {
+
+crypto::Key128 mismatched_key() {
+  crypto::Key128 k = test_key();
+  for (auto& b : k) b = static_cast<std::uint8_t>(b ^ 0x5a);
+  return k;
+}
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// The clean run's observable behavior, the equivalence baseline.
+struct CleanRun {
+  bool completed = false;
+  int exit_code = 0;
+  std::string out;
+  std::string err;
+  int n_calls = 0;
+};
+
+}  // namespace
+
+CampaignResult Campaign::run(const GuestProgram& prog) {
+  CampaignResult result;
+
+  // Install the program (and spawn helpers) once. The images embed MACs
+  // under the shared test key; every run below gets a fresh kernel.
+  System inst_sys(cfg_.personality);
+  const installer::InstallResult inst = inst_sys.install(prog.image);
+  std::vector<std::pair<std::string, binary::Image>> helpers;
+  for (const auto& [path, img] : prog.helpers) {
+    helpers.emplace_back(path, inst_sys.install(img).image);
+  }
+
+  auto fresh = [&](const crypto::Key128& kernel_key) {
+    auto sys = std::make_unique<System>(cfg_.personality, test_key(), os::Enforcement::Asc);
+    sys->kernel().set_key(kernel_key);
+    sys->kernel().set_failure_mode(cfg_.mode);
+    sys->kernel().set_violation_budget(cfg_.violation_budget);
+    if (prog.prepare_fs) prog.prepare_fs(sys->kernel().fs());
+    for (const auto& [path, img] : helpers) sys->machine().register_program(path, img);
+    if (cfg_.cycle_limit != 0) sys->machine().set_cycle_limit(cfg_.cycle_limit);
+    return sys;
+  };
+
+  // ---- clean reference run ----
+  // Also harvests per-call policy-state snapshots: the CrossReplay donor
+  // bytes come from this run's process, i.e. a different address space than
+  // the mutated runs they are injected into.
+  CleanRun clean;
+  std::map<int, std::vector<std::uint8_t>> state_snapshots;
+  {
+    auto sys = fresh(test_key());
+    int calls = 0;
+    sys->machine().pre_syscall_hook = [&](os::Process& p, std::uint32_t) {
+      ++calls;
+      const auto& regs = p.cpu.regs;
+      const std::uint32_t lb = regs[isa::kRegStatePtr];
+      if (policy::Descriptor(regs[isa::kRegPolicyDescriptor]).control_flow_constrained() &&
+          p.mem.in_range(lb, policy::kPolicyStateSize)) {
+        state_snapshots[calls] = p.mem.read_bytes(lb, policy::kPolicyStateSize);
+      }
+    };
+    const vm::RunResult r = sys->machine().run(inst.image, prog.argv, prog.stdin_data);
+    if (!r.completed || r.violation != os::Violation::None) {
+      throw Error("fault campaign: clean run of " + prog.name +
+                  " failed: " + r.violation_detail);
+    }
+    clean = {r.completed, r.exit_code, r.stdout_data, r.stderr_data, calls};
+  }
+  if (clean.n_calls == 0) {
+    throw Error("fault campaign: " + prog.name + " makes no system calls");
+  }
+
+  // ---- one mutated execution ----
+  auto execute = [&](const FaultSpec& spec) -> RunVerdict {
+    RunVerdict v;
+    v.program = prog.name;
+    v.spec = spec;
+    auto sys =
+        fresh(spec.cls == MutationClass::KeyMismatch ? mismatched_key() : test_key());
+    FaultInjector inj(spec);
+    if (spec.cls == MutationClass::CrossReplay) {
+      // Donor from a different call index: its counter nonce (or foreign
+      // lastBlock) cannot match what the kernel expects at the trigger.
+      std::vector<int> keys;
+      for (const auto& [call, bytes] : state_snapshots) {
+        if (call != spec.trigger_call) keys.push_back(call);
+      }
+      if (!keys.empty()) {
+        inj.set_replay_state(state_snapshots[keys[spec.seed % keys.size()]]);
+      }
+    }
+    inj.arm(sys->machine());
+    vm::RunResult r;
+    try {
+      r = sys->machine().run(inst.image, prog.argv, prog.stdin_data);
+    } catch (const std::exception& e) {
+      v.outcome = Outcome::HostCrash;
+      v.detail = e.what();
+      return v;
+    } catch (...) {
+      v.outcome = Outcome::HostCrash;
+      v.detail = "non-standard exception escaped the simulator";
+      return v;
+    }
+    v.mutation = inj.description();
+    const os::VerdictRecord* first = nullptr;
+    for (const auto& rec : sys->kernel().audit_log()) {
+      if (rec.kind != os::AuditKind::Violation) continue;
+      if (first == nullptr) first = &rec;
+      ++v.violations_audited;
+      if (rec.killed) v.guest_killed = true;
+    }
+    if (first != nullptr) {
+      v.violation = first->violation;
+      v.detail = first->detail;
+      const auto& exp = expected_violations(spec.cls);
+      v.outcome = std::find(exp.begin(), exp.end(), first->violation) != exp.end()
+                      ? Outcome::Detected
+                      : Outcome::WrongVerdict;
+    } else if (!inj.applied()) {
+      v.outcome = Outcome::NotApplied;
+    } else {
+      const bool same = r.completed == clean.completed && r.exit_code == clean.exit_code &&
+                        r.stdout_data == clean.out && r.stderr_data == clean.err;
+      v.outcome = same ? Outcome::Benign : Outcome::SilentBypass;
+      if (!same) v.detail = "behavior diverged without an audited verdict: " + v.mutation;
+    }
+    return v;
+  };
+
+  auto record = [&](RunVerdict v) {
+    switch (v.outcome) {
+      case Outcome::Benign:
+        ++result.benign;
+        ++result.matrix[v.spec.cls][os::Violation::None];
+        break;
+      case Outcome::Detected:
+        ++result.detected;
+        ++result.matrix[v.spec.cls][v.violation];
+        break;
+      case Outcome::WrongVerdict:
+        ++result.wrong_verdict;
+        ++result.matrix[v.spec.cls][v.violation];
+        break;
+      case Outcome::SilentBypass:
+        ++result.silent_bypass;
+        break;
+      case Outcome::HostCrash:
+        ++result.host_crash;
+        break;
+      case Outcome::NotApplied:
+        ++result.not_applied;
+        break;
+    }
+    result.verdicts.push_back(std::move(v));
+  };
+
+  // ---- the seeded mutation sweep ----
+  const auto classes = cfg_.classes.empty() ? all_mutation_classes() : cfg_.classes;
+  const util::Rng root(cfg_.seed);
+  const std::uint64_t tag = fnv1a(prog.name);
+  for (const auto cls : classes) {
+    util::Rng rng = root.derive(tag ^ (static_cast<std::uint64_t>(cls) << 32));
+    for (int i = 0; i < cfg_.runs_per_class; ++i) {
+      FaultSpec spec;
+      spec.cls = cls;
+      spec.trigger_call =
+          1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(clean.n_calls)));
+      spec.seed = rng.next_u64();
+      RunVerdict v = execute(spec);
+      if (v.outcome == Outcome::NotApplied && spec.trigger_call > 1) {
+        // The class had no target at or after the trigger (e.g. the last AS
+        // argument already went by); retry eligible from the first call.
+        spec.trigger_call = 1;
+        v = execute(spec);
+      }
+      record(std::move(v));
+    }
+  }
+  return result;
+}
+
+CampaignResult Campaign::run_all(const std::vector<GuestProgram>& progs) {
+  CampaignResult total;
+  for (const auto& prog : progs) total.merge(run(prog));
+  return total;
+}
+
+}  // namespace asc::fault

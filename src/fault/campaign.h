@@ -1,0 +1,118 @@
+// Systematic fault-injection campaigns over guest programs.
+//
+// A Campaign runs a guest program once cleanly (recording its behavior and
+// syscall count), then replays it many times under seeded FaultInjector
+// mutations, and classifies every mutated run against the enforcement
+// invariant:
+//
+//   every mutated run either behaves identically to the clean run (the
+//   mutation was never consumed by the checker) or yields a verdict whose
+//   Violation class is expected for the mutation class -- with zero host
+//   crashes and zero silent bypasses (accepted runs whose behavior
+//   diverges from the clean run without any audited verdict).
+//
+// Campaigns honor the kernel failure mode, so the same seeded mutation set
+// can be replayed under fail-stop, budgeted, and audit-only enforcement and
+// the verdicts compared (graceful-degradation equivalence).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "binary/image.h"
+#include "fault/fault.h"
+#include "os/fs.h"
+#include "os/kernel.h"
+
+namespace asc::fault {
+
+/// A guest program plus everything a run of it needs.
+struct GuestProgram {
+  std::string name;
+  binary::Image image;  // pre-installation image
+  std::vector<std::string> argv;
+  std::string stdin_data;
+  /// Programs registered (installed) for spawn, as {path, image}.
+  std::vector<std::pair<std::string, binary::Image>> helpers;
+  /// Per-run filesystem fixture.
+  std::function<void(os::SimFs&)> prepare_fs;
+};
+
+struct CampaignConfig {
+  std::uint64_t seed = 1;
+  int runs_per_class = 8;
+  std::vector<MutationClass> classes;  // empty = all classes
+  os::Personality personality = os::Personality::LinuxSim;
+  os::FailureMode mode = os::FailureMode::FailStop;
+  std::uint32_t violation_budget = 0;
+  std::uint64_t cycle_limit = 0;  // 0 = machine default
+};
+
+enum class Outcome : std::uint8_t {
+  Benign,        // behaved identically to the clean run
+  Detected,      // audited verdict with an expected Violation class
+  WrongVerdict,  // audited verdict, but an unexpected Violation class
+  SilentBypass,  // accepted, yet behavior diverged with no verdict at all
+  HostCrash,     // an exception escaped the simulator
+  NotApplied,    // the mutation never found an applicable target
+};
+
+std::string outcome_name(Outcome o);
+
+/// Classification of one mutated execution.
+struct RunVerdict {
+  std::string program;
+  FaultSpec spec;
+  std::string mutation;  // injector description (empty when never applied)
+  Outcome outcome = Outcome::NotApplied;
+  os::Violation violation = os::Violation::None;  // first audited violation
+  bool guest_killed = false;
+  int violations_audited = 0;
+  std::string detail;
+};
+
+struct CampaignResult {
+  std::vector<RunVerdict> verdicts;
+  int benign = 0;
+  int detected = 0;
+  int wrong_verdict = 0;
+  int silent_bypass = 0;
+  int host_crash = 0;
+  int not_applied = 0;
+  /// Coverage matrix: mutation class -> Violation observed -> count
+  /// (Benign runs are counted under Violation::None).
+  std::map<MutationClass, std::map<os::Violation, int>> matrix;
+
+  /// Mutated executions whose fault actually landed.
+  int total_applied() const { return benign + detected + wrong_verdict + silent_bypass; }
+  /// The enforcement invariant: no crash, no bypass, no wrong verdict.
+  bool invariant_holds() const {
+    return wrong_verdict == 0 && silent_bypass == 0 && host_crash == 0;
+  }
+  void merge(const CampaignResult& other);
+  /// Printable coverage matrix plus outcome counts.
+  std::string summary() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config) : cfg_(std::move(config)) {}
+
+  const CampaignConfig& config() const { return cfg_; }
+
+  /// Run the full seeded campaign against one program.
+  CampaignResult run(const GuestProgram& prog);
+
+  /// Run against several programs and merge the results.
+  CampaignResult run_all(const std::vector<GuestProgram>& progs);
+
+ private:
+  CampaignConfig cfg_;
+};
+
+}  // namespace asc::fault

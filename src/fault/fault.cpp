@@ -1,0 +1,234 @@
+#include "fault/fault.h"
+
+#include <cstdio>
+
+#include "isa/isa.h"
+#include "policy/authstring.h"
+#include "policy/descriptor.h"
+#include "policy/policy.h"
+
+namespace asc::fault {
+
+std::string mutation_class_name(MutationClass c) {
+  switch (c) {
+    case MutationClass::CallMacFlip: return "call-mac-flip";
+    case MutationClass::DescriptorFlip: return "descriptor-flip";
+    case MutationClass::AsHeaderCorrupt: return "as-header-corrupt";
+    case MutationClass::AsBodyCorrupt: return "as-body-corrupt";
+    case MutationClass::PredSetCorrupt: return "pred-set-corrupt";
+    case MutationClass::PolicyStateCorrupt: return "policy-state-corrupt";
+    case MutationClass::CrossReplay: return "cross-replay";
+    case MutationClass::RegisterSwap: return "register-swap";
+    case MutationClass::KeyMismatch: return "key-mismatch";
+    case MutationClass::kCount: break;
+  }
+  return "?";
+}
+
+std::vector<MutationClass> all_mutation_classes() {
+  std::vector<MutationClass> out;
+  for (std::size_t i = 0; i < kNumMutationClasses; ++i) {
+    out.push_back(static_cast<MutationClass>(i));
+  }
+  return out;
+}
+
+const std::vector<os::Violation>& expected_violations(MutationClass c) {
+  // Every entry below is derived from the §3.4 checking order: the call MAC
+  // binds sysno, descriptor, site, block id, AS {addr, len, MAC} headers,
+  // constant argument values, and the policy-state pointer -- so mutating
+  // any of those must surface as BadCallMac before later steps run. Content
+  // bytes behind an intact header fail the step-2/step-3 content MACs; the
+  // policy-state record fails the step-3.1 memory checker.
+  static const std::vector<os::Violation> call_mac{os::Violation::BadCallMac};
+  static const std::vector<os::Violation> string_arg{os::Violation::BadStringArg};
+  static const std::vector<os::Violation> policy_state{os::Violation::BadPolicyState};
+  // A replayed state whose counter mismatches fails the memory checker; one
+  // captured at the same nonce but a different program/site carries a
+  // lastBlock outside the predecessor set.
+  static const std::vector<os::Violation> replay{os::Violation::BadPolicyState,
+                                                 os::Violation::BadPredecessor};
+  switch (c) {
+    case MutationClass::AsBodyCorrupt:
+    case MutationClass::PredSetCorrupt:
+      return string_arg;
+    case MutationClass::PolicyStateCorrupt:
+      return policy_state;
+    case MutationClass::CrossReplay:
+      return replay;
+    default:
+      return call_mac;
+  }
+}
+
+namespace {
+
+std::uint32_t nonzero32(std::uint64_t seed) {
+  const auto v = static_cast<std::uint32_t>(seed >> 7);
+  return v == 0 ? 0xdeadbeefu : v;
+}
+
+}  // namespace
+
+void FaultInjector::arm(vm::Machine& machine) {
+  personality_ = machine.kernel().personality();
+  machine.pre_syscall_hook = [this](os::Process& p, std::uint32_t call_site) {
+    ++calls_seen_;
+    if (applied_ || calls_seen_ < spec_.trigger_call) return;
+    if (try_apply(p, call_site)) {
+      applied_ = true;
+      applied_at_ = calls_seen_;
+    }
+  };
+}
+
+bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site) {
+  auto& regs = p.cpu.regs;
+  const policy::Descriptor des(regs[isa::kRegPolicyDescriptor]);
+  const auto maybe_id =
+      os::syscall_from_number(personality_, static_cast<std::uint16_t>(regs[0]));
+  const int arity = maybe_id.has_value() ? os::signature(*maybe_id).arity : 0;
+  const std::uint64_t seed = spec_.seed;
+  char buf[160];
+
+  auto flip_bit = [&](std::uint32_t base, std::uint32_t nbytes, const char* what) {
+    const auto byte = static_cast<std::uint32_t>(seed % nbytes);
+    const int bit = static_cast<int>((seed / nbytes) % 8);
+    p.mem.w8(base + byte,
+             static_cast<std::uint8_t>(p.mem.r8(base + byte) ^ (1u << bit)));
+    std::snprintf(buf, sizeof buf, "%s: flip bit %d of byte %u at call %d (site 0x%x)", what,
+                  bit, byte, calls_seen_, call_site);
+    description_ = buf;
+  };
+
+  /// Validated AS body length behind `body`, or 0 when the header is not
+  /// plausible (the injector only corrupts genuinely live structures).
+  auto as_len = [&](std::uint32_t body) -> std::uint32_t {
+    if (body < policy::kAsHeaderSize ||
+        !p.mem.in_range(body - policy::kAsHeaderSize, policy::kAsHeaderSize)) {
+      return 0;
+    }
+    const std::uint32_t len = p.mem.r32(body - policy::kAsHeaderSize);
+    if (len == 0 || len > policy::kAsMaxLength || !p.mem.in_range(body, len)) return 0;
+    return len;
+  };
+
+  std::vector<int> as_args;
+  for (int i = 0; i < arity; ++i) {
+    if (des.arg_is_authenticated_string(i)) as_args.push_back(i);
+  }
+
+  switch (spec_.cls) {
+    case MutationClass::CallMacFlip: {
+      const std::uint32_t mac_ptr = regs[isa::kRegCallMac];
+      if (!p.mem.in_range(mac_ptr, 16)) return false;
+      flip_bit(mac_ptr, 16, "call-mac");
+      return true;
+    }
+
+    case MutationClass::DescriptorFlip: {
+      const int bit = static_cast<int>(seed % 32);
+      regs[isa::kRegPolicyDescriptor] ^= 1u << bit;
+      std::snprintf(buf, sizeof buf, "descriptor: flip bit %d at call %d (site 0x%x)", bit,
+                    calls_seen_, call_site);
+      description_ = buf;
+      return true;
+    }
+
+    case MutationClass::AsHeaderCorrupt: {
+      std::vector<std::uint32_t> headers;
+      for (int i : as_args) {
+        const std::uint32_t body = regs[1 + static_cast<std::size_t>(i)];
+        if (body >= policy::kAsHeaderSize &&
+            p.mem.in_range(body - policy::kAsHeaderSize, policy::kAsHeaderSize)) {
+          headers.push_back(body - policy::kAsHeaderSize);
+        }
+      }
+      if (des.control_flow_constrained()) {
+        const std::uint32_t body = regs[isa::kRegPredSet];
+        if (body >= policy::kAsHeaderSize &&
+            p.mem.in_range(body - policy::kAsHeaderSize, policy::kAsHeaderSize)) {
+          headers.push_back(body - policy::kAsHeaderSize);
+        }
+      }
+      if (headers.empty()) return false;
+      flip_bit(headers[(seed >> 32) % headers.size()], policy::kAsHeaderSize, "as-header");
+      return true;
+    }
+
+    case MutationClass::AsBodyCorrupt: {
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> bodies;  // {addr, len}
+      for (int i : as_args) {
+        const std::uint32_t body = regs[1 + static_cast<std::size_t>(i)];
+        if (const std::uint32_t len = as_len(body); len > 0) bodies.emplace_back(body, len);
+      }
+      if (bodies.empty()) return false;
+      const auto& [addr, len] = bodies[(seed >> 32) % bodies.size()];
+      flip_bit(addr, len, "as-body");
+      return true;
+    }
+
+    case MutationClass::PredSetCorrupt: {
+      if (!des.control_flow_constrained()) return false;
+      const std::uint32_t body = regs[isa::kRegPredSet];
+      const std::uint32_t len = as_len(body);
+      if (len == 0) return false;
+      flip_bit(body, len, "pred-set");
+      return true;
+    }
+
+    case MutationClass::PolicyStateCorrupt: {
+      if (!des.control_flow_constrained()) return false;
+      const std::uint32_t lb = regs[isa::kRegStatePtr];
+      if (!p.mem.in_range(lb, policy::kPolicyStateSize)) return false;
+      flip_bit(lb, policy::kPolicyStateSize, "policy-state");
+      return true;
+    }
+
+    case MutationClass::CrossReplay: {
+      if (!des.control_flow_constrained()) return false;
+      if (replay_state_.size() != policy::kPolicyStateSize) return false;
+      const std::uint32_t lb = regs[isa::kRegStatePtr];
+      if (!p.mem.in_range(lb, policy::kPolicyStateSize)) return false;
+      p.mem.write_bytes(lb, replay_state_);
+      std::snprintf(buf, sizeof buf,
+                    "cross-replay: foreign policy state at call %d (site 0x%x)", calls_seen_,
+                    call_site);
+      description_ = buf;
+      return true;
+    }
+
+    case MutationClass::RegisterSwap: {
+      // Only registers the checker actually consumes: mutating a register
+      // the policy leaves unconstrained is permitted by construction and
+      // would not be a verification-surface fault.
+      std::vector<isa::Reg> targets{isa::kRegBlockId, isa::kRegCallMac};
+      if (des.control_flow_constrained()) {
+        targets.push_back(isa::kRegPredSet);
+        targets.push_back(isa::kRegStatePtr);
+      }
+      for (int i = 0; i < arity; ++i) {
+        if (des.arg_constrained(i)) targets.push_back(static_cast<isa::Reg>(1 + i));
+      }
+      const isa::Reg r = targets[(seed >> 32) % targets.size()];
+      regs[r] ^= nonzero32(seed);
+      std::snprintf(buf, sizeof buf, "register-swap: r%d ^= 0x%x at call %d (site 0x%x)", r,
+                    nonzero32(seed), calls_seen_, call_site);
+      description_ = buf;
+      return true;
+    }
+
+    case MutationClass::KeyMismatch: {
+      // Environmental fault: the campaign boots the kernel with a key that
+      // differs from the installer's. Nothing to mutate at trap time.
+      description_ = "kernel/installer key mismatch";
+      return true;
+    }
+
+    case MutationClass::kCount:
+      break;
+  }
+  return false;
+}
+
+}  // namespace asc::fault

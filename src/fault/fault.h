@@ -1,0 +1,94 @@
+// Deterministic fault injection against the ASC verification surface.
+//
+// The paper's security argument (§3.4) is fail-stop: any tampering with a
+// rewritten call -- its MAC, policy descriptor, authenticated strings, or
+// the lastBlock/lbMAC memory-checker state -- must be detected by the
+// kernel, never silently accepted and never able to crash the monitor. A
+// FaultInjector turns that claim into something testable: armed on a
+// vm::Machine, it waits for the n-th system call trap and applies one
+// seeded mutation from a fixed class to the trap state, exactly where a
+// real attacker (or a corrupted .asdata page) would strike.
+//
+// Every class maps to an expected set of Violation verdicts; the Campaign
+// (campaign.h) runs mutations at scale and checks the invariant that each
+// mutated run either behaves identically to a clean run or fail-stops with
+// a verdict from that set.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "os/process.h"
+#include "os/syscalls.h"
+#include "vm/machine.h"
+
+namespace asc::fault {
+
+/// What part of the verification surface a mutation targets.
+enum class MutationClass : std::uint8_t {
+  CallMacFlip,         // bit-flip in the 16-byte call MAC
+  DescriptorFlip,      // bit-flip in the policy-descriptor register (r6)
+  AsHeaderCorrupt,     // bit-flip in an AS {len, MAC} header (argument or pred set)
+  AsBodyCorrupt,       // bit-flip in authenticated-string content bytes
+  PredSetCorrupt,      // bit-flip in the predecessor-set body
+  PolicyStateCorrupt,  // bit-flip in the {lastBlock, lbMAC} record
+  CrossReplay,         // replay policy state captured from another process
+  RegisterSwap,        // corrupt a policy-operand register at trap time
+  KeyMismatch,         // kernel key differs from the installer key
+  kCount,
+};
+
+inline constexpr std::size_t kNumMutationClasses =
+    static_cast<std::size_t>(MutationClass::kCount);
+
+std::string mutation_class_name(MutationClass c);
+std::vector<MutationClass> all_mutation_classes();
+
+/// The Violation verdicts a detection of this class may legitimately yield.
+const std::vector<os::Violation>& expected_violations(MutationClass c);
+
+/// One fully determined mutation: the class, the first syscall trap at which
+/// it becomes eligible (1-based, counted across all processes of a run), and
+/// a seed selecting the byte/bit/register within the class.
+struct FaultSpec {
+  MutationClass cls = MutationClass::CallMacFlip;
+  int trigger_call = 1;
+  std::uint64_t seed = 0;
+};
+
+/// Applies one FaultSpec to a machine run. Arm() installs a pre-syscall
+/// hook; from trigger_call on, the first trap where the class is applicable
+/// (e.g. AsBodyCorrupt needs an authenticated-string argument) is mutated,
+/// once. The injector must outlive every run of the armed machine.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultSpec spec) : spec_(spec) {}
+
+  /// Install on `machine` (replaces its pre_syscall_hook).
+  void arm(vm::Machine& machine);
+
+  /// CrossReplay payload: a policy-state blob (kPolicyStateSize bytes)
+  /// captured from another process's address space.
+  void set_replay_state(std::vector<std::uint8_t> state) { replay_state_ = std::move(state); }
+
+  const FaultSpec& spec() const { return spec_; }
+  bool applied() const { return applied_; }
+  int applied_at_call() const { return applied_at_; }
+  int calls_seen() const { return calls_seen_; }
+  /// Human-readable description of the mutation actually performed.
+  const std::string& description() const { return description_; }
+
+ private:
+  bool try_apply(os::Process& p, std::uint32_t call_site);
+
+  FaultSpec spec_;
+  os::Personality personality_ = os::Personality::LinuxSim;
+  std::vector<std::uint8_t> replay_state_;
+  bool applied_ = false;
+  int applied_at_ = 0;
+  int calls_seen_ = 0;
+  std::string description_;
+};
+
+}  // namespace asc::fault

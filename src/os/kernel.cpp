@@ -1,6 +1,7 @@
 #include "os/kernel.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "os/checker.h"
 #include "policy/pattern.h"
@@ -19,6 +20,35 @@ std::string enforcement_name(Enforcement e) {
   return "?";
 }
 
+std::string failure_mode_name(FailureMode m) {
+  switch (m) {
+    case FailureMode::FailStop: return "fail-stop";
+    case FailureMode::Budgeted: return "budgeted";
+    case FailureMode::AuditOnly: return "audit-only";
+  }
+  return "?";
+}
+
+std::string VerdictRecord::to_string() const {
+  char site[16];
+  std::snprintf(site, sizeof site, "0x%x", call_site);
+  const std::string ctx = " (pid=" + std::to_string(pid) + " sysno=" + std::to_string(sysno) +
+                          " site=" + site + ")";
+  switch (kind) {
+    case AuditKind::Violation:
+      return "ALERT pid=" + std::to_string(pid) + " prog=" + prog + " " +
+             violation_name(violation) + ": " + detail + " (sysno=" + std::to_string(sysno) +
+             " site=" + site + (killed ? " killed" : " permitted") + ")";
+    case AuditKind::Net:
+      return "NET " + detail + ctx;
+    case AuditKind::Signal:
+      return "SIGNAL " + detail + ctx;
+    case AuditKind::Spawn:
+      return "SPAWN " + detail + ctx;
+  }
+  return "?";
+}
+
 Kernel::Kernel(Personality personality, CostModel cost)
     : personality_(personality), cost_(cost) {}
 
@@ -28,13 +58,46 @@ void Kernel::set_monitor_policy(const std::string& program, MonitorPolicy policy
   monitor_policies_[program] = std::move(policy);
 }
 
-void Kernel::deny(Process& p, Violation v, const std::string& detail) {
-  p.running = false;
-  p.violation = v;
-  p.violation_detail = detail;
-  p.exit_code = -1;
-  events_.push_back("ALERT pid=" + std::to_string(p.pid) + " prog=" + p.name + " " +
-                    violation_name(v) + ": " + detail);
+void Kernel::audit(VerdictRecord rec) {
+  events_.push_back(rec.to_string());
+  audit_log_.push_back(std::move(rec));
+}
+
+void Kernel::log_event(Process& p, AuditKind kind, std::string detail) {
+  VerdictRecord rec;
+  rec.kind = kind;
+  rec.pid = p.pid;
+  rec.prog = p.name;
+  rec.sysno = cur_sysno_;
+  rec.call_site = cur_site_;
+  rec.detail = std::move(detail);
+  rec.vtime_ns = vtime_ns_ + p.cycles;
+  audit(std::move(rec));
+}
+
+bool Kernel::deny(Process& p, Violation v, const std::string& detail) {
+  ++p.violation_count;
+  const bool kill =
+      failure_mode_ == FailureMode::FailStop ||
+      (failure_mode_ == FailureMode::Budgeted && p.violation_count > violation_budget_);
+  VerdictRecord rec;
+  rec.kind = AuditKind::Violation;
+  rec.pid = p.pid;
+  rec.prog = p.name;
+  rec.sysno = cur_sysno_;
+  rec.call_site = cur_site_;
+  rec.violation = v;
+  rec.killed = kill;
+  rec.detail = detail;
+  rec.vtime_ns = vtime_ns_ + p.cycles;
+  audit(std::move(rec));
+  if (kill) {
+    p.running = false;
+    p.violation = v;
+    p.violation_detail = detail;
+    p.exit_code = -1;
+  }
+  return kill;
 }
 
 std::string Kernel::read_path(Process& p, std::uint32_t addr) {
@@ -92,25 +155,29 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
   auto& regs = p.cpu.regs;
   const std::uint16_t sysno = static_cast<std::uint16_t>(regs[0]);
   const auto maybe_id = syscall_from_number(personality_, sysno);
+  cur_sysno_ = sysno;
+  cur_site_ = call_site;
 
   // ---- enforcement ----
+  // A violation records a verdict via deny(); only when deny() kills does
+  // the trap end here. A tolerated violation (audit-only / within the
+  // violation budget) falls through to normal dispatch.
   switch (enforcement_) {
     case Enforcement::Off:
       break;
     case Enforcement::Asc: {
       if (key_ == std::nullopt) throw Error("kernel: Asc enforcement without a key");
       if (!maybe_id.has_value()) {
-        deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno));
-        return;
+        if (deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno))) {
+          return;
+        }
+        break;
       }
       const CheckResult r = check_authenticated_call(p, call_site, sysno,
                                                      signature(*maybe_id), *key_, cost_,
                                                      capability_checking_);
       charge(p, r.cycles);
-      if (r.violation != Violation::None) {
-        deny(p, r.violation, r.detail);
-        return;
-      }
+      if (r.violation != Violation::None && deny(p, r.violation, r.detail)) return;
       break;
     }
     case Enforcement::Daemon: {
@@ -118,13 +185,15 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
       // policy lookup; this is the architecture ASC avoids (§2.3).
       charge(p, 2 * cost_.context_switch + cost_.daemon_lookup);
       if (!maybe_id.has_value()) {
-        deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno));
-        return;
+        if (deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno))) {
+          return;
+        }
+        break;
       }
       std::string why;
       std::array<std::uint32_t, 5> args{regs[1], regs[2], regs[3], regs[4], regs[5]};
-      if (!monitor_allows(p, sysno, *maybe_id, args, &why)) {
-        deny(p, Violation::MonitorDenied, why);
+      if (!monitor_allows(p, sysno, *maybe_id, args, &why) &&
+          deny(p, Violation::MonitorDenied, why)) {
         return;
       }
       break;
@@ -132,13 +201,15 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
     case Enforcement::KernelTable: {
       charge(p, cost_.ktable_lookup);
       if (!maybe_id.has_value()) {
-        deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno));
-        return;
+        if (deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno))) {
+          return;
+        }
+        break;
       }
       std::string why;
       std::array<std::uint32_t, 5> args{regs[1], regs[2], regs[3], regs[4], regs[5]};
-      if (!monitor_allows(p, sysno, *maybe_id, args, &why)) {
-        deny(p, Violation::MonitorDenied, why);
+      if (!monitor_allows(p, sysno, *maybe_id, args, &why) &&
+          deny(p, Violation::MonitorDenied, why)) {
         return;
       }
       break;
@@ -277,7 +348,7 @@ std::int64_t Kernel::sys_write(Process& p, const std::array<std::uint32_t, 5>& a
       break;
     }
     case FdEntry::Kind::Socket:
-      events_.push_back("NET send " + std::to_string(n) + " bytes");
+      log_event(p, AuditKind::Net, "send " + std::to_string(n) + " bytes");
       wrote = n;
       break;
     case FdEntry::Kind::Pipe:
@@ -418,7 +489,8 @@ std::int64_t Kernel::dispatch(Process& p, SysId id, std::array<std::uint32_t, 5>
       return 0;
     }
     case SysId::Kill:
-      events_.push_back("SIGNAL pid=" + std::to_string(a[0]) + " sig=" + std::to_string(a[1]));
+      log_event(p, AuditKind::Signal,
+                "pid=" + std::to_string(a[0]) + " sig=" + std::to_string(a[1]));
       return 0;
     case SysId::Sigaction:
       return 0;
@@ -435,7 +507,7 @@ std::int64_t Kernel::dispatch(Process& p, SysId id, std::array<std::uint32_t, 5>
     case SysId::Sendto: {
       FdEntry* e = p.fd(a[0]);
       if (e == nullptr || e->kind != FdEntry::Kind::Socket) return SimFs::kErrBadf;
-      events_.push_back("NET sendto " + std::to_string(a[2]) + " bytes");
+      log_event(p, AuditKind::Net, "sendto " + std::to_string(a[2]) + " bytes");
       charge(p, static_cast<std::uint64_t>(static_cast<double>(a[2]) * cost_.write_per_byte));
       return a[2];
     }
@@ -541,7 +613,7 @@ std::int64_t Kernel::dispatch(Process& p, SysId id, std::array<std::uint32_t, 5>
       }
       std::string joined = path;
       for (const auto& s : argv) joined += " " + s;
-      events_.push_back("SPAWN " + joined);
+      log_event(p, AuditKind::Spawn, joined);
       if (!spawn_) return SimFs::kErrNoEnt;
       return spawn_(p, path, argv);
     }

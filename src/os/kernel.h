@@ -35,6 +35,44 @@ enum class Enforcement : std::uint8_t { Off, Asc, Daemon, KernelTable };
 
 std::string enforcement_name(Enforcement e);
 
+/// How the kernel reacts once a violation has been established (graceful
+/// degradation). The paper prescribes fail-stop ("terminate the process,
+/// log the call, alert the administrator", §3.4); the other modes support
+/// staged rollout: audit a new policy in production before enforcing it.
+enum class FailureMode : std::uint8_t {
+  FailStop,   // kill on the first violation (paper-faithful)
+  Budgeted,   // tolerate up to the violation budget, then kill
+  AuditOnly,  // record every verdict, never kill (permissive)
+};
+
+std::string failure_mode_name(FailureMode m);
+
+/// What a structured audit record describes.
+enum class AuditKind : std::uint8_t {
+  Violation,  // the monitor established a policy violation
+  Net,        // outbound network traffic
+  Signal,     // signal sent to another process
+  Spawn,      // program execution request
+};
+
+/// One structured entry of the kernel's security/audit log. Every event
+/// carries the process, program, trapping call, and virtual timestamp; for
+/// violations, the Violation class and whether the verdict killed the guest.
+struct VerdictRecord {
+  AuditKind kind = AuditKind::Violation;
+  int pid = 0;
+  std::string prog;
+  std::uint16_t sysno = 0;
+  std::uint32_t call_site = 0;
+  Violation violation = Violation::None;
+  bool killed = false;  // did this verdict terminate the process?
+  std::string detail;
+  std::uint64_t vtime_ns = 0;
+
+  /// Legacy one-line view ("ALERT pid=... prog=... ...", "SPAWN ...").
+  std::string to_string() const;
+};
+
 /// One observed system call (used by training-based policy generation and by
 /// tests that assert on guest behavior).
 struct TraceEntry {
@@ -83,14 +121,32 @@ class Kernel {
   /// policies (§5.4).
   void set_normalize_paths(bool on) { normalize_paths_ = on; }
 
+  // ---- graceful degradation ----
+  /// Reaction to an established violation (default: paper-faithful
+  /// fail-stop). Budgeted mode kills only when a process exceeds the
+  /// violation budget; AuditOnly never kills.
+  void set_failure_mode(FailureMode m) { failure_mode_ = m; }
+  FailureMode failure_mode() const { return failure_mode_; }
+  /// Violations tolerated per process in Budgeted mode before the kill
+  /// (0 = kill on the first violation, same as FailStop).
+  void set_violation_budget(std::uint32_t n) { violation_budget_ = n; }
+  std::uint32_t violation_budget() const { return violation_budget_; }
+
   // ---- tracing & logging ----
   void set_tracing(bool on) { tracing_ = on; }
   const std::vector<TraceEntry>& trace() const { return trace_; }
   void clear_trace() { trace_.clear(); }
-  /// Security/audit log: spawn events, monitor kills ("alert the
-  /// administrator"), network sends.
+  /// Structured security/audit log: violation verdicts ("alert the
+  /// administrator"), spawn events, network sends, signals.
+  const std::vector<VerdictRecord>& audit_log() const { return audit_log_; }
+  /// Append a record to the audit log (and its formatted view).
+  void audit(VerdictRecord rec);
+  /// Legacy formatted view of the audit log, one line per record.
   const std::vector<std::string>& event_log() const { return events_; }
-  void clear_events() { events_.clear(); }
+  void clear_events() {
+    events_.clear();
+    audit_log_.clear();
+  }
 
   /// Virtual wall clock (ns); advanced by nanosleep and by retired cycles.
   std::uint64_t virtual_time_ns() const { return vtime_ns_; }
@@ -110,7 +166,12 @@ class Kernel {
 
  private:
   void charge(Process& p, std::uint64_t cycles) { p.cycles += cycles; }
-  void deny(Process& p, Violation v, const std::string& detail);
+  /// Record the verdict and apply the failure mode. Returns true when the
+  /// process was killed (caller must stop); false when the violation was
+  /// tolerated and the call should proceed (audit-only / within budget).
+  bool deny(Process& p, Violation v, const std::string& detail);
+  /// Audit a non-violation event (net/signal/spawn) with full trap context.
+  void log_event(Process& p, AuditKind kind, std::string detail);
   std::int64_t dispatch(Process& p, SysId id, std::array<std::uint32_t, 5> args,
                         std::uint32_t call_site);
   bool monitor_allows(Process& p, std::uint16_t sysno, SysId id,
@@ -130,9 +191,16 @@ class Kernel {
   std::map<std::string, MonitorPolicy> monitor_policies_;
   bool capability_checking_ = false;
   bool normalize_paths_ = false;
+  FailureMode failure_mode_ = FailureMode::FailStop;
+  std::uint32_t violation_budget_ = 0;
   bool tracing_ = false;
   std::vector<TraceEntry> trace_;
+  std::vector<VerdictRecord> audit_log_;
   std::vector<std::string> events_;
+  // Trap context of the call currently being handled, so audit records
+  // emitted from dispatch handlers carry the call site and number.
+  std::uint16_t cur_sysno_ = 0;
+  std::uint32_t cur_site_ = 0;
   std::uint64_t vtime_ns_ = 1'000'000'000;  // arbitrary epoch
   SpawnHandler spawn_;
 };

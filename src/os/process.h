@@ -60,6 +60,8 @@ struct Process {
   std::uint64_t asc_counter = 0;  // kernel-side nonce for the memory checker
   std::uint16_t program_id = 0;
   bool authenticated_image = false;
+  // Violations audited against this process (drives Budgeted failure mode).
+  std::uint32_t violation_count = 0;
 
   CpuState cpu;
   vm::Memory mem;

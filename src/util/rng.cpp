@@ -33,6 +33,15 @@ std::vector<std::uint8_t> Rng::next_bytes(std::size_t n) {
   return out;
 }
 
+Rng Rng::derive(std::uint64_t stream) const {
+  // Mix the stream index through one SplitMix64 round so adjacent streams
+  // land far apart in the parent's sequence.
+  std::uint64_t z = state_ ^ (stream + 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return Rng(z ^ (z >> 31));
+}
+
 std::string Rng::next_name(std::size_t min_len, std::size_t max_len) {
   std::size_t len = min_len + static_cast<std::size_t>(next_below(max_len - min_len + 1));
   std::string s;

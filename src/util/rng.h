@@ -33,6 +33,12 @@ class Rng {
   /// Random lowercase identifier of length in [min_len, max_len].
   std::string next_name(std::size_t min_len, std::size_t max_len);
 
+  /// Independent deterministic substream: the same (state, stream) pair
+  /// always yields the same child RNG, regardless of how much the parent
+  /// is advanced afterwards. Used by fault campaigns to key per-run
+  /// randomness off a stable run index.
+  Rng derive(std::uint64_t stream) const;
+
  private:
   std::uint64_t state_;
 };

@@ -7,7 +7,10 @@ Memory::Memory() : bytes_(binary::kAddressSpaceEnd - binary::kAddressSpaceBase, 
 std::size_t Memory::index_of(std::uint32_t addr) { return addr - binary::kAddressSpaceBase; }
 
 bool Memory::in_range(std::uint32_t addr, std::uint32_t n) const {
-  return addr >= binary::kAddressSpaceBase && n <= binary::kAddressSpaceEnd - addr;
+  // addr may lie anywhere in the 32-bit space; guard the subtraction below
+  // against underflow for addresses past the end.
+  return addr >= binary::kAddressSpaceBase && addr <= binary::kAddressSpaceEnd &&
+         n <= binary::kAddressSpaceEnd - addr;
 }
 
 void Memory::check(std::uint32_t addr, std::uint32_t n) const {

@@ -4,6 +4,8 @@
 #include <gtest/gtest.h>
 
 #include "apps/libtoy.h"
+#include "policy/authstring.h"
+#include "policy/policy.h"
 #include "util/hex.h"
 #include "tasm/assembler.h"
 #include "workloads.h"
@@ -138,6 +140,94 @@ TEST(CheckerEdge, CheckingCostIsChargedToTheProcess) {
       static_cast<double>(r1.cycles - r0.cycles) / static_cast<double>(r1.syscalls);
   EXPECT_GT(per_call, 2000.0) << "checking cannot be nearly free";
   EXPECT_LT(per_call, 20000.0) << "checking cost out of calibrated range";
+}
+
+TEST(CheckerEdge, AsBodyPointerBelowHeaderSizeIsRejected) {
+  // A body pointer smaller than the 20-byte header cannot have a header in
+  // front of it; the subtraction must not underflow into a bogus address.
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    p.cpu.regs[isa::kRegPredSet] = policy::kAsHeaderSize - 4;
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+  EXPECT_NE(r.violation_detail.find("unreadable"), std::string::npos);
+}
+
+TEST(CheckerEdge, AsLengthAtMaximumIsScannedNotRejected) {
+  // len == kAsMaxLength is the last ACCEPTED length: the header passes the
+  // plausibility check and the forgery is caught by the call MAC instead.
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    const std::uint32_t body = p.cpu.regs[isa::kRegPredSet];
+    p.mem.w32(body - policy::kAsHeaderSize, policy::kAsMaxLength);
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+  EXPECT_NE(r.violation_detail.find("call MAC mismatch"), std::string::npos);
+}
+
+TEST(CheckerEdge, AsLengthJustOverMaximumIsRejectedUpFront) {
+  // len == kAsMaxLength + 1 must be refused before any MAC work (§3.2
+  // denial-of-service guard), yielding the "unreadable header" path.
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    const std::uint32_t body = p.cpu.regs[isa::kRegPredSet];
+    p.mem.w32(body - policy::kAsHeaderSize, policy::kAsMaxLength + 1);
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+  EXPECT_NE(r.violation_detail.find("unreadable"), std::string::npos);
+}
+
+TEST(CheckerEdge, AsHeaderStraddlingEndOfMemoryIsRejected) {
+  // Body pointer just past the end: the implied header starts inside the
+  // address space but runs off it. Reading it must not fault the host.
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    p.cpu.regs[isa::kRegPredSet] = binary::kAddressSpaceEnd + 4;
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+}
+
+TEST(CheckerEdge, AsBodyPointerFarAboveEndOfMemoryIsRejected) {
+  // Regression test for an in_range() underflow: for pointers far above the
+  // end, (end - addr) wrapped and the bounds check incorrectly passed.
+  Harness h;
+  auto r = h.run_with(2, [](os::Process& p) {
+    p.cpu.regs[isa::kRegPredSet] = 0xfffffff0u;
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+}
+
+TEST(CheckerEdge, PolicyStateReplayedFromAnotherProcessIsCaught) {
+  // Capture the {lastBlock, lbMAC} record from one process's address space
+  // and graft it into a fresh process at a different point in its syscall
+  // history. The MAC is authentic, but its counter nonce belongs to the
+  // donor -- the online memory checker must refuse it (§3.4 anti-replay).
+  std::vector<std::uint8_t> donor;
+  {
+    Harness a;
+    int count = 0;
+    a.sys.machine().pre_syscall_hook = [&](os::Process& p, std::uint32_t) {
+      if (++count == 3 && p.mem.in_range(p.cpu.regs[isa::kRegStatePtr],
+                                         policy::kPolicyStateSize)) {
+        donor = p.mem.read_bytes(p.cpu.regs[isa::kRegStatePtr], policy::kPolicyStateSize);
+      }
+    };
+    auto r = a.sys.machine().run(a.inst.image, {"/lines.txt"});
+    ASSERT_TRUE(r.completed);
+    ASSERT_EQ(donor.size(), policy::kPolicyStateSize);
+  }
+  Harness b;
+  auto r = b.run_with(2, [&](os::Process& p) {
+    p.mem.write_bytes(p.cpu.regs[isa::kRegStatePtr], donor);
+  });
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadPolicyState);
+  EXPECT_NE(r.violation_detail.find("replayed"), std::string::npos);
 }
 
 TEST(CheckerEdge, EnforcementRequiresAKey) {

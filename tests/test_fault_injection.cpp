@@ -1,0 +1,256 @@
+// The fault-injection campaign (src/fault/): seeded mutations of the ASC
+// verification surface must never crash the host, never silently bypass the
+// policy, and always map to the Violation class the §3.4 checking order
+// predicts -- under fail-stop, budgeted, and audit-only enforcement alike.
+#include <gtest/gtest.h>
+
+#include "fault/campaign.h"
+#include "workloads.h"
+
+namespace asc {
+namespace {
+
+using fault::Campaign;
+using fault::CampaignConfig;
+using fault::CampaignResult;
+using fault::GuestProgram;
+using fault::MutationClass;
+using fault::Outcome;
+
+const auto kPers = os::Personality::LinuxSim;
+
+GuestProgram cat_guest() {
+  GuestProgram g;
+  g.name = "cat";
+  g.image = apps::build_tool_cat(kPers);
+  g.argv = {"/lines.txt", "/in.c"};
+  g.prepare_fs = testing::prepare_fs;
+  return g;
+}
+
+GuestProgram vuln_echo_guest() {
+  GuestProgram g;
+  g.name = "vuln_echo";
+  g.image = apps::build_vuln_echo(kPers);
+  g.stdin_data = "/lines.txt\n";
+  g.helpers.emplace_back("/bin/ls", apps::build_tool_cat(kPers));
+  g.prepare_fs = testing::prepare_fs;
+  return g;
+}
+
+crypto::Key128 wrong_key() {
+  crypto::Key128 k = test_key();
+  k[0] ^= 0x01;
+  return k;
+}
+
+// ---- the tentpole invariant, at scale ----
+// >= 500 mutated executions across every mutation class, two guest programs
+// (one of them spawning a child, so faults land in child processes too).
+TEST(FaultCampaign, InvariantHoldsAcrossFiveHundredMutations) {
+  CampaignConfig cfg;
+  cfg.seed = 20260806;
+  cfg.runs_per_class = 28;  // 2 programs x 9 classes x 28 = 504 executions
+  cfg.cycle_limit = 200'000'000;
+  Campaign campaign(cfg);
+  const CampaignResult r = campaign.run_all({cat_guest(), vuln_echo_guest()});
+
+  EXPECT_GE(static_cast<int>(r.verdicts.size()), 500);
+  EXPECT_GE(static_cast<int>(r.matrix.size()), 6) << "mutation-class coverage too narrow";
+  EXPECT_EQ(r.host_crash, 0) << r.summary();
+  EXPECT_EQ(r.silent_bypass, 0) << r.summary();
+  EXPECT_EQ(r.wrong_verdict, 0) << r.summary();
+  EXPECT_GE(r.total_applied(), 450) << r.summary();
+  EXPECT_TRUE(r.invariant_holds());
+
+  // Every class that applied at all was detected, and only with Violation
+  // verdicts from its expected set.
+  for (const auto& [cls, row] : r.matrix) {
+    int applied = 0;
+    for (const auto& [v, n] : row) {
+      applied += n;
+      if (v == os::Violation::None) continue;  // benign replays
+      const auto& exp = fault::expected_violations(cls);
+      EXPECT_NE(std::find(exp.begin(), exp.end(), v), exp.end())
+          << fault::mutation_class_name(cls) << " yielded unexpected verdict "
+          << os::violation_name(v);
+    }
+    EXPECT_GT(applied, 0) << fault::mutation_class_name(cls) << " never applied";
+  }
+}
+
+TEST(FaultCampaign, IsDeterministicUnderASeed) {
+  CampaignConfig cfg;
+  cfg.seed = 77;
+  cfg.runs_per_class = 3;
+  cfg.cycle_limit = 200'000'000;
+  const CampaignResult a = Campaign(cfg).run(cat_guest());
+  const CampaignResult b = Campaign(cfg).run(cat_guest());
+  ASSERT_EQ(a.verdicts.size(), b.verdicts.size());
+  for (std::size_t i = 0; i < a.verdicts.size(); ++i) {
+    EXPECT_EQ(a.verdicts[i].spec.trigger_call, b.verdicts[i].spec.trigger_call);
+    EXPECT_EQ(a.verdicts[i].spec.seed, b.verdicts[i].spec.seed);
+    EXPECT_EQ(a.verdicts[i].outcome, b.verdicts[i].outcome);
+    EXPECT_EQ(a.verdicts[i].violation, b.verdicts[i].violation);
+    EXPECT_EQ(a.verdicts[i].mutation, b.verdicts[i].mutation);
+  }
+}
+
+// ---- graceful degradation: audit-only equivalence ----
+// The same seeded mutations must yield the same FIRST verdict whether the
+// kernel kills (fail-stop) or only records (audit-only); in audit-only mode
+// the guest is never terminated by the monitor.
+TEST(FaultCampaign, AuditOnlyYieldsSameVerdictsWithoutKilling) {
+  CampaignConfig strict;
+  strict.seed = 42;
+  strict.runs_per_class = 4;
+  strict.cycle_limit = 200'000'000;
+  CampaignConfig permissive = strict;
+  permissive.mode = os::FailureMode::AuditOnly;
+
+  const CampaignResult rs = Campaign(strict).run(vuln_echo_guest());
+  const CampaignResult rp = Campaign(permissive).run(vuln_echo_guest());
+  EXPECT_TRUE(rs.invariant_holds()) << rs.summary();
+  EXPECT_TRUE(rp.invariant_holds()) << rp.summary();
+
+  ASSERT_EQ(rs.verdicts.size(), rp.verdicts.size());
+  int compared = 0;
+  for (std::size_t i = 0; i < rs.verdicts.size(); ++i) {
+    const auto& s = rs.verdicts[i];
+    const auto& p = rp.verdicts[i];
+    ASSERT_EQ(s.spec.seed, p.spec.seed);  // same mutation on both sides
+    if (s.outcome != Outcome::Detected) continue;
+    ++compared;
+    EXPECT_EQ(p.outcome, Outcome::Detected);
+    EXPECT_EQ(p.violation, s.violation)
+        << fault::mutation_class_name(s.spec.cls) << " verdict changed in audit-only mode";
+    EXPECT_TRUE(s.guest_killed);
+    EXPECT_FALSE(p.guest_killed) << "audit-only mode must never kill";
+  }
+  EXPECT_GT(compared, 0);
+}
+
+// ---- graceful degradation: kernel-level semantics ----
+
+TEST(GracefulDegradation, AuditOnlyKernelRecordsButGuestCompletes) {
+  // A kernel booted with the wrong key rejects every authenticated call;
+  // in audit-only mode it must log each verdict yet let the guest run to
+  // completion with its normal output.
+  System clean(kPers);
+  testing::prepare_fs(clean.kernel().fs());
+  const auto inst = clean.install(apps::build_tool_cat(kPers));
+  const auto r0 = clean.machine().run(inst.image, {"/lines.txt"});
+  ASSERT_TRUE(r0.completed);
+
+  System sys(kPers);
+  testing::prepare_fs(sys.kernel().fs());
+  sys.kernel().set_key(wrong_key());
+  sys.kernel().set_failure_mode(os::FailureMode::AuditOnly);
+  const auto r = sys.machine().run(inst.image, {"/lines.txt"});
+  EXPECT_TRUE(r.completed) << r.violation_detail;
+  EXPECT_EQ(r.exit_code, r0.exit_code);
+  EXPECT_EQ(r.stdout_data, r0.stdout_data);
+
+  int violations = 0;
+  for (const auto& rec : sys.kernel().audit_log()) {
+    if (rec.kind != os::AuditKind::Violation) continue;
+    ++violations;
+    EXPECT_FALSE(rec.killed);
+    EXPECT_EQ(rec.violation, os::Violation::BadCallMac);
+  }
+  EXPECT_GT(violations, 2) << "every call should have been flagged";
+}
+
+TEST(GracefulDegradation, BudgetedKernelKillsAfterBudgetExceeded) {
+  System sys(kPers);
+  testing::prepare_fs(sys.kernel().fs());
+  const auto inst = sys.install(apps::build_tool_cat(kPers));
+  sys.kernel().set_key(wrong_key());
+  sys.kernel().set_failure_mode(os::FailureMode::Budgeted);
+  sys.kernel().set_violation_budget(2);
+  const auto r = sys.machine().run(inst.image, {"/lines.txt"});
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.violation, os::Violation::BadCallMac);
+
+  // Exactly budget+1 verdicts: two tolerated, the third kills.
+  std::vector<bool> killed;
+  for (const auto& rec : sys.kernel().audit_log()) {
+    if (rec.kind == os::AuditKind::Violation) killed.push_back(rec.killed);
+  }
+  ASSERT_EQ(killed.size(), 3u);
+  EXPECT_FALSE(killed[0]);
+  EXPECT_FALSE(killed[1]);
+  EXPECT_TRUE(killed[2]);
+}
+
+TEST(GracefulDegradation, ZeroBudgetMatchesFailStop) {
+  auto run_mode = [&](os::FailureMode mode) {
+    System sys(kPers);
+    testing::prepare_fs(sys.kernel().fs());
+    const auto inst = sys.install(apps::build_tool_cat(kPers));
+    sys.kernel().set_key(wrong_key());
+    sys.kernel().set_failure_mode(mode);
+    return sys.machine().run(inst.image, {"/lines.txt"});
+  };
+  const auto strict = run_mode(os::FailureMode::FailStop);
+  const auto budgeted = run_mode(os::FailureMode::Budgeted);  // budget = 0
+  EXPECT_FALSE(strict.completed);
+  EXPECT_FALSE(budgeted.completed);
+  EXPECT_EQ(strict.violation, budgeted.violation);
+  EXPECT_EQ(strict.violation_detail, budgeted.violation_detail);
+}
+
+// ---- structured audit records ----
+
+TEST(AuditLog, RecordsCarryFullTrapContext) {
+  System sys(kPers);
+  testing::prepare_fs(sys.kernel().fs());
+  sys.install_and_register("/bin/ls", apps::build_tool_cat(kPers));
+  const auto inst = sys.install(apps::build_vuln_echo(kPers));
+  const auto r = sys.machine().run(inst.image, {}, "/lines.txt\n");
+  ASSERT_TRUE(r.completed) << r.violation_detail;
+
+  const os::VerdictRecord* spawn = nullptr;
+  for (const auto& rec : sys.kernel().audit_log()) {
+    if (rec.kind == os::AuditKind::Spawn) spawn = &rec;
+  }
+  ASSERT_NE(spawn, nullptr);
+  EXPECT_GT(spawn->pid, 0);
+  EXPECT_FALSE(spawn->prog.empty());
+  EXPECT_NE(spawn->call_site, 0u);
+  EXPECT_EQ(spawn->sysno, *os::syscall_number(kPers, os::SysId::Spawn));
+  EXPECT_EQ(spawn->violation, os::Violation::None);
+  EXPECT_GT(spawn->vtime_ns, 0u);
+  EXPECT_NE(spawn->detail.find("/bin/ls"), std::string::npos);
+
+  // The legacy formatted view still carries the historical prefixes.
+  bool legacy = false;
+  for (const auto& e : sys.kernel().event_log()) {
+    if (e.find("SPAWN /bin/ls") != std::string::npos) legacy = true;
+  }
+  EXPECT_TRUE(legacy);
+}
+
+TEST(AuditLog, ViolationRecordMatchesProcessVerdict) {
+  System sys(kPers);
+  testing::prepare_fs(sys.kernel().fs());
+  const auto inst = sys.install(apps::build_tool_cat(kPers));
+  sys.kernel().set_key(wrong_key());
+  const auto r = sys.machine().run(inst.image, {"/lines.txt"});
+  ASSERT_FALSE(r.completed);
+
+  ASSERT_FALSE(sys.kernel().audit_log().empty());
+  const auto& rec = sys.kernel().audit_log().front();
+  EXPECT_EQ(rec.kind, os::AuditKind::Violation);
+  EXPECT_EQ(rec.violation, r.violation);
+  EXPECT_EQ(rec.detail, r.violation_detail);
+  EXPECT_TRUE(rec.killed);
+  EXPECT_GT(rec.pid, 0);
+  EXPECT_NE(rec.call_site, 0u);
+  EXPECT_NE(rec.to_string().find("ALERT"), std::string::npos);
+  EXPECT_NE(rec.to_string().find(os::violation_name(rec.violation)),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace asc
