@@ -4,7 +4,8 @@
 //   asctool build <name> <out.txe>       write a relocatable guest program
 //   asctool inspect <img.txe>            dump header, sections, symbols
 //   asctool install <in.txe> <out.txe>   analyze + rewrite (prints policies)
-//   asctool run <img.txe> [args...]      execute under ASC enforcement
+//   asctool run [--stats] <img.txe> [args...]   execute under ASC enforcement
+//       (--stats also prints the kernel's verified-call cache counters)
 //
 // Demo session:
 //   ./example_asctool build gzip /tmp/gzip.txe
@@ -85,7 +86,7 @@ int cmd_install(const std::string& in, const std::string& out) {
   return 0;
 }
 
-int cmd_run(const std::string& path, const std::vector<std::string>& args) {
+int cmd_run(const std::string& path, const std::vector<std::string>& args, bool stats) {
   const binary::Image img = binary::Image::deserialize(read_file(path));
   System sys(os::Personality::LinuxSim);
   // Seed a small demo filesystem.
@@ -104,6 +105,16 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args) {
   std::printf("[exit %d, %llu syscalls, %llu cycles]\n", r.exit_code,
               static_cast<unsigned long long>(r.syscalls),
               static_cast<unsigned long long>(r.cycles));
+  if (stats) {
+    const auto& st = sys.kernel().cache_stats();
+    std::printf("[verified-call cache: %llu hits, %llu misses (%.1f%% hit rate), "
+                "%llu inserts, %llu evictions, %llu invalidation writes]\n",
+                static_cast<unsigned long long>(st.hits),
+                static_cast<unsigned long long>(st.misses), st.hit_rate() * 100.0,
+                static_cast<unsigned long long>(st.inserts),
+                static_cast<unsigned long long>(st.evictions),
+                static_cast<unsigned long long>(st.invalidation_writes));
+  }
   return r.completed ? r.exit_code : 3;
 }
 
@@ -116,9 +127,15 @@ int main(int argc, char** argv) {
     if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
     if (cmd == "install" && argc == 4) return cmd_install(argv[2], argv[3]);
     if (cmd == "run" && argc >= 3) {
+      bool stats = false;
       std::vector<std::string> args;
-      for (int i = 3; i < argc; ++i) args.emplace_back(argv[i]);
-      return cmd_run(argv[2], args);
+      int img_arg = 2;
+      if (std::string(argv[2]) == "--stats" && argc >= 4) {
+        stats = true;
+        img_arg = 3;
+      }
+      for (int i = img_arg + 1; i < argc; ++i) args.emplace_back(argv[i]);
+      return cmd_run(argv[img_arg], args, stats);
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "asctool: %s\n", e.what());
@@ -126,6 +143,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: asctool build <name> <out.txe> | inspect <img.txe> |\n"
-               "       install <in.txe> <out.txe> | run <img.txe> [args...]\n");
+               "       install <in.txe> <out.txe> | run [--stats] <img.txe> [args...]\n"
+               "       (--stats prints verified-call cache hit/miss/eviction counters)\n");
   return 1;
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Compare freshly produced BENCH_*.json files against committed baselines.
+
+Usage: check_bench_regression.py <baseline.json> <current.json> [tolerance]
+
+The benchmarks report MODELED cycles (deterministic cost model), so runs are
+reproducible; the tolerance (default 10%) absorbs intentional cost-model
+retuning without letting a real fast-path regression slip through.
+
+Checks, per row matched by "name":
+  * cost columns (orig / auth / auth_cached) may not grow by more than the
+    tolerance over the baseline;
+  * auth_cached may never exceed auth (the cache must never make a call
+    more expensive than full verification);
+  * table4 rows must keep overhead_reduction_pct >= 30 (the acceptance bar
+    for the verified-call cache).
+
+Exit status: 0 = within bounds, 1 = regression, 2 = usage/parse error.
+"""
+
+import json
+import sys
+
+COST_FIELDS = ("orig", "auth", "auth_cached")
+MIN_TABLE4_REDUCTION_PCT = 30.0
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"check_bench_regression: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        print(__doc__, file=sys.stderr)
+        return 2
+    baseline = load(sys.argv[1])
+    current = load(sys.argv[2])
+    tolerance = float(sys.argv[3]) if len(sys.argv) == 4 else 0.10
+
+    base_rows = {r["name"]: r for r in baseline.get("rows", [])}
+    cur_rows = {r["name"]: r for r in current.get("rows", [])}
+    table = current.get("table", "?")
+    failures = []
+
+    missing = set(base_rows) - set(cur_rows)
+    if missing:
+        failures.append(f"rows disappeared from {table}: {sorted(missing)}")
+
+    for name, cur in cur_rows.items():
+        base = base_rows.get(name)
+        if base is None:
+            print(f"  note: new row '{name}' (no baseline yet)")
+            continue
+        for field in COST_FIELDS:
+            if field not in base or field not in cur:
+                continue
+            limit = base[field] * (1.0 + tolerance)
+            if cur[field] > limit:
+                failures.append(
+                    f"{table}/{name}/{field}: {cur[field]:.1f} exceeds baseline "
+                    f"{base[field]:.1f} by more than {tolerance:.0%}"
+                )
+        if "auth" in cur and "auth_cached" in cur and cur["auth_cached"] > cur["auth"]:
+            failures.append(
+                f"{table}/{name}: auth_cached ({cur['auth_cached']:.1f}) exceeds "
+                f"auth ({cur['auth']:.1f}) -- the cache made calls slower"
+            )
+        if table == "table4":
+            redu = cur.get("overhead_reduction_pct")
+            if redu is not None and redu < MIN_TABLE4_REDUCTION_PCT:
+                failures.append(
+                    f"{table}/{name}: overhead reduction {redu:.1f}% fell below "
+                    f"the {MIN_TABLE4_REDUCTION_PCT:.0f}% acceptance bar"
+                )
+
+    if failures:
+        print(f"BENCH REGRESSION in {table}:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"{table}: {len(cur_rows)} rows within {tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

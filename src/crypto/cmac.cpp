@@ -1,6 +1,18 @@
 #include "crypto/cmac.h"
 
+#include <map>
+#include <mutex>
+
 namespace asc::crypto {
+
+/// Derived key material: AES round keys plus the CMAC subkeys K1/K2.
+/// Immutable after construction, shared by every Cmac bound to the key.
+struct Cmac::Schedule {
+  explicit Schedule(const Key128& key) : aes(key) {}
+  Aes128 aes;
+  Block k1{};
+  Block k2{};
+};
 
 namespace {
 
@@ -29,14 +41,30 @@ void xor_into(Block& dst, const Block& src) {
 
 }  // namespace
 
-Cmac::Cmac(const Key128& key) : aes_(key) {
+Cmac::Cmac(const Key128& key) {
+  // Once-per-key subkey derivation: memoize the schedule so repeated engine
+  // construction under the same key (installer + kernel, many experiment
+  // iterations) pays the AES key expansion and K1/K2 derivation only once.
+  static std::mutex memo_mu;
+  static std::map<Key128, std::weak_ptr<const Schedule>> memo;
+  std::lock_guard<std::mutex> lock(memo_mu);
+  if (auto it = memo.find(key); it != memo.end()) {
+    if (auto live = it->second.lock()) {
+      sched_ = std::move(live);
+      return;
+    }
+  }
+  auto sched = std::make_shared<Schedule>(key);
   Block l{};
-  aes_.encrypt_block(l);
-  k1_ = derive_subkey(l);
-  k2_ = derive_subkey(k1_);
+  sched->aes.encrypt_block(l);
+  sched->k1 = derive_subkey(l);
+  sched->k2 = derive_subkey(sched->k1);
+  memo[key] = sched;
+  sched_ = std::move(sched);
 }
 
 Mac Cmac::compute(std::span<const std::uint8_t> message) const {
+  const Schedule& s = *sched_;
   const std::size_t n = message.size();
   // Number of blocks; the empty message is treated as one (padded) block.
   const std::size_t nblocks = n == 0 ? 1 : (n + 15) / 16;
@@ -47,21 +75,21 @@ Mac Cmac::compute(std::span<const std::uint8_t> message) const {
     Block m{};
     for (std::size_t j = 0; j < 16; ++j) m[j] = message[16 * i + j];
     xor_into(x, m);
-    aes_.encrypt_block(x);
+    s.aes.encrypt_block(x);
   }
 
   Block last{};
   if (last_complete) {
     for (std::size_t j = 0; j < 16; ++j) last[j] = message[16 * (nblocks - 1) + j];
-    xor_into(last, k1_);
+    xor_into(last, s.k1);
   } else {
     const std::size_t rem = n - 16 * (nblocks - 1);
     for (std::size_t j = 0; j < rem; ++j) last[j] = message[16 * (nblocks - 1) + j];
     last[rem] = 0x80;
-    xor_into(last, k2_);
+    xor_into(last, s.k2);
   }
   xor_into(x, last);
-  aes_.encrypt_block(x);
+  s.aes.encrypt_block(x);
   return x;
 }
 

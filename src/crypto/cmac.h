@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -18,7 +19,10 @@ namespace asc::crypto {
 /// A 128-bit message authentication code.
 using Mac = Block;
 
-/// CMAC engine bound to a key. Construction derives the two subkeys K1/K2.
+/// CMAC engine bound to a key. The AES round keys and the two CMAC subkeys
+/// K1/K2 are derived once per distinct key and shared by every engine bound
+/// to it (the experiments construct hundreds of installer/kernel pairs
+/// against the same key; re-deriving per engine was pure setup waste).
 class Cmac {
  public:
   explicit Cmac(const Key128& key);
@@ -31,9 +35,8 @@ class Cmac {
   static bool equal(const Mac& a, const Mac& b);
 
  private:
-  Aes128 aes_;
-  Block k1_{};
-  Block k2_{};
+  struct Schedule;  // {Aes128, K1, K2}, immutable once derived
+  std::shared_ptr<const Schedule> sched_;
 };
 
 /// The key shared by the trusted installer and the (simulated) kernel.

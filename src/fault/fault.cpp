@@ -20,6 +20,7 @@ std::string mutation_class_name(MutationClass c) {
     case MutationClass::CrossReplay: return "cross-replay";
     case MutationClass::RegisterSwap: return "register-swap";
     case MutationClass::KeyMismatch: return "key-mismatch";
+    case MutationClass::CacheToctou: return "cache-toctou";
     case MutationClass::kCount: break;
   }
   return "?";
@@ -48,10 +49,18 @@ const std::vector<os::Violation>& expected_violations(MutationClass c) {
   // lastBlock outside the predecessor set.
   static const std::vector<os::Violation> replay{os::Violation::BadPolicyState,
                                                  os::Violation::BadPredecessor};
+  // CacheToctou corrupts either the call MAC or the pred-set body at a site
+  // already verified once; the verified-call cache must miss (digest change
+  // and/or write-watch eviction) and the full re-verification then fails at
+  // the corresponding step.
+  static const std::vector<os::Violation> toctou{os::Violation::BadCallMac,
+                                                 os::Violation::BadStringArg};
   switch (c) {
     case MutationClass::AsBodyCorrupt:
     case MutationClass::PredSetCorrupt:
       return string_arg;
+    case MutationClass::CacheToctou:
+      return toctou;
     case MutationClass::PolicyStateCorrupt:
       return policy_state;
     case MutationClass::CrossReplay:
@@ -74,11 +83,12 @@ void FaultInjector::arm(vm::Machine& machine) {
   personality_ = machine.kernel().personality();
   machine.pre_syscall_hook = [this](os::Process& p, std::uint32_t call_site) {
     ++calls_seen_;
-    if (applied_ || calls_seen_ < spec_.trigger_call) return;
-    if (try_apply(p, call_site)) {
+    if (!applied_ && calls_seen_ >= spec_.trigger_call && try_apply(p, call_site)) {
       applied_ = true;
       applied_at_ = calls_seen_;
     }
+    // Count after try_apply so "visited" means a strictly earlier trap.
+    ++site_visits_[call_site];
   };
 }
 
@@ -222,6 +232,26 @@ bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site) {
       // Environmental fault: the campaign boots the kernel with a key that
       // differs from the installer's. Nothing to mutate at trap time.
       description_ = "kernel/installer key mismatch";
+      return true;
+    }
+
+    case MutationClass::CacheToctou: {
+      // Time-of-check-to-time-of-use against the verified-call cache: wait
+      // for a trap at a site the checker has already verified (so a cache
+      // entry exists), then corrupt the bytes the fast path would be tempted
+      // to trust without re-MACing. Detection requires the cache to re-digest
+      // (or be evicted by the write watch) and fall back to full verification.
+      if (site_visits_[call_site] < 1) return false;
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> targets;  // {addr, len}
+      const std::uint32_t mac_ptr = regs[isa::kRegCallMac];
+      if (p.mem.in_range(mac_ptr, 16)) targets.emplace_back(mac_ptr, 16);
+      if (des.control_flow_constrained()) {
+        const std::uint32_t body = regs[isa::kRegPredSet];
+        if (const std::uint32_t len = as_len(body); len > 0) targets.emplace_back(body, len);
+      }
+      if (targets.empty()) return false;
+      const auto& [addr, len] = targets[(seed >> 32) % targets.size()];
+      flip_bit(addr, len, "cache-toctou");
       return true;
     }
 

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,8 @@ enum class MutationClass : std::uint8_t {
   CrossReplay,         // replay policy state captured from another process
   RegisterSwap,        // corrupt a policy-operand register at trap time
   KeyMismatch,         // kernel key differs from the installer key
+  CacheToctou,         // corrupt MAC/pred-set at a call site verified before
+                       // (attacks the verified-call cache fast path)
   kCount,
 };
 
@@ -88,6 +91,10 @@ class FaultInjector {
   bool applied_ = false;
   int applied_at_ = 0;
   int calls_seen_ = 0;
+  // Traps seen per call site so far, *excluding* the current one. CacheToctou
+  // only fires at a site the checker has already verified once -- the moment
+  // a naive verified-call cache would skip re-verification.
+  std::map<std::uint32_t, int> site_visits_;
   std::string description_;
 };
 

@@ -1,0 +1,77 @@
+#include "os/asccache.h"
+
+namespace asc::os {
+
+std::uint64_t fnv1a64(std::uint64_t h, std::span<const std::uint8_t> bytes) {
+  for (const std::uint8_t b : bytes) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+const AscCache::Entry* AscCache::lookup(const Key& key, std::uint64_t digest) {
+  const auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.digest != digest) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  ++it->second.hits;
+  return &it->second;
+}
+
+void AscCache::insert(const Key& key, Entry entry) {
+  if (entries_.find(key) == entries_.end() && entries_.size() >= capacity_) {
+    // Capacity backstop: drop the first entry in key order. Entries are tiny
+    // and capacity is generous, so this path is for runaway site counts only.
+    entries_.erase(entries_.begin());
+    ++stats_.evictions;
+  }
+  entries_[key] = std::move(entry);
+  ++stats_.inserts;
+}
+
+void AscCache::invalidate_write(int pid, std::uint32_t addr, std::uint32_t len) {
+  ++stats_.invalidation_writes;
+  auto it = entries_.lower_bound(Key{pid, 0, 0, 0});
+  while (it != entries_.end() && it->first.pid == pid) {
+    bool overlap = false;
+    for (const auto& [base, n] : it->second.ranges) {
+      if (addr < base + n && base < addr + len) {
+        overlap = true;
+        break;
+      }
+    }
+    if (overlap) {
+      it = entries_.erase(it);
+      ++stats_.evictions;
+    } else {
+      ++it;
+    }
+  }
+}
+
+void AscCache::evict_pid(int pid) {
+  auto it = entries_.lower_bound(Key{pid, 0, 0, 0});
+  while (it != entries_.end() && it->first.pid == pid) {
+    it = entries_.erase(it);
+    ++stats_.evictions;
+  }
+}
+
+void AscCache::clear() {
+  stats_.evictions += entries_.size();
+  entries_.clear();
+}
+
+std::size_t AscCache::size(int pid) const {
+  std::size_t n = 0;
+  for (auto it = entries_.lower_bound(Key{pid, 0, 0, 0});
+       it != entries_.end() && it->first.pid == pid; ++it) {
+    ++n;
+  }
+  return n;
+}
+
+}  // namespace asc::os

@@ -1,0 +1,118 @@
+// Per-process verified-call cache: the MAC-verification fast path.
+//
+// For a given call site, everything the §3.4 checker authenticates with
+// AES-CMAC over *static* bytes is immutable between policy installs: the
+// encoded call (sysno, descriptor, site, block id, constant argument values,
+// AS headers, lbPtr), the 16-byte call MAC, the predecessor-set blob, and
+// the contents of constant authenticated-string arguments. Re-running the
+// cipher over those bytes on every trap is pure hot-path waste. The cache
+// remembers, per (pid, call_site, descriptor, blockID), a digest of exactly
+// those bytes taken at the last FULL verification; when a later trap at the
+// same site presents byte-identical material, the checker skips the call-MAC,
+// AS-content, and pred-set AES-CMAC verifications (and the pred-set decode,
+// whose result is cached too) and charges the reduced CostModel hit cost.
+//
+// What is NEVER cached: the control-flow policy state. lastBlock/lbMAC and
+// the per-process counter form the §3.2 online memory checker -- per-call
+// nonce state -- and are verified and re-MACed on every single call, hit or
+// miss. Capability (§5.3) and pattern (§5.1) checks also always run: they
+// depend on live fd tables and dynamic argument strings.
+//
+// The cache may buy cycles, never soundness. Invalidation invariants:
+//   * guest writes into any byte range backing an entry (call MAC, AS
+//     header/body, pred-set header/body) evict it -- vm::Memory write-watch
+//     hooks fire before the bytes change;
+//   * key rotation (Kernel::set_key) clears the whole cache;
+//   * process teardown evicts every entry of that pid, so a recycled pid or
+//     a re-exec can never inherit stale trust;
+//   * a lookup whose digest mismatches is a miss (full re-verification), so
+//     even a missed invalidation cannot skip checking of changed bytes.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "policy/policy.h"
+
+namespace asc::os {
+
+struct AscCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;       // probes that fell back to full verification
+  std::uint64_t inserts = 0;      // entries populated after a full verification
+  std::uint64_t evictions = 0;    // entries dropped (write/rotation/teardown/capacity)
+  std::uint64_t invalidation_writes = 0;  // guest writes that hit a watched range
+
+  double hit_rate() const {
+    const std::uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes);
+  }
+};
+
+/// FNV-1a accumulation over one span; chain calls to digest several spans.
+std::uint64_t fnv1a64(std::uint64_t h, std::span<const std::uint8_t> bytes);
+inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ull;
+
+class AscCache {
+ public:
+  /// Cache key: the process plus everything that names one rewritten call
+  /// site's policy identity. pid is part of the key, so one process's
+  /// verified entry can never serve another (cross-process isolation).
+  struct Key {
+    int pid = 0;
+    std::uint32_t call_site = 0;
+    std::uint32_t descriptor = 0;
+    std::uint32_t block_id = 0;
+
+    auto operator<=>(const Key&) const = default;
+  };
+
+  /// One verified call site. `digest` covers the encoded call bytes, the
+  /// claimed call MAC, the pred-set blob, and every static AS content --
+  /// the exact inputs of the skipped AES-CMAC verifications. `ranges` are
+  /// the guest byte ranges backing those inputs (registered as write-watch
+  /// ranges); a write into any of them evicts the entry.
+  struct Entry {
+    std::uint64_t digest = 0;
+    bool control_flow = false;
+    std::vector<std::uint32_t> preds;
+    std::vector<std::uint32_t> fd_sources;
+    std::vector<policy::PatternRef> patterns;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;  // {addr, len}
+    std::uint64_t hits = 0;
+  };
+
+  explicit AscCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  /// The entry for `key` iff its digest matches, else nullptr. Counts a hit
+  /// or a miss either way.
+  const Entry* lookup(const Key& key, std::uint64_t digest);
+
+  /// Populate after a full verification (replaces any stale entry).
+  void insert(const Key& key, Entry entry);
+
+  /// A write of [addr, addr+len) landed in process `pid`: evict every entry
+  /// of that pid whose backing ranges overlap the write.
+  void invalidate_write(int pid, std::uint32_t addr, std::uint32_t len);
+
+  /// Process teardown / exec: drop everything this pid ever verified.
+  void evict_pid(int pid);
+
+  /// Key rotation: no prior verification is valid under the new key.
+  void clear();
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t size(int pid) const;
+
+  const AscCacheStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  std::map<Key, Entry> entries_;
+  std::size_t capacity_;
+  AscCacheStats stats_;
+};
+
+}  // namespace asc::os

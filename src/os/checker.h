@@ -29,6 +29,7 @@
 #include <string>
 
 #include "crypto/cmac.h"
+#include "os/asccache.h"
 #include "os/costmodel.h"
 #include "os/process.h"
 #include "os/syscalls.h"
@@ -39,10 +40,16 @@ struct CheckResult {
   Violation violation = Violation::None;
   std::string detail;
   std::uint64_t cycles = 0;  // modeled cost of the checking work
+  bool cache_hit = false;    // static MACs served from the verified-call cache
 };
 
+/// `cache`, when non-null, enables the verified-call fast path: static-input
+/// AES-CMAC verifications are skipped when the site's bytes digest-match a
+/// previously verified trap (see os/asccache.h). Steps 3.1-3.5 (the online
+/// memory checker), 4 (capabilities), and 5 (patterns) always run.
 CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::uint16_t sysno,
                                      const SyscallSig& sig, const crypto::MacKey& key,
-                                     const CostModel& cost, bool capability_checking);
+                                     const CostModel& cost, bool capability_checking,
+                                     AscCache* cache = nullptr);
 
 }  // namespace asc::os

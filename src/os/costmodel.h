@@ -49,15 +49,30 @@ struct CostModel {
   double write_per_byte = 9.33;
 
   // ---- checker (authenticated system calls) ----
-  // AES-CMAC: fixed setup + per-16-byte-block cost. A typical authenticated
-  // call computes 3-4 MACs over short inputs; the paper reports ~4,000
-  // cycles of total checking overhead per call.
-  std::uint64_t mac_setup = 360;
+  // AES-CMAC: per-message setup + per-16-byte-block cost. A typical
+  // authenticated call computes 3-4 MACs over short inputs; the paper
+  // reports ~4,000 cycles of total checking overhead per call. The K1/K2
+  // subkey derivation (an extra AES operation plus two shifted XORs) is
+  // hoisted to once-per-key -- crypto/cmac.cpp shares one schedule per
+  // distinct key -- so it is charged at key install (`mac_subkey_setup`),
+  // not per message; per-message setup is correspondingly below the seed's
+  // 360-cycle figure.
+  std::uint64_t mac_setup = 220;
+  std::uint64_t mac_subkey_setup = 140;  // once per key install, off the hot path
   std::uint64_t mac_per_block = 310;
   // Argument marshalling, AS header reads, predecessor-set membership scan,
   // policy-state update bookkeeping.
   std::uint64_t check_fixed = 420;
   std::uint64_t check_per_as_arg = 90;
+
+  // ---- verified-call cache (hot-path fast path) ----
+  // A hit replaces the AES-CMAC verifications over immutable per-site bytes
+  // (encoded call, call MAC, pred-set blob, static AS contents) with a table
+  // lookup plus a non-cryptographic digest over those same bytes. The online
+  // memory checker (lastBlock/lbMAC/counter) is still charged in full on
+  // every call -- it is per-call nonce state and is never cached.
+  std::uint64_t cache_hit_fixed = 150;
+  std::uint64_t cache_digest_per_block = 18;
 
   // ---- baseline monitors (ablations) ----
   // User-space policy daemon (Systrace/Ostia style): two extra context
@@ -105,6 +120,14 @@ struct CostModel {
   std::uint64_t mac_cost(std::size_t message_len) const {
     const std::uint64_t blocks = message_len == 0 ? 1 : (message_len + 15) / 16;
     return mac_setup + mac_per_block * blocks;
+  }
+
+  /// Modeled cost of a verified-call cache hit whose digest covered
+  /// `digest_len` bytes (lookup + non-crypto hash; replaces `check_fixed`
+  /// and every static-input mac_cost of the miss path).
+  std::uint64_t cache_hit_cost(std::size_t digest_len) const {
+    const std::uint64_t blocks = digest_len == 0 ? 1 : (digest_len + 15) / 16;
+    return cache_hit_fixed + cache_digest_per_block * blocks;
   }
 
   std::uint64_t handler_base_cost(SysId id) const {

@@ -52,7 +52,14 @@ std::string VerdictRecord::to_string() const {
 Kernel::Kernel(Personality personality, CostModel cost)
     : personality_(personality), cost_(cost) {}
 
-void Kernel::set_key(const crypto::Key128& key) { key_.emplace(key); }
+void Kernel::set_key(const crypto::Key128& key) {
+  key_.emplace(key);
+  // Key rotation invalidates every cached verification: no prior MAC match
+  // says anything under the new key. (Charging note: the AES-CMAC subkey
+  // derivation -- cost_.mac_subkey_setup -- is paid here, once per key,
+  // which is what lets mac_cost() omit it on the per-call hot path.)
+  call_cache_.clear();
+}
 
 void Kernel::set_monitor_policy(const std::string& program, MonitorPolicy policy) {
   monitor_policies_[program] = std::move(policy);
@@ -175,7 +182,8 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
       }
       const CheckResult r = check_authenticated_call(p, call_site, sysno,
                                                      signature(*maybe_id), *key_, cost_,
-                                                     capability_checking_);
+                                                     capability_checking_,
+                                                     cache_enabled_ ? &call_cache_ : nullptr);
       charge(p, r.cycles);
       if (r.violation != Violation::None && deny(p, r.violation, r.detail)) return;
       break;

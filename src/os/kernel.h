@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "crypto/cmac.h"
+#include "os/asccache.h"
 #include "os/costmodel.h"
 #include "os/fs.h"
 #include "os/process.h"
@@ -117,6 +118,20 @@ class Kernel {
   /// Enable kernel-side fd capability checking (§5.3).
   void set_capability_checking(bool on) { capability_checking_ = on; }
   bool capability_checking() const { return capability_checking_; }
+
+  // ---- verified-call cache ----
+  /// The MAC-verification fast path (os/asccache.h), on by default. When
+  /// disabled, every trap performs the full §3.4 verification (the paper's
+  /// uncached behavior; benchmarks compare both).
+  void set_verified_call_cache(bool on) { cache_enabled_ = on; }
+  bool verified_call_cache() const { return cache_enabled_; }
+  AscCache& call_cache() { return call_cache_; }
+  const AscCache& call_cache() const { return call_cache_; }
+  /// Hit/miss/eviction counters of the fast path (stats audit surface).
+  const AscCacheStats& cache_stats() const { return call_cache_.stats(); }
+  /// Process teardown/exec hook: drop every cached verification of `pid` so
+  /// recycled pids or re-execed images can never inherit stale trust.
+  void end_process(int pid) { call_cache_.evict_pid(pid); }
   /// Normalize path arguments before checking baseline-monitor path
   /// policies (§5.4).
   void set_normalize_paths(bool on) { normalize_paths_ = on; }
@@ -188,6 +203,8 @@ class Kernel {
   SimFs fs_;
   Enforcement enforcement_ = Enforcement::Off;
   std::optional<crypto::MacKey> key_;
+  AscCache call_cache_;
+  bool cache_enabled_ = true;
   std::map<std::string, MonitorPolicy> monitor_policies_;
   bool capability_checking_ = false;
   bool normalize_paths_ = false;

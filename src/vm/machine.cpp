@@ -118,6 +118,11 @@ RunResult Machine::run_internal(const binary::Image& image, const std::vector<st
     res.violation_detail = std::string("guest fault: ") + f.what();
   }
 
+  // Process teardown: the kernel must drop every cached verification for
+  // this pid (its address space -- the bytes the cache vouches for -- dies
+  // with it).
+  kernel_.end_process(p.pid);
+
   res.exit_code = p.exit_code;
   res.violation = p.violation;
   if (res.violation_detail.empty()) res.violation_detail = p.violation_detail;

@@ -34,6 +34,7 @@ std::uint8_t Memory::r8(std::uint32_t addr) const {
 
 void Memory::w8(std::uint32_t addr, std::uint8_t value) {
   check(addr, 1);
+  notify_write(addr, 1);
   bytes_[index_of(addr)] = value;
 }
 
@@ -47,6 +48,7 @@ std::uint32_t Memory::r32(std::uint32_t addr) const {
 
 void Memory::w32(std::uint32_t addr, std::uint32_t value) {
   check(addr, 4);
+  notify_write(addr, 4);
   const std::size_t i = index_of(addr);
   bytes_[i] = static_cast<std::uint8_t>(value);
   bytes_[i + 1] = static_cast<std::uint8_t>(value >> 8);
@@ -63,7 +65,35 @@ std::vector<std::uint8_t> Memory::read_bytes(std::uint32_t addr, std::uint32_t n
 
 void Memory::write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
   check(addr, static_cast<std::uint32_t>(bytes.size()));
+  notify_write(addr, static_cast<std::uint32_t>(bytes.size()));
   std::copy(bytes.begin(), bytes.end(), bytes_.begin() + static_cast<std::ptrdiff_t>(index_of(addr)));
+}
+
+void Memory::watch(std::uint32_t addr, std::uint32_t len) {
+  if (len == 0) return;
+  for (const auto& [base, n] : watches_) {
+    if (base == addr && n == len) return;
+  }
+  watches_.emplace_back(addr, len);
+  if (addr < watch_min_) watch_min_ = addr;
+  if (addr + len > watch_max_) watch_max_ = addr + len;
+}
+
+void Memory::clear_watches() {
+  watches_.clear();
+  watch_min_ = 0xffffffffu;
+  watch_max_ = 0;
+}
+
+void Memory::notify_write(std::uint32_t addr, std::uint32_t n) {
+  if (watch_max_ == 0 || !on_watched_write_) return;
+  if (addr >= watch_max_ || addr + n <= watch_min_) return;  // outside the envelope
+  for (const auto& [base, len] : watches_) {
+    if (addr < base + len && base < addr + n) {
+      on_watched_write_(addr, n);
+      return;
+    }
+  }
 }
 
 std::string Memory::read_cstr(std::uint32_t addr, std::uint32_t max_len) const {

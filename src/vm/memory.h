@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
 #include <vector>
@@ -45,9 +46,27 @@ class Memory {
   static std::size_t index_of(std::uint32_t addr);
   bool in_range(std::uint32_t addr, std::uint32_t n = 1) const;
 
+  // ---- write-watch (verified-call cache invalidation) ----
+  // The kernel registers the byte ranges backing a cached verification
+  // (call MAC, AS headers/bodies, pred-set blob); any write overlapping a
+  // watched range invokes the callback BEFORE the bytes change, so the
+  // cache can evict. A [min,max) envelope over all ranges keeps the common
+  // store (stack/heap, far from .asdata) a two-compare rejection.
+  using WriteWatchFn = std::function<void(std::uint32_t addr, std::uint32_t len)>;
+  void set_write_watch(WriteWatchFn fn) { on_watched_write_ = std::move(fn); }
+  bool has_write_watch() const { return static_cast<bool>(on_watched_write_); }
+  /// Register a range; duplicates are coalesced away.
+  void watch(std::uint32_t addr, std::uint32_t len);
+  void clear_watches();
+
  private:
   void check(std::uint32_t addr, std::uint32_t n) const;
+  void notify_write(std::uint32_t addr, std::uint32_t n);
   std::vector<std::uint8_t> bytes_;
+  WriteWatchFn on_watched_write_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> watches_;  // {addr, len}
+  std::uint32_t watch_min_ = 0xffffffffu;
+  std::uint32_t watch_max_ = 0;  // exclusive; 0 = no watches
 };
 
 }  // namespace asc::vm

@@ -50,7 +50,7 @@ crypto::Key128 wrong_key() {
 TEST(FaultCampaign, InvariantHoldsAcrossFiveHundredMutations) {
   CampaignConfig cfg;
   cfg.seed = 20260806;
-  cfg.runs_per_class = 28;  // 2 programs x 9 classes x 28 = 504 executions
+  cfg.runs_per_class = 28;  // 2 programs x 10 classes x 28 = 560 executions
   cfg.cycle_limit = 200'000'000;
   Campaign campaign(cfg);
   const CampaignResult r = campaign.run_all({cat_guest(), vuln_echo_guest()});
@@ -77,6 +77,30 @@ TEST(FaultCampaign, InvariantHoldsAcrossFiveHundredMutations) {
     }
     EXPECT_GT(applied, 0) << fault::mutation_class_name(cls) << " never applied";
   }
+}
+
+// ---- the verified-call cache under attack ----
+// TOCTOU against the MAC-verification fast path: corrupt the call MAC or the
+// predecessor-set bytes at a call site the checker has ALREADY verified once
+// (so a cache entry exists). A cache that trusted its entry without
+// re-digesting (or without write-watch eviction) would accept the corrupted
+// call -- a silent bypass. Every applied mutation must instead fail-stop
+// with the verdict full verification yields.
+TEST(FaultCampaign, CacheToctouMutationsFailStop) {
+  CampaignConfig cfg;
+  cfg.seed = 987654;
+  cfg.runs_per_class = 40;
+  cfg.classes = {MutationClass::CacheToctou};
+  cfg.cycle_limit = 200'000'000;
+  const CampaignResult r = Campaign(cfg).run_all({cat_guest(), vuln_echo_guest()});
+
+  EXPECT_TRUE(r.invariant_holds()) << r.summary();
+  EXPECT_EQ(r.host_crash, 0) << r.summary();
+  EXPECT_EQ(r.silent_bypass, 0) << r.summary();
+  EXPECT_GT(r.detected, 0) << "no TOCTOU mutation ever landed:\n" << r.summary();
+  // Bit-flips in live MAC/pred-set bytes are never no-ops: each applied
+  // mutation must surface as a verdict, not blend into a benign run.
+  EXPECT_EQ(r.benign, 0) << r.summary();
 }
 
 TEST(FaultCampaign, IsDeterministicUnderASeed) {
