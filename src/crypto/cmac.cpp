@@ -41,18 +41,34 @@ void xor_into(Block& dst, const Block& src) {
 
 }  // namespace
 
+std::mutex& Cmac::memo_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<Key128, std::weak_ptr<const Cmac::Schedule>>& Cmac::memo_map() {
+  static std::map<Key128, std::weak_ptr<const Cmac::Schedule>> memo;
+  return memo;
+}
+
 Cmac::Cmac(const Key128& key) {
   // Once-per-key subkey derivation: memoize the schedule so repeated engine
   // construction under the same key (installer + kernel, many experiment
   // iterations) pays the AES key expansion and K1/K2 derivation only once.
-  static std::mutex memo_mu;
-  static std::map<Key128, std::weak_ptr<const Schedule>> memo;
-  std::lock_guard<std::mutex> lock(memo_mu);
+  std::lock_guard<std::mutex> lock(memo_mutex());
+  auto& memo = memo_map();
   if (auto it = memo.find(key); it != memo.end()) {
     if (auto live = it->second.lock()) {
       sched_ = std::move(live);
       return;
     }
+    memo.erase(it);
+  }
+  // Sweep nodes whose schedule died before inserting a new one: a workload
+  // rotating through many distinct keys then keeps the memo bounded by the
+  // number of LIVE keys, not by every key ever seen.
+  for (auto it = memo.begin(); it != memo.end();) {
+    it = it->second.expired() ? memo.erase(it) : std::next(it);
   }
   auto sched = std::make_shared<Schedule>(key);
   Block l{};
@@ -61,6 +77,11 @@ Cmac::Cmac(const Key128& key) {
   sched->k2 = derive_subkey(sched->k1);
   memo[key] = sched;
   sched_ = std::move(sched);
+}
+
+std::size_t Cmac::schedule_memo_size() {
+  std::lock_guard<std::mutex> lock(memo_mutex());
+  return memo_map().size();
 }
 
 Mac Cmac::compute(std::span<const std::uint8_t> message) const {

@@ -8,7 +8,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -34,8 +36,14 @@ class Cmac {
   /// but cheap to do right).
   static bool equal(const Mac& a, const Mac& b);
 
+  /// Number of memoized key schedules currently tracked (live or awaiting
+  /// the sweep). Test hook: the memo must stay bounded by the live keys.
+  static std::size_t schedule_memo_size();
+
  private:
   struct Schedule;  // {Aes128, K1, K2}, immutable once derived
+  static std::mutex& memo_mutex();
+  static std::map<Key128, std::weak_ptr<const Schedule>>& memo_map();
   std::shared_ptr<const Schedule> sched_;
 };
 

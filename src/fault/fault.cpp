@@ -50,9 +50,9 @@ const std::vector<os::Violation>& expected_violations(MutationClass c) {
   static const std::vector<os::Violation> replay{os::Violation::BadPolicyState,
                                                  os::Violation::BadPredecessor};
   // CacheToctou corrupts either the call MAC or the pred-set body at a site
-  // already verified once; the verified-call cache must miss (digest change
-  // and/or write-watch eviction) and the full re-verification then fails at
-  // the corresponding step.
+  // already verified once; the verified-call cache must miss (byte-compare
+  // mismatch and/or write-watch eviction) and the full re-verification then
+  // fails at the corresponding step.
   static const std::vector<os::Violation> toctou{os::Violation::BadCallMac,
                                                  os::Violation::BadStringArg};
   switch (c) {
@@ -239,8 +239,9 @@ bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site) {
       // Time-of-check-to-time-of-use against the verified-call cache: wait
       // for a trap at a site the checker has already verified (so a cache
       // entry exists), then corrupt the bytes the fast path would be tempted
-      // to trust without re-MACing. Detection requires the cache to re-digest
-      // (or be evicted by the write watch) and fall back to full verification.
+      // to trust without re-MACing. Detection requires the cache to compare
+      // the trap's actual bytes against the verified material (or be evicted
+      // by the write watch) and fall back to full verification.
       if (site_visits_[call_site] < 1) return false;
       std::vector<std::pair<std::uint32_t, std::uint32_t>> targets;  // {addr, len}
       const std::uint32_t mac_ptr = regs[isa::kRegCallMac];

@@ -1,18 +1,36 @@
 #include "os/asccache.h"
 
+#include <algorithm>
+
 namespace asc::os {
 
-std::uint64_t fnv1a64(std::uint64_t h, std::span<const std::uint8_t> bytes) {
-  for (const std::uint8_t b : bytes) {
-    h ^= b;
-    h *= 0x100000001b3ull;
-  }
-  return h;
+void AscCache::set_range_hooks(int pid, RangeHook watch, RangeHook unwatch) {
+  hooks_[pid] = Hooks{std::move(watch), std::move(unwatch)};
 }
 
-const AscCache::Entry* AscCache::lookup(const Key& key, std::uint64_t digest) {
+void AscCache::drop_range_hooks(int pid) { hooks_.erase(pid); }
+
+void AscCache::unwatch_ranges(const Key& key, const Entry& entry) {
+  const auto it = hooks_.find(key.pid);
+  if (it == hooks_.end() || !it->second.unwatch) return;
+  for (const auto& [addr, len] : entry.ranges) it->second.unwatch(addr, len);
+}
+
+std::map<AscCache::Key, AscCache::Entry>::iterator AscCache::evict(
+    std::map<Key, Entry>::iterator it) {
+  unwatch_ranges(it->first, it->second);
+  ++stats_.evictions;
+  return entries_.erase(it);
+}
+
+const AscCache::Entry* AscCache::lookup(const Key& key,
+                                        std::span<const std::uint8_t> material) {
   const auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.digest != digest) {
+  // A hit demands exact byte equality with the verified material. A digest
+  // here would make the fast path only as strong as the digest's collision
+  // resistance; the bytes are small and bounded, so compare them outright.
+  if (it == entries_.end() || it->second.material.size() != material.size() ||
+      !std::equal(material.begin(), material.end(), it->second.material.begin())) {
     ++stats_.misses;
     return nullptr;
   }
@@ -22,13 +40,29 @@ const AscCache::Entry* AscCache::lookup(const Key& key, std::uint64_t digest) {
 }
 
 void AscCache::insert(const Key& key, Entry entry) {
-  if (entries_.find(key) == entries_.end() && entries_.size() >= capacity_) {
-    // Capacity backstop: drop the first entry in key order. Entries are tiny
-    // and capacity is generous, so this path is for runaway site counts only.
-    entries_.erase(entries_.begin());
-    ++stats_.evictions;
+  if (const auto it = entries_.find(key); it != entries_.end()) {
+    // Replacement: the stale entry's ranges leave the watch set with it.
+    unwatch_ranges(key, it->second);
+    entries_.erase(it);
+  } else if (entries_.size() >= capacity_) {
+    // Capacity backstop: evict the least-hit entry, rotating the tie-break
+    // start through the key space so a full cache degrades every process's
+    // sites evenhandedly instead of victimizing the lowest keys forever.
+    auto victim = entries_.end();
+    auto it = entries_.upper_bound(rr_cursor_);
+    if (it == entries_.end()) it = entries_.begin();
+    for (std::size_t n = entries_.size(); n > 0; --n) {
+      if (victim == entries_.end() || it->second.hits < victim->second.hits) victim = it;
+      if (++it == entries_.end()) it = entries_.begin();
+    }
+    rr_cursor_ = victim->first;
+    evict(victim);
   }
-  entries_[key] = std::move(entry);
+  const auto [it, inserted] = entries_.emplace(key, std::move(entry));
+  (void)inserted;
+  if (const auto h = hooks_.find(key.pid); h != hooks_.end() && h->second.watch) {
+    for (const auto& [addr, len] : it->second.ranges) h->second.watch(addr, len);
+  }
   ++stats_.inserts;
 }
 
@@ -44,8 +78,7 @@ void AscCache::invalidate_write(int pid, std::uint32_t addr, std::uint32_t len) 
       }
     }
     if (overlap) {
-      it = entries_.erase(it);
-      ++stats_.evictions;
+      it = evict(it);
     } else {
       ++it;
     }
@@ -55,13 +88,17 @@ void AscCache::invalidate_write(int pid, std::uint32_t addr, std::uint32_t len) 
 void AscCache::evict_pid(int pid) {
   auto it = entries_.lower_bound(Key{pid, 0, 0, 0});
   while (it != entries_.end() && it->first.pid == pid) {
-    it = entries_.erase(it);
-    ++stats_.evictions;
+    it = evict(it);
   }
+  // The process is gone; its Memory (which the hooks capture) goes with it.
+  drop_range_hooks(pid);
 }
 
 void AscCache::clear() {
-  stats_.evictions += entries_.size();
+  for (const auto& [key, entry] : entries_) {
+    unwatch_ranges(key, entry);
+    ++stats_.evictions;
+  }
   entries_.clear();
 }
 

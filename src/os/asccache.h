@@ -6,11 +6,13 @@
 // AS headers, lbPtr), the 16-byte call MAC, the predecessor-set blob, and
 // the contents of constant authenticated-string arguments. Re-running the
 // cipher over those bytes on every trap is pure hot-path waste. The cache
-// remembers, per (pid, call_site, descriptor, blockID), a digest of exactly
-// those bytes taken at the last FULL verification; when a later trap at the
-// same site presents byte-identical material, the checker skips the call-MAC,
-// AS-content, and pred-set AES-CMAC verifications (and the pred-set decode,
-// whose result is cached too) and charges the reduced CostModel hit cost.
+// remembers, per (pid, call_site, descriptor, blockID), the exact bytes of
+// those inputs as seen at the last FULL verification; when a later trap at
+// the same site presents byte-identical material (an exact memcmp, not a
+// hash -- a guest must not be able to engineer a collision), the checker
+// skips the call-MAC, AS-content, and pred-set AES-CMAC verifications (and
+// the pred-set decode, whose result is cached too) and charges the reduced
+// CostModel hit cost.
 //
 // What is NEVER cached: the control-flow policy state. lastBlock/lbMAC and
 // the per-process counter form the §3.2 online memory checker -- per-call
@@ -25,11 +27,20 @@
 //   * key rotation (Kernel::set_key) clears the whole cache;
 //   * process teardown evicts every entry of that pid, so a recycled pid or
 //     a re-exec can never inherit stale trust;
-//   * a lookup whose digest mismatches is a miss (full re-verification), so
-//     even a missed invalidation cannot skip checking of changed bytes.
+//   * a lookup whose material differs in any byte is a miss (full
+//     re-verification), so even a missed invalidation cannot skip checking
+//     of changed bytes.
+//
+// Watch-range hygiene: entries register their backing ranges with the
+// process's Memory through per-pid range hooks (set_range_hooks). Every
+// path that drops an entry -- guest-write invalidation, pid teardown, key
+// rotation, capacity eviction, replacement on insert -- unregisters its
+// ranges again, so the Memory watch set stays in lockstep with live entries
+// instead of growing monotonically over a long-running process.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <span>
 #include <vector>
@@ -51,10 +62,6 @@ struct AscCacheStats {
   }
 };
 
-/// FNV-1a accumulation over one span; chain calls to digest several spans.
-std::uint64_t fnv1a64(std::uint64_t h, std::span<const std::uint8_t> bytes);
-inline constexpr std::uint64_t kFnv1aInit = 0xcbf29ce484222325ull;
-
 class AscCache {
  public:
   /// Cache key: the process plus everything that names one rewritten call
@@ -69,13 +76,15 @@ class AscCache {
     auto operator<=>(const Key&) const = default;
   };
 
-  /// One verified call site. `digest` covers the encoded call bytes, the
-  /// claimed call MAC, the pred-set blob, and every static AS content --
-  /// the exact inputs of the skipped AES-CMAC verifications. `ranges` are
-  /// the guest byte ranges backing those inputs (registered as write-watch
+  /// One verified call site. `material` is the concatenation of the encoded
+  /// call bytes, the claimed call MAC, the pred-set blob, and every static
+  /// AS content -- the exact inputs of the skipped AES-CMAC verifications,
+  /// each bounded by kAsMaxLength. A hit requires byte equality with the
+  /// trap's material; no digest stands in for the bytes. `ranges` are the
+  /// guest byte ranges backing those inputs (registered as write-watch
   /// ranges); a write into any of them evicts the entry.
   struct Entry {
-    std::uint64_t digest = 0;
+    std::vector<std::uint8_t> material;
     bool control_flow = false;
     std::vector<std::uint32_t> preds;
     std::vector<std::uint32_t> fd_sources;
@@ -84,11 +93,23 @@ class AscCache {
     std::uint64_t hits = 0;
   };
 
+  /// (Un)registers one write-watch range with a process's Memory.
+  using RangeHook = std::function<void(std::uint32_t addr, std::uint32_t len)>;
+
   explicit AscCache(std::size_t capacity = 4096) : capacity_(capacity) {}
 
-  /// The entry for `key` iff its digest matches, else nullptr. Counts a hit
-  /// or a miss either way.
-  const Entry* lookup(const Key& key, std::uint64_t digest);
+  /// Wire `pid`'s entries to its address space: `watch` registers a backing
+  /// range when an entry is inserted, `unwatch` unregisters it when the
+  /// entry is dropped (any eviction path). The hooks must stay valid until
+  /// drop_range_hooks(pid) -- the kernel installs them at the first
+  /// verification and drops them at process teardown, bracketing the
+  /// process's lifetime.
+  void set_range_hooks(int pid, RangeHook watch, RangeHook unwatch);
+  void drop_range_hooks(int pid);
+
+  /// The entry for `key` iff its recorded bytes equal `material`, else
+  /// nullptr. Counts a hit or a miss either way.
+  const Entry* lookup(const Key& key, std::span<const std::uint8_t> material);
 
   /// Populate after a full verification (replaces any stale entry).
   void insert(const Key& key, Entry entry);
@@ -97,7 +118,8 @@ class AscCache {
   /// of that pid whose backing ranges overlap the write.
   void invalidate_write(int pid, std::uint32_t addr, std::uint32_t len);
 
-  /// Process teardown / exec: drop everything this pid ever verified.
+  /// Process teardown / exec: drop everything this pid ever verified (and
+  /// its range hooks).
   void evict_pid(int pid);
 
   /// Key rotation: no prior verification is valid under the new key.
@@ -110,8 +132,23 @@ class AscCache {
   void reset_stats() { stats_ = {}; }
 
  private:
+  struct Hooks {
+    RangeHook watch;
+    RangeHook unwatch;
+  };
+
+  /// Unregister the entry's backing ranges with its pid's Memory (no-op
+  /// when no hooks are installed, e.g. in unit tests).
+  void unwatch_ranges(const Key& key, const Entry& entry);
+  /// Drop one entry (unwatching its ranges) and count the eviction.
+  std::map<Key, Entry>::iterator evict(std::map<Key, Entry>::iterator it);
+
   std::map<Key, Entry> entries_;
+  std::map<int, Hooks> hooks_;
   std::size_t capacity_;
+  /// Capacity-eviction tie-break cursor: victims rotate through the key
+  /// space instead of always landing on the lowest (pid, site) key.
+  Key rr_cursor_{};
   AscCacheStats stats_;
 };
 

@@ -95,9 +95,9 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
     }
     const crypto::Mac claimed = read_mac(p.mem, mac_ptr);
 
-    // Gather the static byte material up front: the cache digest (hit path)
-    // and the content MACs (miss path) consume the same bytes. Every range
-    // was validated by read_as_header, so these reads cannot fault.
+    // Gather the static byte material up front: the cache comparison (hit
+    // path) and the content MACs (miss path) consume the same bytes. Every
+    // range was validated by read_as_header, so these reads cannot fault.
     std::array<std::vector<std::uint8_t>, os::kMaxSyscallArgs> as_contents;
     for (int i = 0; i < sig.arity; ++i) {
       const auto idx = static_cast<std::size_t>(i);
@@ -110,34 +110,38 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
     }
 
     // ---- verified-call cache probe ----
-    // The digest covers exactly the inputs of the AES-CMAC verifications the
-    // hit path skips; a match means this trap presents byte-identical static
-    // material to a previously fully verified trap of the same site.
+    // The material is the exact concatenated inputs of the AES-CMAC
+    // verifications the hit path skips; a hit requires byte equality with a
+    // previously fully verified trap of the same site. Length prefixes keep
+    // the concatenation injective (bytes cannot migrate between fields).
     std::vector<std::uint32_t> preds;
     std::vector<std::uint32_t> fd_sources;
     std::vector<policy::PatternRef> patterns;
     const AscCache::Key ckey{p.pid, call_site, des.bits(), block_id};
-    std::uint64_t digest = 0;
-    std::size_t digest_len = 0;
+    std::vector<std::uint8_t> material;
     if (cache != nullptr) {
-      digest = fnv1a64(kFnv1aInit, encoded);
-      digest = fnv1a64(digest, claimed);
-      digest_len = encoded.size() + claimed.size();
+      auto append = [&material](std::span<const std::uint8_t> bytes) {
+        const auto n = static_cast<std::uint32_t>(bytes.size());
+        for (int s = 0; s < 32; s += 8) {
+          material.push_back(static_cast<std::uint8_t>(n >> s));
+        }
+        material.insert(material.end(), bytes.begin(), bytes.end());
+      };
+      append(encoded);
+      append(claimed);
       for (int i = 0; i < sig.arity; ++i) {
         const auto idx = static_cast<std::size_t>(i);
         if (!des.arg_is_authenticated_string(i)) continue;
-        digest = fnv1a64(digest, as_contents[idx]);
-        digest_len += as_contents[idx].size();
+        append(as_contents[idx]);
       }
-      digest = fnv1a64(digest, pred_blob);
-      digest_len += pred_blob.size();
-      if (const AscCache::Entry* e = cache->lookup(ckey, digest)) {
+      append(pred_blob);
+      if (const AscCache::Entry* e = cache->lookup(ckey, material)) {
         // Hit: static trust established earlier; reuse the decoded pred set
         // and charge the reduced cost. Everything from step 3.1 on (the
         // online memory checker, capabilities, patterns) still runs below.
         res.cache_hit = true;
         res.cycles -= cost.check_fixed;
-        res.cycles += cost.cache_hit_cost(digest_len);
+        res.cycles += cost.cache_hit_cost(material.size());
         preds = e->preds;
         fd_sources = e->fd_sources;
         patterns = e->patterns;
@@ -185,7 +189,7 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
       // evict it before the write lands.
       if (cache != nullptr) {
         AscCache::Entry entry;
-        entry.digest = digest;
+        entry.material = std::move(material);
         entry.control_flow = des.control_flow_constrained();
         entry.preds = preds;
         entry.fd_sources = fd_sources;
@@ -206,8 +210,14 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
           p.mem.set_write_watch([cache, pid = p.pid](std::uint32_t addr, std::uint32_t len) {
             cache->invalidate_write(pid, addr, len);
           });
+          // Range hooks let the cache return an evicted entry's watch ranges
+          // to this Memory; dropped again at teardown (Kernel::end_process),
+          // so the captured reference never outlives the process.
+          cache->set_range_hooks(
+              p.pid,
+              [&mem = p.mem](std::uint32_t addr, std::uint32_t len) { mem.watch(addr, len); },
+              [&mem = p.mem](std::uint32_t addr, std::uint32_t len) { mem.unwatch(addr, len); });
         }
-        for (const auto& [addr, len] : entry.ranges) p.mem.watch(addr, len);
         cache->insert(ckey, std::move(entry));
       }
     }

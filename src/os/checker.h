@@ -44,8 +44,8 @@ struct CheckResult {
 };
 
 /// `cache`, when non-null, enables the verified-call fast path: static-input
-/// AES-CMAC verifications are skipped when the site's bytes digest-match a
-/// previously verified trap (see os/asccache.h). Steps 3.1-3.5 (the online
+/// AES-CMAC verifications are skipped when the site's bytes are identical to
+/// a previously verified trap (see os/asccache.h). Steps 3.1-3.5 (the online
 /// memory checker), 4 (capabilities), and 5 (patterns) always run.
 CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::uint16_t sysno,
                                      const SyscallSig& sig, const crypto::MacKey& key,

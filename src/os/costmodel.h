@@ -68,11 +68,12 @@ struct CostModel {
   // ---- verified-call cache (hot-path fast path) ----
   // A hit replaces the AES-CMAC verifications over immutable per-site bytes
   // (encoded call, call MAC, pred-set blob, static AS contents) with a table
-  // lookup plus a non-cryptographic digest over those same bytes. The online
-  // memory checker (lastBlock/lbMAC/counter) is still charged in full on
-  // every call -- it is per-call nonce state and is never cached.
+  // lookup plus an exact byte comparison against those same bytes as seen at
+  // the last full verification. The online memory checker
+  // (lastBlock/lbMAC/counter) is still charged in full on every call -- it
+  // is per-call nonce state and is never cached.
   std::uint64_t cache_hit_fixed = 150;
-  std::uint64_t cache_digest_per_block = 18;
+  std::uint64_t cache_cmp_per_block = 18;
 
   // ---- baseline monitors (ablations) ----
   // User-space policy daemon (Systrace/Ostia style): two extra context
@@ -122,12 +123,12 @@ struct CostModel {
     return mac_setup + mac_per_block * blocks;
   }
 
-  /// Modeled cost of a verified-call cache hit whose digest covered
-  /// `digest_len` bytes (lookup + non-crypto hash; replaces `check_fixed`
-  /// and every static-input mac_cost of the miss path).
-  std::uint64_t cache_hit_cost(std::size_t digest_len) const {
-    const std::uint64_t blocks = digest_len == 0 ? 1 : (digest_len + 15) / 16;
-    return cache_hit_fixed + cache_digest_per_block * blocks;
+  /// Modeled cost of a verified-call cache hit that compared `material_len`
+  /// bytes (lookup + byte compare; replaces `check_fixed` and every
+  /// static-input mac_cost of the miss path).
+  std::uint64_t cache_hit_cost(std::size_t material_len) const {
+    const std::uint64_t blocks = material_len == 0 ? 1 : (material_len + 15) / 16;
+    return cache_hit_fixed + cache_cmp_per_block * blocks;
   }
 
   std::uint64_t handler_base_cost(SysId id) const {

@@ -71,12 +71,26 @@ void Memory::write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes
 
 void Memory::watch(std::uint32_t addr, std::uint32_t len) {
   if (len == 0) return;
-  for (const auto& [base, n] : watches_) {
-    if (base == addr && n == len) return;
+  for (auto& w : watches_) {
+    if (w.addr == addr && w.len == len) {
+      ++w.refs;
+      return;
+    }
   }
-  watches_.emplace_back(addr, len);
+  watches_.push_back({addr, len, 1});
   if (addr < watch_min_) watch_min_ = addr;
   if (addr + len > watch_max_) watch_max_ = addr + len;
+}
+
+void Memory::unwatch(std::uint32_t addr, std::uint32_t len) {
+  for (auto it = watches_.begin(); it != watches_.end(); ++it) {
+    if (it->addr != addr || it->len != len) continue;
+    if (--it->refs == 0) {
+      watches_.erase(it);
+      recompute_watch_envelope();
+    }
+    return;
+  }
 }
 
 void Memory::clear_watches() {
@@ -85,11 +99,22 @@ void Memory::clear_watches() {
   watch_max_ = 0;
 }
 
+void Memory::recompute_watch_envelope() {
+  watch_min_ = 0xffffffffu;
+  watch_max_ = 0;
+  for (const auto& w : watches_) {
+    if (w.addr < watch_min_) watch_min_ = w.addr;
+    if (w.addr + w.len > watch_max_) watch_max_ = w.addr + w.len;
+  }
+}
+
 void Memory::notify_write(std::uint32_t addr, std::uint32_t n) {
   if (watch_max_ == 0 || !on_watched_write_) return;
   if (addr >= watch_max_ || addr + n <= watch_min_) return;  // outside the envelope
-  for (const auto& [base, len] : watches_) {
-    if (addr < base + len && base < addr + n) {
+  for (const auto& w : watches_) {
+    if (addr < w.addr + w.len && w.addr < addr + n) {
+      // The callback may evict cache entries, which unwatches ranges and
+      // mutates watches_ -- return without touching the iterator again.
       on_watched_write_(addr, n);
       return;
     }

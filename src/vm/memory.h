@@ -52,19 +52,32 @@ class Memory {
   // watched range invokes the callback BEFORE the bytes change, so the
   // cache can evict. A [min,max) envelope over all ranges keeps the common
   // store (stack/heap, far from .asdata) a two-compare rejection.
+  // Ranges are refcounted: watch/unwatch of the same {addr, len} nest, and
+  // the range stops firing once every registration is gone -- so evicted
+  // cache entries can return their ranges and the watch set tracks live
+  // entries instead of growing for the life of the process.
   using WriteWatchFn = std::function<void(std::uint32_t addr, std::uint32_t len)>;
   void set_write_watch(WriteWatchFn fn) { on_watched_write_ = std::move(fn); }
   bool has_write_watch() const { return static_cast<bool>(on_watched_write_); }
-  /// Register a range; duplicates are coalesced away.
+  /// Register a range (increments the refcount of an identical range).
   void watch(std::uint32_t addr, std::uint32_t len);
+  /// Undo one watch() of the identical range; removes it at refcount zero.
+  void unwatch(std::uint32_t addr, std::uint32_t len);
   void clear_watches();
+  std::size_t watch_count() const { return watches_.size(); }
 
  private:
+  struct WatchRange {
+    std::uint32_t addr;
+    std::uint32_t len;
+    std::uint32_t refs;
+  };
   void check(std::uint32_t addr, std::uint32_t n) const;
   void notify_write(std::uint32_t addr, std::uint32_t n);
+  void recompute_watch_envelope();
   std::vector<std::uint8_t> bytes_;
   WriteWatchFn on_watched_write_;
-  std::vector<std::pair<std::uint32_t, std::uint32_t>> watches_;  // {addr, len}
+  std::vector<WatchRange> watches_;
   std::uint32_t watch_min_ = 0xffffffffu;
   std::uint32_t watch_max_ = 0;  // exclusive; 0 = no watches
 };

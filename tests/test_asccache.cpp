@@ -5,11 +5,14 @@
 // serve another.
 #include <gtest/gtest.h>
 
+#include <set>
+
 #include "apps/libtoy.h"
 #include "core/asc.h"
 #include "isa/isa.h"
 #include "os/asccache.h"
 #include "tasm/assembler.h"
+#include "vm/memory.h"
 #include "workloads.h"
 
 namespace asc {
@@ -19,27 +22,52 @@ using os::AscCache;
 
 const auto kPers = os::Personality::LinuxSim;
 
-AscCache::Entry entry_with(std::uint64_t digest,
+using Bytes = std::vector<std::uint8_t>;
+
+AscCache::Entry entry_with(Bytes material,
                            std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges = {}) {
   AscCache::Entry e;
-  e.digest = digest;
+  e.material = std::move(material);
   e.ranges = std::move(ranges);
   return e;
 }
 
 // ---- pure cache semantics ----
 
-TEST(AscCacheUnit, LookupRequiresMatchingDigest) {
+TEST(AscCacheUnit, LookupRequiresByteIdenticalMaterial) {
   AscCache cache;
   const AscCache::Key k{1, 0x100, 0xab, 7};
-  EXPECT_EQ(cache.lookup(k, 42), nullptr);  // cold
-  cache.insert(k, entry_with(42));
-  EXPECT_NE(cache.lookup(k, 42), nullptr);
+  EXPECT_EQ(cache.lookup(k, Bytes{42}), nullptr);  // cold
+  cache.insert(k, entry_with({42}));
+  EXPECT_NE(cache.lookup(k, Bytes{42}), nullptr);
   // Same site, different bytes behind it: must be a miss, never a stale hit.
-  EXPECT_EQ(cache.lookup(k, 43), nullptr);
+  EXPECT_EQ(cache.lookup(k, Bytes{43}), nullptr);
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(cache.stats().misses, 2u);
   EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+// The hit check is an exact comparison of the verified bytes, not a hash: a
+// guest that engineers same-length material with a colliding digest (FNV-1a
+// and friends are invertible) must still miss. Any pair of distinct
+// equal-length byte strings stands in for such a collision here.
+TEST(AscCacheUnit, SameLengthDifferentBytesNeverHit) {
+  AscCache cache;
+  const AscCache::Key k{1, 0x100, 0xab, 7};
+  const Bytes verified{0x00, 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77};
+  cache.insert(k, entry_with(verified));
+  for (std::size_t byte = 0; byte < verified.size(); ++byte) {
+    Bytes forged = verified;
+    forged[byte] ^= 0x01;
+    EXPECT_EQ(cache.lookup(k, forged), nullptr)
+        << "byte " << byte << " differs but the cache served a hit";
+  }
+  // Prefix/extension of the verified bytes must miss too.
+  EXPECT_EQ(cache.lookup(k, Bytes(verified.begin(), verified.end() - 1)), nullptr);
+  Bytes extended = verified;
+  extended.push_back(0x00);
+  EXPECT_EQ(cache.lookup(k, extended), nullptr);
+  EXPECT_NE(cache.lookup(k, verified), nullptr);
 }
 
 TEST(AscCacheUnit, EntriesArePidIsolated) {
@@ -47,11 +75,12 @@ TEST(AscCacheUnit, EntriesArePidIsolated) {
   const AscCache::Key pid_a{1, 0x100, 0xab, 7};
   AscCache::Key pid_b = pid_a;
   pid_b.pid = 2;
-  cache.insert(pid_a, entry_with(42));
-  // Identical site/descriptor/block and identical digest -- but a different
-  // process. Serving A's verification to B would let B ride on A's policy.
-  EXPECT_EQ(cache.lookup(pid_b, 42), nullptr);
-  EXPECT_NE(cache.lookup(pid_a, 42), nullptr);
+  cache.insert(pid_a, entry_with({42}));
+  // Identical site/descriptor/block and identical material -- but a
+  // different process. Serving A's verification to B would let B ride on
+  // A's policy.
+  EXPECT_EQ(cache.lookup(pid_b, Bytes{42}), nullptr);
+  EXPECT_NE(cache.lookup(pid_a, Bytes{42}), nullptr);
   EXPECT_EQ(cache.size(1), 1u);
   EXPECT_EQ(cache.size(2), 0u);
 }
@@ -60,14 +89,14 @@ TEST(AscCacheUnit, InvalidateWriteEvictsOnlyOverlappingEntries) {
   AscCache cache;
   const AscCache::Key k1{1, 0x100, 0xab, 7};
   const AscCache::Key k2{1, 0x200, 0xab, 8};
-  cache.insert(k1, entry_with(1, {{0x1000, 16}}));
-  cache.insert(k2, entry_with(2, {{0x2000, 16}}));
+  cache.insert(k1, entry_with({1}, {{0x1000, 16}}));
+  cache.insert(k2, entry_with({2}, {{0x2000, 16}}));
   cache.invalidate_write(1, 0x1008, 4);  // inside k1's range only
-  EXPECT_EQ(cache.lookup(k1, 1), nullptr);
-  EXPECT_NE(cache.lookup(k2, 2), nullptr);
+  EXPECT_EQ(cache.lookup(k1, Bytes{1}), nullptr);
+  EXPECT_NE(cache.lookup(k2, Bytes{2}), nullptr);
   // A write in another pid's address space touches nothing of pid 1.
   cache.invalidate_write(2, 0x2000, 16);
-  EXPECT_NE(cache.lookup(k2, 2), nullptr);
+  EXPECT_NE(cache.lookup(k2, Bytes{2}), nullptr);
   // invalidation_writes counts watched writes delivered to the cache (both
   // calls above); evictions counts entries actually dropped (only k1).
   EXPECT_EQ(cache.stats().invalidation_writes, 2u);
@@ -76,15 +105,116 @@ TEST(AscCacheUnit, InvalidateWriteEvictsOnlyOverlappingEntries) {
 
 TEST(AscCacheUnit, EvictPidAndClear) {
   AscCache cache;
-  cache.insert({1, 0x100, 0, 0}, entry_with(1));
-  cache.insert({1, 0x200, 0, 0}, entry_with(2));
-  cache.insert({2, 0x100, 0, 0}, entry_with(3));
+  cache.insert({1, 0x100, 0, 0}, entry_with({1}));
+  cache.insert({1, 0x200, 0, 0}, entry_with({2}));
+  cache.insert({2, 0x100, 0, 0}, entry_with({3}));
   cache.evict_pid(1);
   EXPECT_EQ(cache.size(), 1u);
   EXPECT_EQ(cache.size(2), 1u);
   cache.clear();
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+// Every path that drops an entry must return its watch ranges through the
+// per-pid unwatch hook; otherwise the process's Memory accumulates stale
+// ranges (and O(n) invalidation scans) for its whole lifetime.
+TEST(AscCacheUnit, EveryEvictionPathUnwatchesItsRanges) {
+  AscCache cache;
+  std::multiset<std::pair<std::uint32_t, std::uint32_t>> watched;
+  cache.set_range_hooks(
+      1, [&](std::uint32_t a, std::uint32_t l) { watched.insert({a, l}); },
+      [&](std::uint32_t a, std::uint32_t l) {
+        const auto it = watched.find({a, l});
+        ASSERT_NE(it, watched.end()) << "unwatch of a range never watched";
+        watched.erase(it);
+      });
+
+  // insert registers; invalidate_write eviction unregisters.
+  cache.insert({1, 0x100, 0, 0}, entry_with({1}, {{0x1000, 16}, {0x1100, 32}}));
+  EXPECT_EQ(watched.size(), 2u);
+  cache.invalidate_write(1, 0x1000, 1);
+  EXPECT_EQ(watched.size(), 0u);
+
+  // Replacement on insert unregisters the stale entry's ranges.
+  cache.insert({1, 0x100, 0, 0}, entry_with({1}, {{0x1000, 16}}));
+  cache.insert({1, 0x100, 0, 0}, entry_with({2}, {{0x2000, 16}}));
+  EXPECT_EQ(watched.size(), 1u);
+  EXPECT_EQ(watched.count({0x2000, 16}), 1u);
+
+  // clear() unregisters everything.
+  cache.clear();
+  EXPECT_EQ(watched.size(), 0u);
+
+  // Capacity eviction unregisters the victim's ranges.
+  AscCache tiny(2);
+  std::size_t tiny_watched = 0;
+  tiny.set_range_hooks(
+      1, [&](std::uint32_t, std::uint32_t) { ++tiny_watched; },
+      [&](std::uint32_t, std::uint32_t) { --tiny_watched; });
+  tiny.insert({1, 0x100, 0, 0}, entry_with({1}, {{0x1000, 16}}));
+  tiny.insert({1, 0x200, 0, 0}, entry_with({2}, {{0x2000, 16}}));
+  tiny.insert({1, 0x300, 0, 0}, entry_with({3}, {{0x3000, 16}}));
+  EXPECT_EQ(tiny.size(), 2u);
+  EXPECT_EQ(tiny_watched, 2u);
+
+  // evict_pid unregisters, then drops the hooks entirely.
+  tiny.evict_pid(1);
+  EXPECT_EQ(tiny_watched, 0u);
+}
+
+// At capacity the victim is the least-hit entry (ties broken by a rotating
+// cursor), not blindly the lowest (pid, site) key -- a full cache must not
+// permanently zero out one process's low-address sites.
+TEST(AscCacheUnit, CapacityEvictionPrefersColdEntriesOverLowKeys) {
+  AscCache cache(4);
+  for (std::uint32_t site = 1; site <= 4; ++site) {
+    cache.insert({1, site, 0, 0}, entry_with({static_cast<std::uint8_t>(site)}));
+  }
+  // Heat up the three lowest keys; site 4 stays cold.
+  for (int round = 0; round < 3; ++round) {
+    for (std::uint32_t site = 1; site <= 3; ++site) {
+      EXPECT_NE(cache.lookup({1, site, 0, 0}, Bytes{static_cast<std::uint8_t>(site)}), nullptr);
+    }
+  }
+  cache.insert({2, 0x500, 0, 0}, entry_with({5}));
+  EXPECT_EQ(cache.size(), 4u);
+  // The cold entry went; the hot low-key entries survived.
+  EXPECT_EQ(cache.lookup({1, 4, 0, 0}, Bytes{4}), nullptr);
+  for (std::uint32_t site = 1; site <= 3; ++site) {
+    EXPECT_NE(cache.lookup({1, site, 0, 0}, Bytes{static_cast<std::uint8_t>(site)}), nullptr)
+        << "hot site " << site << " was victimized while a cold entry existed";
+  }
+}
+
+// vm::Memory watch ranges are refcounted: nested watch/unwatch of the same
+// range keeps it firing until the last registration is gone, and a removed
+// range stops firing (and shrinks the envelope) instead of lingering.
+TEST(AscCacheUnit, MemoryWatchRefcounting) {
+  vm::Memory mem;
+  const std::uint32_t addr = binary::kAddressSpaceBase + 0x100;
+  int fires = 0;
+  mem.set_write_watch([&](std::uint32_t, std::uint32_t) { ++fires; });
+
+  mem.watch(addr, 16);
+  mem.watch(addr, 16);  // second registration of the identical range
+  EXPECT_EQ(mem.watch_count(), 1u);
+  mem.w8(addr, 1);
+  EXPECT_EQ(fires, 1);
+
+  mem.unwatch(addr, 16);  // one registration remains
+  EXPECT_EQ(mem.watch_count(), 1u);
+  mem.w8(addr, 2);
+  EXPECT_EQ(fires, 2);
+
+  mem.unwatch(addr, 16);  // last registration gone: range stops firing
+  EXPECT_EQ(mem.watch_count(), 0u);
+  mem.w8(addr, 3);
+  EXPECT_EQ(fires, 2);
+
+  // Unwatching a range that was never watched is a harmless no-op.
+  mem.unwatch(addr + 0x100, 4);
+  EXPECT_EQ(mem.watch_count(), 0u);
 }
 
 // ---- end-to-end: the fast path on real guests ----
@@ -177,21 +307,30 @@ TEST(AscCacheRun, GuestWriteIntoCachedRangeEvicts) {
   // evict -- eviction is keyed on the write, not on the value -- and the
   // subsequent full re-verification succeeds, so the run completes.
   int calls = 0;
+  std::size_t watches_before = 0;
+  std::size_t watches_after = 0;
   sys.machine().pre_syscall_hook = [&](os::Process& p, std::uint32_t) {
     if (++calls != 6) return;
     const std::uint32_t mac_ptr = p.cpu.regs[isa::kRegCallMac];
-    if (p.mem.in_range(mac_ptr, 16)) p.mem.w8(mac_ptr, p.mem.r8(mac_ptr));
+    if (p.mem.in_range(mac_ptr, 16)) {
+      watches_before = p.mem.watch_count();
+      p.mem.w8(mac_ptr, p.mem.r8(mac_ptr));
+      watches_after = p.mem.watch_count();
+    }
   };
   const auto r = run_cat(sys);
   ASSERT_TRUE(r.completed) << r.violation_detail;
   const auto& st = sys.kernel().cache_stats();
   EXPECT_GE(st.invalidation_writes, 1u) << "watched write did not reach the cache";
   EXPECT_GE(st.evictions, 1u);
+  // The evicted entry returned its ranges: the Memory watch set shrank
+  // rather than accumulating stale ranges for the life of the process.
+  EXPECT_LT(watches_after, watches_before);
 }
 
 TEST(AscCacheRun, KeyRotationClearsTheCache) {
   System sys(kPers);
-  sys.kernel().call_cache().insert({1, 0x100, 0xab, 7}, entry_with(42));
+  sys.kernel().call_cache().insert({1, 0x100, 0xab, 7}, entry_with({42}));
   ASSERT_EQ(sys.kernel().call_cache().size(), 1u);
   sys.kernel().set_key(test_key());  // rotation: old verifications are void
   EXPECT_EQ(sys.kernel().call_cache().size(), 0u);

@@ -97,6 +97,32 @@ TEST(Cmac, DistinctKeysDistinctMacs) {
   EXPECT_FALSE(Cmac::equal(a.compute(msg), b.compute(msg)));
 }
 
+// The per-key schedule memo must stay bounded by the LIVE keys: nodes whose
+// schedule expired are reclaimed (on re-lookup of the same key, and swept
+// when a new key is inserted), so rotating through many distinct keys does
+// not grow the map without bound.
+TEST(Cmac, ScheduleMemoStaysBoundedUnderKeyRotation) {
+  const std::size_t before = Cmac::schedule_memo_size();
+  for (std::uint8_t round = 0; round < 64; ++round) {
+    Key128 k{};
+    k[0] = round;
+    k[15] = static_cast<std::uint8_t>(round ^ 0x5a);
+    Cmac engine(k);  // dies at scope end: its memo node is sweepable
+    (void)engine;
+  }
+  // Each construction sweeps expired nodes before inserting, so at most the
+  // latest (already-expired) node outlives the loop beyond what was there.
+  EXPECT_LE(Cmac::schedule_memo_size(), before + 1);
+
+  // A live engine's node persists and is shared, not duplicated.
+  Key128 live{};
+  live[7] = 0xaa;
+  Cmac a(live);
+  const std::size_t with_live = Cmac::schedule_memo_size();
+  Cmac b(live);
+  EXPECT_EQ(Cmac::schedule_memo_size(), with_live);
+}
+
 TEST(MacKey, VerifyRoundTrip) {
   MacKey key(key_of("00112233445566778899aabbccddeeff"));
   const auto msg = util::bytes_of("encoded policy bytes");

@@ -83,9 +83,9 @@ TEST(FaultCampaign, InvariantHoldsAcrossFiveHundredMutations) {
 // TOCTOU against the MAC-verification fast path: corrupt the call MAC or the
 // predecessor-set bytes at a call site the checker has ALREADY verified once
 // (so a cache entry exists). A cache that trusted its entry without
-// re-digesting (or without write-watch eviction) would accept the corrupted
-// call -- a silent bypass. Every applied mutation must instead fail-stop
-// with the verdict full verification yields.
+// re-comparing the trap's actual bytes (or without write-watch eviction)
+// would accept the corrupted call -- a silent bypass. Every applied mutation
+// must instead fail-stop with the verdict full verification yields.
 TEST(FaultCampaign, CacheToctouMutationsFailStop) {
   CampaignConfig cfg;
   cfg.seed = 987654;
