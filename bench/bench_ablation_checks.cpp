@@ -4,7 +4,8 @@
 // features off: control-flow policies (predecessor set + policy-state MACs)
 // vs the bare call MAC, and string arguments (AS content MACs) vs numeric
 // ones. Run on getpid (no args) and on an open with a constant path (one
-// authenticated string).
+// authenticated string). All of the cost decomposed here is enforcement-
+// layer work: what AscMonitor::inspect charges per trap (os/sysmonitor.h).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>

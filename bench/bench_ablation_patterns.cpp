@@ -4,7 +4,8 @@
 // application does, exponential in the worst case for a backtracking
 // matcher) with hint VERIFICATION (what the kernel does, one linear scan).
 // This is the quantitative argument for moving the matching out of the
-// kernel.
+// kernel -- the verification side runs inside AscMonitor's checker at
+// enforcement time, so its cost is part of the per-trap monitor budget.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>

@@ -5,7 +5,9 @@
 // executed by spawning the general-purpose tools (mkdir, cp, cat, tar,
 // gzip, chmod, mv, rm, sort) on a shared filesystem. The paper reports
 // ~12,000 syscalls per iteration and a 0.96% overhead for authenticated
-// tool binaries (259.66s -> 262.14s).
+// tool binaries (259.66s -> 262.14s). Spawn-heavy by design: every tool
+// invocation nests a child run inside the parent's trap, exercising the
+// stacked TrapContexts of the pipeline (see vm/machine.cpp).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>

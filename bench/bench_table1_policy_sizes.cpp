@@ -3,6 +3,10 @@
 // Columns: ASC policy generated on LinuxSim, ASC policy generated on BsdSim
 // (static analysis, both), and the published-Systrace-style policy
 // (training + fsread/fswrite generalization) -- for bison, calc and screen.
+//
+// The training column depends on the trace/audit split of the pipeline:
+// train_policy clears the kernel trace between sample runs while the audit
+// log (AuditLog::reset is separate) survives. See os/auditlog.h.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>

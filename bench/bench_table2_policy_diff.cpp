@@ -1,6 +1,8 @@
 // Table 2: per-syscall comparison of the bison policies on BsdSim --
 // conservative static analysis (ASC) vs the published-Systrace-style policy
-// (training + fsread/fswrite aliases).
+// (training + fsread/fswrite aliases). Like Table 1, the training side
+// relies on clearing the kernel trace without touching the audit log
+// (os/auditlog.h documents that partial-clearing contract).
 //
 // Reproduced effects:
 //   * many calls only ASC finds (error paths, allocator internals, rare

@@ -3,7 +3,9 @@
 // For bison/calc/screen/tar: number of call sites, distinct calls, total
 // arguments, output-only arguments (o/p), arguments protectable by the
 // basic static analysis (auth), multi-value arguments (mv), and fd
-// arguments traceable to fd-returning calls (fds).
+// arguments traceable to fd-returning calls (fds). Pure installer-side
+// analysis: measures policy CONTENT, independent of which SyscallMonitor
+// later enforces it.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>

@@ -6,7 +6,9 @@
 // gzip). Protocol (Table 6): each measurement repeated 4 times; mean and
 // standard deviation of MODELED cycles reported (the deterministic analog
 // of the paper's `time` measurements -- identical across repetitions here,
-// so stddev reflects only workload-state differences).
+// so stddev reflects only workload-state differences). The authenticated
+// column runs with the AscMonitor installed in the kernel's enforcement
+// layer; the baseline column with the NullMonitor.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>

@@ -4,8 +4,16 @@
 //   asctool build <name> <out.txe>       write a relocatable guest program
 //   asctool inspect <img.txe>            dump header, sections, symbols
 //   asctool install <in.txe> <out.txe>   analyze + rewrite (prints policies)
-//   asctool run [--stats] <img.txe> [args...]   execute under ASC enforcement
-//       (--stats also prints the kernel's verified-call cache counters)
+//   asctool run [flags] <img.txe> [args...]     execute under enforcement
+//     --stats                    print verified-call cache counters
+//     --monitor MODE             off | asc (default) | daemon | ktable;
+//                                selects the SyscallMonitor installed in the
+//                                kernel. daemon/ktable train their policy
+//                                table with one unmonitored run of the same
+//                                command line first.
+//     --failure-mode MODE        fail-stop (default) | budgeted:N |
+//                                audit-only; graceful-degradation reaction
+//                                to an established violation
 //
 // Demo session:
 //   ./example_asctool build gzip /tmp/gzip.txe
@@ -16,6 +24,8 @@
 #include <fstream>
 
 #include "core/asc.h"
+#include "monitor/ktable.h"
+#include "monitor/training.h"
 
 using namespace asc;
 
@@ -86,15 +96,67 @@ int cmd_install(const std::string& in, const std::string& out) {
   return 0;
 }
 
-int cmd_run(const std::string& path, const std::vector<std::string>& args, bool stats) {
-  const binary::Image img = binary::Image::deserialize(read_file(path));
-  System sys(os::Personality::LinuxSim);
-  // Seed a small demo filesystem.
-  auto& fs = sys.kernel().fs();
+/// Configuration of the enforcement + audit layers for `asctool run`,
+/// gathered from command-line flags.
+struct RunConfig {
+  bool stats = false;
+  os::Enforcement monitor = os::Enforcement::Asc;
+  os::FailureMode failure = os::FailureMode::FailStop;
+  std::uint32_t budget = 0;
+};
+
+bool parse_monitor_flag(const std::string& s, os::Enforcement* out) {
+  if (s == "off") *out = os::Enforcement::Off;
+  else if (s == "asc") *out = os::Enforcement::Asc;
+  else if (s == "daemon") *out = os::Enforcement::Daemon;
+  else if (s == "ktable") *out = os::Enforcement::KernelTable;
+  else return false;
+  return true;
+}
+
+bool parse_failure_mode_flag(const std::string& s, os::FailureMode* mode, std::uint32_t* budget) {
+  if (s == "fail-stop") {
+    *mode = os::FailureMode::FailStop;
+  } else if (s == "audit-only") {
+    *mode = os::FailureMode::AuditOnly;
+  } else if (s.rfind("budgeted:", 0) == 0) {
+    const std::string n = s.substr(9);
+    if (n.empty() || n.find_first_not_of("0123456789") != std::string::npos) return false;
+    *mode = os::FailureMode::Budgeted;
+    *budget = static_cast<std::uint32_t>(std::stoul(n));
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void seed_demo_fs(os::SimFs& fs) {
   const std::string demo = "demo file contents\nsecond line\n";
   auto ino = fs.open("/", "/f.txt", os::SimFs::kWrOnly | os::SimFs::kCreat, 0644);
   fs.write(static_cast<std::uint32_t>(ino), 0,
            std::vector<std::uint8_t>(demo.begin(), demo.end()), false);
+}
+
+int cmd_run(const std::string& path, const std::vector<std::string>& args,
+            const RunConfig& cfg) {
+  const binary::Image img = binary::Image::deserialize(read_file(path));
+  System sys(os::Personality::LinuxSim, test_key(), cfg.monitor);
+  sys.kernel().set_failure_mode(cfg.failure);
+  sys.kernel().set_violation_budget(cfg.budget);
+  seed_demo_fs(sys.kernel().fs());
+
+  if (cfg.monitor == os::Enforcement::Daemon || cfg.monitor == os::Enforcement::KernelTable) {
+    // Table-driven monitors need a per-program policy in the kernel. Train
+    // one with an unmonitored run of the same command line in a scratch
+    // system, so the monitored run starts with a clean audit log.
+    System trainer(os::Personality::LinuxSim, test_key(), os::Enforcement::Off);
+    seed_demo_fs(trainer.kernel().fs());
+    auto pol = monitor::train_policy(trainer.machine(), img, {{args, ""}});
+    sys.kernel().set_monitor_policy(img.name, pol);
+    std::printf("[%s monitor: trained policy with %zu allowed syscalls]\n",
+                os::enforcement_name(cfg.monitor).c_str(), pol.allowed.size());
+  }
+
   auto r = sys.machine().run(img, args);
   std::printf("%s", r.stdout_data.c_str());
   if (r.violation != os::Violation::None) {
@@ -102,10 +164,21 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args, bool 
                 r.violation_detail.c_str());
     return 2;
   }
+  // Under budgeted / audit-only failure modes violations may have been
+  // tolerated without killing the guest; surface them.
+  std::size_t tolerated = 0;
+  for (const auto& rec : sys.kernel().audit_log()) {
+    if (rec.kind == os::AuditKind::Violation && !rec.killed) ++tolerated;
+  }
+  if (tolerated > 0) {
+    std::printf("[%zu violation%s tolerated under %s]\n", tolerated, tolerated == 1 ? "" : "s",
+                os::failure_mode_name(sys.kernel().failure_mode()).c_str());
+    for (const auto& line : sys.kernel().event_log()) std::printf("  %s\n", line.c_str());
+  }
   std::printf("[exit %d, %llu syscalls, %llu cycles]\n", r.exit_code,
               static_cast<unsigned long long>(r.syscalls),
               static_cast<unsigned long long>(r.cycles));
-  if (stats) {
+  if (cfg.stats) {
     const auto& st = sys.kernel().cache_stats();
     std::printf("[verified-call cache: %llu hits, %llu misses (%.1f%% hit rate), "
                 "%llu inserts, %llu evictions, %llu invalidation writes]\n",
@@ -127,15 +200,34 @@ int main(int argc, char** argv) {
     if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
     if (cmd == "install" && argc == 4) return cmd_install(argv[2], argv[3]);
     if (cmd == "run" && argc >= 3) {
-      bool stats = false;
+      RunConfig cfg;
       std::vector<std::string> args;
-      int img_arg = 2;
-      if (std::string(argv[2]) == "--stats" && argc >= 4) {
-        stats = true;
-        img_arg = 3;
+      int i = 2;
+      for (; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--stats") {
+          cfg.stats = true;
+        } else if (a == "--monitor" && i + 1 < argc) {
+          if (!parse_monitor_flag(argv[++i], &cfg.monitor)) {
+            std::fprintf(stderr, "asctool: bad --monitor %s (off|asc|daemon|ktable)\n", argv[i]);
+            return 1;
+          }
+        } else if (a == "--failure-mode" && i + 1 < argc) {
+          if (!parse_failure_mode_flag(argv[++i], &cfg.failure, &cfg.budget)) {
+            std::fprintf(stderr,
+                         "asctool: bad --failure-mode %s (fail-stop|budgeted:N|audit-only)\n",
+                         argv[i]);
+            return 1;
+          }
+        } else {
+          break;  // first non-flag is the image path
+        }
       }
-      for (int i = img_arg + 1; i < argc; ++i) args.emplace_back(argv[i]);
-      return cmd_run(argv[img_arg], args, stats);
+      if (i < argc) {
+        const std::string img_path = argv[i++];
+        for (; i < argc; ++i) args.emplace_back(argv[i]);
+        return cmd_run(img_path, args, cfg);
+      }
     }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "asctool: %s\n", e.what());
@@ -143,7 +235,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(stderr,
                "usage: asctool build <name> <out.txe> | inspect <img.txe> |\n"
-               "       install <in.txe> <out.txe> | run [--stats] <img.txe> [args...]\n"
-               "       (--stats prints verified-call cache hit/miss/eviction counters)\n");
+               "       install <in.txe> <out.txe> |\n"
+               "       run [--stats] [--monitor off|asc|daemon|ktable]\n"
+               "           [--failure-mode fail-stop|budgeted:N|audit-only] <img.txe> [args...]\n");
   return 1;
 }

@@ -12,6 +12,8 @@ crypto::Key128 test_key() {
 System::System(os::Personality personality, const crypto::Key128& key, os::Enforcement mode,
                os::CostModel cost)
     : personality_(personality), installer_(key, personality), machine_(personality, cost) {
+  // Order is immaterial: set_enforcement installs a monitor that reads the
+  // kernel's key/policies/cost at inspect time, not at construction.
   machine_.kernel().set_key(key);
   machine_.kernel().set_enforcement(mode);
 }

@@ -30,8 +30,11 @@ crypto::Key128 test_key();
 
 class System {
  public:
-  /// Creates an installer and a machine sharing `key`, with the kernel in
-  /// Asc enforcement mode (pass Enforcement::Off for baseline runs).
+  /// Creates an installer and a machine sharing `key`. `mode` selects which
+  /// built-in SyscallMonitor is installed in the kernel's enforcement layer
+  /// (AscMonitor by default; pass Enforcement::Off for baseline runs).
+  /// Custom or composed monitors go through kernel().install_monitor()
+  /// afterwards.
   explicit System(os::Personality personality, const crypto::Key128& key = test_key(),
                   os::Enforcement mode = os::Enforcement::Asc, os::CostModel cost = {});
 

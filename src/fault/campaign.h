@@ -14,6 +14,12 @@
 // Campaigns honor the kernel failure mode, so the same seeded mutation set
 // can be replayed under fail-stop, budgeted, and audit-only enforcement and
 // the verdicts compared (graceful-degradation equivalence).
+//
+// Detection evidence comes from the audit layer of the trap pipeline: a run
+// counts as Detected only if the AscMonitor's verdict reached the AuditLog
+// as a Violation record (os/auditlog.h). Failure modes are an AuditLog
+// setting, which is why replaying the same mutations under a different mode
+// changes only kill decisions, never the audited violation classes.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 
 #include "binary/image.h"
 #include "fault/fault.h"
+#include "os/auditlog.h"
 #include "os/fs.h"
 #include "os/kernel.h"
 

@@ -9,7 +9,7 @@
 
 #include <vector>
 
-#include "os/kernel.h"
+#include "os/sysmonitor.h"
 #include "policy/policy.h"
 
 namespace asc::monitor {

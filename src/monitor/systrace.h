@@ -13,7 +13,7 @@
 #include <set>
 #include <string>
 
-#include "os/kernel.h"
+#include "os/sysmonitor.h"
 #include "os/syscalls.h"
 
 namespace asc::monitor {

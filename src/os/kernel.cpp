@@ -1,56 +1,24 @@
+// Trap layer of the staged pipeline (see os/kernel.h): context capture,
+// the enforcement/audit hand-off, and configuration. The dispatch layer
+// (syscall handlers) lives in os/dispatch.cpp.
 #include "os/kernel.h"
 
-#include <algorithm>
-#include <cstdio>
-
-#include "os/checker.h"
-#include "policy/pattern.h"
 #include "util/error.h"
-#include "util/hex.h"
 
 namespace asc::os {
 
-std::string enforcement_name(Enforcement e) {
-  switch (e) {
-    case Enforcement::Off: return "off";
-    case Enforcement::Asc: return "asc";
-    case Enforcement::Daemon: return "daemon";
-    case Enforcement::KernelTable: return "kernel-table";
-  }
-  return "?";
-}
-
-std::string failure_mode_name(FailureMode m) {
-  switch (m) {
-    case FailureMode::FailStop: return "fail-stop";
-    case FailureMode::Budgeted: return "budgeted";
-    case FailureMode::AuditOnly: return "audit-only";
-  }
-  return "?";
-}
-
-std::string VerdictRecord::to_string() const {
-  char site[16];
-  std::snprintf(site, sizeof site, "0x%x", call_site);
-  const std::string ctx = " (pid=" + std::to_string(pid) + " sysno=" + std::to_string(sysno) +
-                          " site=" + site + ")";
-  switch (kind) {
-    case AuditKind::Violation:
-      return "ALERT pid=" + std::to_string(pid) + " prog=" + prog + " " +
-             violation_name(violation) + ": " + detail + " (sysno=" + std::to_string(sysno) +
-             " site=" + site + (killed ? " killed" : " permitted") + ")";
-    case AuditKind::Net:
-      return "NET " + detail + ctx;
-    case AuditKind::Signal:
-      return "SIGNAL " + detail + ctx;
-    case AuditKind::Spawn:
-      return "SPAWN " + detail + ctx;
-  }
-  return "?";
-}
-
 Kernel::Kernel(Personality personality, CostModel cost)
-    : personality_(personality), cost_(cost) {}
+    : personality_(personality), cost_(cost), monitor_(std::make_unique<NullMonitor>()) {}
+
+void Kernel::set_enforcement(Enforcement e) {
+  enforcement_ = e;
+  monitor_ = make_monitor(e, *this);
+}
+
+void Kernel::install_monitor(std::unique_ptr<SyscallMonitor> monitor) {
+  if (monitor == nullptr) throw Error("kernel: install_monitor(nullptr)");
+  monitor_ = std::move(monitor);
+}
 
 void Kernel::set_key(const crypto::Key128& key) {
   key_.emplace(key);
@@ -65,583 +33,105 @@ void Kernel::set_monitor_policy(const std::string& program, MonitorPolicy policy
   monitor_policies_[program] = std::move(policy);
 }
 
-void Kernel::audit(VerdictRecord rec) {
-  events_.push_back(rec.to_string());
-  audit_log_.push_back(std::move(rec));
+const MonitorPolicy* Kernel::find_monitor_policy(const std::string& program) const {
+  auto it = monitor_policies_.find(program);
+  return it == monitor_policies_.end() ? nullptr : &it->second;
 }
 
-void Kernel::log_event(Process& p, AuditKind kind, std::string detail) {
-  VerdictRecord rec;
-  rec.kind = kind;
-  rec.pid = p.pid;
-  rec.prog = p.name;
-  rec.sysno = cur_sysno_;
-  rec.call_site = cur_site_;
-  rec.detail = std::move(detail);
-  rec.vtime_ns = vtime_ns_ + p.cycles;
-  audit(std::move(rec));
+void Kernel::log_event(Process& p, const TrapContext& ctx, AuditKind kind, std::string detail) {
+  audit_.event(p, ctx, kind, std::move(detail), now_ns(p));
 }
 
-bool Kernel::deny(Process& p, Violation v, const std::string& detail) {
-  ++p.violation_count;
-  const bool kill =
-      failure_mode_ == FailureMode::FailStop ||
-      (failure_mode_ == FailureMode::Budgeted && p.violation_count > violation_budget_);
-  VerdictRecord rec;
-  rec.kind = AuditKind::Violation;
-  rec.pid = p.pid;
-  rec.prog = p.name;
-  rec.sysno = cur_sysno_;
-  rec.call_site = cur_site_;
-  rec.violation = v;
-  rec.killed = kill;
-  rec.detail = detail;
-  rec.vtime_ns = vtime_ns_ + p.cycles;
-  audit(std::move(rec));
-  if (kill) {
-    p.running = false;
-    p.violation = v;
-    p.violation_detail = detail;
-    p.exit_code = -1;
-  }
-  return kill;
+TrapContext Kernel::capture_trap(Process& p, std::uint32_t call_site) {
+  TrapContext ctx;
+  ctx.charge(p, cost_.trap);
+  ++p.syscall_count;
+  const auto& regs = p.cpu.regs;
+  ctx.pid = p.pid;
+  ctx.call_site = call_site;
+  ctx.sysno = static_cast<std::uint16_t>(regs[0]);
+  ctx.args = {regs[1], regs[2], regs[3], regs[4], regs[5]};
+  ctx.id = syscall_from_number(personality_, ctx.sysno);
+  ctx.effective_sysno = ctx.sysno;
+  ctx.effective_args = ctx.args;
+  if (ctx.id.has_value()) ctx.effective_id = *ctx.id;
+  return ctx;
 }
 
-std::string Kernel::read_path(Process& p, std::uint32_t addr) {
-  return p.mem.read_cstr(addr, 4096);
-}
-
-bool Kernel::monitor_allows(Process& p, std::uint16_t sysno, SysId id,
-                            const std::array<std::uint32_t, 5>& args, std::string* why) {
-  auto it = monitor_policies_.find(p.name);
-  if (it == monitor_policies_.end()) {
-    *why = "no policy loaded for program";
+bool Kernel::resolve_indirect(TrapContext& ctx) {
+  if (ctx.effective_id != SysId::SyscallIndirect) return true;
+  const auto& a = ctx.effective_args;
+  const std::uint16_t real = static_cast<std::uint16_t>(a[0]);
+  const auto real_id = syscall_from_number(personality_, real);
+  // On BsdSim, mmap has no direct number; __syscall names it by the
+  // OS-independent convention number 71 (historic BSD mmap).
+  SysId resolved;
+  if (real == 71) {
+    resolved = SysId::Mmap;
+  } else if (real_id.has_value()) {
+    resolved = *real_id;
+  } else {
     return false;
   }
-  const MonitorPolicy& pol = it->second;
-  const auto& sig = signature(id);
-  const bool allowed_by_alias = (pol.allow_fsread && sig.category == Category::FsRead) ||
-                                (pol.allow_fswrite && sig.category == Category::FsWrite);
-  if (pol.allowed.count(sysno) == 0 && !allowed_by_alias) {
-    *why = std::string("syscall ") + sig.name + " not permitted by policy";
-    return false;
-  }
-  // Path constraints (if any were trained for this syscall).
-  auto pit = pol.path_patterns.find(sysno);
-  if (pit != pol.path_patterns.end() && !pit->second.empty() && sig.arity > 0 &&
-      sig.args[0] == ArgKind::PathIn) {
-    std::string path;
-    try {
-      path = read_path(p, args[0]);
-    } catch (const GuestFault&) {
-      *why = "unreadable path argument";
-      return false;
-    }
-    if (normalize_paths_) {
-      // Full resolution first (follows a final symlink -- the §5.4 attack);
-      // fall back to parent-only for files that do not exist yet (O_CREAT).
-      if (auto norm = fs_.normalize(p.cwd, path)) {
-        path = *norm;
-      } else if (auto parent = fs_.normalize(p.cwd, path, /*parent_only=*/true)) {
-        path = *parent;
-      }
-    }
-    for (const auto& pat : pit->second) {
-      if (policy::match_and_prove(pat, path).has_value()) return true;
-    }
-    *why = std::string(sig.name) + "(" + path + ") does not match any permitted path";
-    return false;
-  }
+  ctx.effective_id = resolved;
+  ctx.effective_sysno = real;
+  ctx.effective_args = {a[1], a[2], a[3], a[4], 0};
   return true;
 }
 
 void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
-  charge(p, cost_.trap);
-  ++p.syscall_count;
+  // ---- (1) trap layer: capture this call's context ----
+  TrapContext ctx = capture_trap(p, call_site);
 
-  auto& regs = p.cpu.regs;
-  const std::uint16_t sysno = static_cast<std::uint16_t>(regs[0]);
-  const auto maybe_id = syscall_from_number(personality_, sysno);
-  cur_sysno_ = sysno;
-  cur_site_ = call_site;
-
-  // ---- enforcement ----
-  // A violation records a verdict via deny(); only when deny() kills does
-  // the trap end here. A tolerated violation (audit-only / within the
-  // violation budget) falls through to normal dispatch.
-  switch (enforcement_) {
-    case Enforcement::Off:
-      break;
-    case Enforcement::Asc: {
-      if (key_ == std::nullopt) throw Error("kernel: Asc enforcement without a key");
-      if (!maybe_id.has_value()) {
-        if (deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno))) {
-          return;
-        }
-        break;
-      }
-      const CheckResult r = check_authenticated_call(p, call_site, sysno,
-                                                     signature(*maybe_id), *key_, cost_,
-                                                     capability_checking_,
-                                                     cache_enabled_ ? &call_cache_ : nullptr);
-      charge(p, r.cycles);
-      if (r.violation != Violation::None && deny(p, r.violation, r.detail)) return;
-      break;
-    }
-    case Enforcement::Daemon: {
-      // Two context switches (to the daemon and back) plus the daemon's
-      // policy lookup; this is the architecture ASC avoids (§2.3).
-      charge(p, 2 * cost_.context_switch + cost_.daemon_lookup);
-      if (!maybe_id.has_value()) {
-        if (deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno))) {
-          return;
-        }
-        break;
-      }
-      std::string why;
-      std::array<std::uint32_t, 5> args{regs[1], regs[2], regs[3], regs[4], regs[5]};
-      if (!monitor_allows(p, sysno, *maybe_id, args, &why) &&
-          deny(p, Violation::MonitorDenied, why)) {
-        return;
-      }
-      break;
-    }
-    case Enforcement::KernelTable: {
-      charge(p, cost_.ktable_lookup);
-      if (!maybe_id.has_value()) {
-        if (deny(p, Violation::UnknownSyscall, "syscall number " + std::to_string(sysno))) {
-          return;
-        }
-        break;
-      }
-      std::string why;
-      std::array<std::uint32_t, 5> args{regs[1], regs[2], regs[3], regs[4], regs[5]};
-      if (!monitor_allows(p, sysno, *maybe_id, args, &why) &&
-          deny(p, Violation::MonitorDenied, why)) {
-        return;
-      }
-      break;
-    }
+  // ---- (2) enforcement layer ----
+  // A violation verdict goes to the audit layer, which applies the failure
+  // mode; only a kill ends the trap here. A tolerated violation (audit-only
+  // / within the violation budget) falls through to normal dispatch.
+  MonitorVerdict verdict = monitor_->inspect(p, ctx);
+  if (!verdict.allowed()) {
+    ctx.verdict = verdict.violation;
+    ctx.verdict_detail = verdict.detail;
+    if (audit_.deny(p, ctx, verdict.violation, verdict.detail, now_ns(p))) return;
   }
 
-  if (!maybe_id.has_value()) {
+  auto& regs = p.cpu.regs;
+  if (!ctx.id.has_value() || !resolve_indirect(ctx)) {
     regs[0] = static_cast<std::uint32_t>(-38);  // -ENOSYS
     return;
   }
 
-  // ---- __syscall indirection (BsdSim's route to mmap) ----
-  SysId id = *maybe_id;
-  std::array<std::uint32_t, 5> args{regs[1], regs[2], regs[3], regs[4], regs[5]};
-  std::uint16_t effective_sysno = sysno;
-  if (id == SysId::SyscallIndirect) {
-    const std::uint16_t real = static_cast<std::uint16_t>(args[0]);
-    const auto real_id = syscall_from_number(personality_, real);
-    // On BsdSim, mmap has no direct number; __syscall names it by the
-    // OS-independent convention number 71 (historic BSD mmap).
-    SysId resolved;
-    if (real == 71) {
-      resolved = SysId::Mmap;
-    } else if (real_id.has_value()) {
-      resolved = *real_id;
-    } else {
-      regs[0] = static_cast<std::uint32_t>(-38);
-      return;
-    }
-    id = resolved;
-    effective_sysno = real;
-    args = {args[1], args[2], args[3], args[4], 0};
-  }
-
+  // ---- (3) dispatch layer ----
   std::int64_t ret;
   try {
-    ret = dispatch(p, id, args, call_site);
+    ret = dispatch(p, ctx);
   } catch (const GuestFault& f) {
     // A syscall argument pointed outside the address space.
     ret = SimFs::kErrInval;
     (void)f;
   }
 
-  charge(p, cost_.handler_base_cost(id));
+  ctx.charge(p, cost_.handler_base_cost(ctx.effective_id));
   if (p.running) regs[0] = static_cast<std::uint32_t>(ret);
 
   // Trace exit() too: training-based policies must learn it or they kill
   // every process at termination.
   if (tracing_) {
     TraceEntry t;
-    t.id = id;
-    t.sysno = effective_sysno;
-    t.call_site = call_site;
-    t.args = args;
+    t.id = ctx.effective_id;
+    t.sysno = ctx.effective_sysno;
+    t.call_site = ctx.call_site;
+    t.args = ctx.effective_args;
     t.ret = ret;
-    const auto& sig = signature(id);
+    const auto& sig = signature(ctx.effective_id);
     if (sig.arity > 0 && sig.args[0] == ArgKind::PathIn) {
       try {
-        t.path = read_path(p, args[0]);
+        ctx.path = read_path(p, ctx.effective_args[0]);
+        t.path = ctx.path;
       } catch (const GuestFault&) {
       }
     }
     trace_.push_back(std::move(t));
   }
-}
-
-std::int64_t Kernel::sys_open(Process& p, const std::array<std::uint32_t, 5>& a,
-                              std::uint32_t site) {
-  const std::string path = read_path(p, a[0]);
-  const std::int64_t ino = fs_.open(p.cwd, path, a[1], a[2] & ~p.umask);
-  if (ino < 0) return ino;
-  const std::int32_t fd = p.alloc_fd();
-  if (fd < 0) return SimFs::kErrBadf;
-  FdEntry& e = p.fds[static_cast<std::size_t>(fd)];
-  e.kind = FdEntry::Kind::File;
-  e.inode = static_cast<std::uint32_t>(ino);
-  e.offset = 0;
-  e.flags = a[1];
-  e.origin_block = p.cpu.regs[isa::kRegBlockId];
-  (void)site;
-  return fd;
-}
-
-std::int64_t Kernel::sys_read(Process& p, const std::array<std::uint32_t, 5>& a) {
-  FdEntry* e = p.fd(a[0]);
-  if (e == nullptr) return SimFs::kErrBadf;
-  const std::uint32_t n = a[2];
-  std::vector<std::uint8_t> buf;
-  std::int64_t got = 0;
-  switch (e->kind) {
-    case FdEntry::Kind::Stdin: {
-      const std::size_t avail = p.stdin_data.size() - p.stdin_pos;
-      const std::size_t take = std::min<std::size_t>(n, avail);
-      buf.assign(p.stdin_data.begin() + static_cast<std::ptrdiff_t>(p.stdin_pos),
-                 p.stdin_data.begin() + static_cast<std::ptrdiff_t>(p.stdin_pos + take));
-      p.stdin_pos += take;
-      got = static_cast<std::int64_t>(take);
-      break;
-    }
-    case FdEntry::Kind::File: {
-      got = fs_.read(e->inode, e->offset, n, buf);
-      if (got > 0) e->offset += static_cast<std::uint32_t>(got);
-      break;
-    }
-    case FdEntry::Kind::Socket:
-    case FdEntry::Kind::Pipe:
-      got = 0;  // nothing to receive in the simulation
-      break;
-    default:
-      return SimFs::kErrBadf;
-  }
-  if (got > 0) p.mem.write_bytes(a[1], buf);
-  charge(p, static_cast<std::uint64_t>(static_cast<double>(std::max<std::int64_t>(got, 0)) *
-                                       cost_.read_per_byte));
-  return got;
-}
-
-std::int64_t Kernel::sys_write(Process& p, const std::array<std::uint32_t, 5>& a) {
-  FdEntry* e = p.fd(a[0]);
-  if (e == nullptr) return SimFs::kErrBadf;
-  const std::uint32_t n = a[2];
-  const std::vector<std::uint8_t> buf = p.mem.read_bytes(a[1], n);
-  std::int64_t wrote = 0;
-  switch (e->kind) {
-    case FdEntry::Kind::Stdout:
-      p.stdout_data.append(buf.begin(), buf.end());
-      wrote = n;
-      break;
-    case FdEntry::Kind::Stderr:
-      p.stderr_data.append(buf.begin(), buf.end());
-      wrote = n;
-      break;
-    case FdEntry::Kind::File: {
-      wrote = fs_.write(e->inode, e->offset, buf, (e->flags & SimFs::kAppend) != 0);
-      if (wrote > 0) e->offset += static_cast<std::uint32_t>(wrote);
-      break;
-    }
-    case FdEntry::Kind::Socket:
-      log_event(p, AuditKind::Net, "send " + std::to_string(n) + " bytes");
-      wrote = n;
-      break;
-    case FdEntry::Kind::Pipe:
-      wrote = n;
-      break;
-    default:
-      return SimFs::kErrBadf;
-  }
-  charge(p, static_cast<std::uint64_t>(static_cast<double>(std::max<std::int64_t>(wrote, 0)) *
-                                       cost_.write_per_byte));
-  return wrote;
-}
-
-std::int64_t Kernel::dispatch(Process& p, SysId id, std::array<std::uint32_t, 5> a,
-                              std::uint32_t call_site) {
-  switch (id) {
-    case SysId::Exit:
-      p.running = false;
-      p.exit_code = static_cast<std::int32_t>(a[0]);
-      return 0;
-    case SysId::Read:
-      return sys_read(p, a);
-    case SysId::Write:
-      return sys_write(p, a);
-    case SysId::Open:
-      return sys_open(p, a, call_site);
-    case SysId::Close: {
-      FdEntry* e = p.fd(a[0]);
-      if (e == nullptr) return SimFs::kErrBadf;
-      e->kind = FdEntry::Kind::Closed;
-      return 0;
-    }
-    case SysId::Unlink:
-      return fs_.unlink(p.cwd, read_path(p, a[0]));
-    case SysId::Rename:
-      return fs_.rename(p.cwd, read_path(p, a[0]), read_path(p, a[1]));
-    case SysId::Mkdir:
-      return fs_.mkdir(p.cwd, read_path(p, a[0]), a[1]);
-    case SysId::Rmdir:
-      return fs_.rmdir(p.cwd, read_path(p, a[0]));
-    case SysId::Chdir: {
-      const std::string path = read_path(p, a[0]);
-      if (!fs_.is_dir(p.cwd, path)) return SimFs::kErrNotDir;
-      if (auto norm = fs_.normalize(p.cwd, path)) {
-        p.cwd = *norm;
-        return 0;
-      }
-      return SimFs::kErrNoEnt;
-    }
-    case SysId::Getcwd: {
-      const std::string& cwd = p.cwd;
-      if (cwd.size() + 1 > a[1]) return SimFs::kErrInval;
-      std::vector<std::uint8_t> bytes(cwd.begin(), cwd.end());
-      bytes.push_back(0);
-      p.mem.write_bytes(a[0], bytes);
-      return static_cast<std::int64_t>(cwd.size());
-    }
-    case SysId::Stat: {
-      const auto st = fs_.stat(p.cwd, read_path(p, a[0]));
-      if (!st.has_value()) return SimFs::kErrNoEnt;
-      p.mem.w32(a[1], static_cast<std::uint32_t>(st->kind));
-      p.mem.w32(a[1] + 4, st->size);
-      p.mem.w32(a[1] + 8, st->mode);
-      p.mem.w32(a[1] + 12, st->inode);
-      return 0;
-    }
-    case SysId::Fstat:
-    case SysId::Fstatfs: {
-      FdEntry* e = p.fd(a[0]);
-      if (e == nullptr) return SimFs::kErrBadf;
-      StatInfo st{};
-      if (e->kind == FdEntry::Kind::File) {
-        const auto s = fs_.stat_inode(e->inode);
-        if (s.has_value()) st = *s;
-      }
-      p.mem.w32(a[1], static_cast<std::uint32_t>(st.kind));
-      p.mem.w32(a[1] + 4, st.size);
-      p.mem.w32(a[1] + 8, st.mode);
-      p.mem.w32(a[1] + 12, st.inode);
-      return 0;
-    }
-    case SysId::Lseek: {
-      FdEntry* e = p.fd(a[0]);
-      if (e == nullptr || e->kind != FdEntry::Kind::File) return SimFs::kErrBadf;
-      const auto st = fs_.stat_inode(e->inode);
-      const std::int32_t off = static_cast<std::int32_t>(a[1]);
-      std::int64_t base = 0;
-      switch (a[2]) {
-        case 0: base = 0; break;                                      // SEEK_SET
-        case 1: base = e->offset; break;                              // SEEK_CUR
-        case 2: base = st.has_value() ? st->size : 0; break;          // SEEK_END
-        default: return SimFs::kErrInval;
-      }
-      const std::int64_t pos = base + off;
-      if (pos < 0) return SimFs::kErrInval;
-      e->offset = static_cast<std::uint32_t>(pos);
-      return pos;
-    }
-    case SysId::Dup: {
-      FdEntry* e = p.fd(a[0]);
-      if (e == nullptr) return SimFs::kErrBadf;
-      const FdEntry copy = *e;  // copy before alloc_fd may reallocate
-      const std::int32_t nfd = p.alloc_fd();
-      if (nfd < 0) return SimFs::kErrBadf;
-      p.fds[static_cast<std::size_t>(nfd)] = copy;
-      return nfd;
-    }
-    case SysId::Brk: {
-      const std::uint32_t want = a[0];
-      if (want == 0) return p.brk_end;
-      if (want < binary::kHeapBase || want >= p.mmap_cursor) return SimFs::kErrInval;
-      p.brk_end = want;
-      return p.brk_end;
-    }
-    case SysId::Getpid:
-      return p.pid;
-    case SysId::Getuid:
-      return 1000;
-    case SysId::Gettimeofday: {
-      const std::uint64_t ns = vtime_ns_ + p.cycles;  // 1 cycle ~ 1 ns
-      if (a[0] != 0) {
-        p.mem.w32(a[0], static_cast<std::uint32_t>(ns / 1'000'000'000));
-        p.mem.w32(a[0] + 4, static_cast<std::uint32_t>(ns % 1'000'000'000 / 1000));
-      }
-      return 0;
-    }
-    case SysId::Time: {
-      const std::uint32_t secs = static_cast<std::uint32_t>((vtime_ns_ + p.cycles) / 1'000'000'000);
-      if (a[0] != 0) p.mem.w32(a[0], secs);
-      return secs;
-    }
-    case SysId::Nanosleep: {
-      if (a[0] != 0) {
-        const std::uint32_t sec = p.mem.r32(a[0]);
-        const std::uint32_t nsec = p.mem.r32(a[0] + 4);
-        vtime_ns_ += static_cast<std::uint64_t>(sec) * 1'000'000'000 + nsec;
-      }
-      return 0;
-    }
-    case SysId::Kill:
-      log_event(p, AuditKind::Signal,
-                "pid=" + std::to_string(a[0]) + " sig=" + std::to_string(a[1]));
-      return 0;
-    case SysId::Sigaction:
-      return 0;
-    case SysId::Socket: {
-      const std::int32_t fd = p.alloc_fd();
-      if (fd < 0) return SimFs::kErrBadf;
-      FdEntry& e = p.fds[static_cast<std::size_t>(fd)];
-      e.kind = FdEntry::Kind::Socket;
-      e.origin_block = p.cpu.regs[isa::kRegBlockId];
-      return fd;
-    }
-    case SysId::Connect:
-      return p.fd(a[0]) != nullptr ? 0 : SimFs::kErrBadf;
-    case SysId::Sendto: {
-      FdEntry* e = p.fd(a[0]);
-      if (e == nullptr || e->kind != FdEntry::Kind::Socket) return SimFs::kErrBadf;
-      log_event(p, AuditKind::Net, "sendto " + std::to_string(a[2]) + " bytes");
-      charge(p, static_cast<std::uint64_t>(static_cast<double>(a[2]) * cost_.write_per_byte));
-      return a[2];
-    }
-    case SysId::Recvfrom:
-      return p.fd(a[0]) != nullptr ? 0 : SimFs::kErrBadf;
-    case SysId::Fcntl:
-      return p.fd(a[0]) != nullptr ? 0 : SimFs::kErrBadf;
-    case SysId::Readlink: {
-      const auto target = fs_.readlink(p.cwd, read_path(p, a[0]));
-      if (!target.has_value()) return SimFs::kErrNoEnt;
-      const std::uint32_t n = std::min<std::uint32_t>(a[2], static_cast<std::uint32_t>(target->size()));
-      p.mem.write_bytes(a[1], std::vector<std::uint8_t>(target->begin(), target->begin() + n));
-      return n;
-    }
-    case SysId::Symlink:
-      return fs_.symlink(p.cwd, read_path(p, a[0]), read_path(p, a[1]));
-    case SysId::Chmod:
-      return fs_.chmod(p.cwd, read_path(p, a[0]), a[1]);
-    case SysId::Access:
-      return fs_.access(p.cwd, read_path(p, a[0]));
-    case SysId::Ftruncate: {
-      FdEntry* e = p.fd(a[0]);
-      if (e == nullptr || e->kind != FdEntry::Kind::File) return SimFs::kErrBadf;
-      return fs_.truncate(e->inode, a[1]);
-    }
-    case SysId::Getdirentries: {
-      FdEntry* e = p.fd(a[0]);
-      if (e == nullptr || e->kind != FdEntry::Kind::File) return SimFs::kErrBadf;
-      // Directory fds: inode refers to a dir. List names NUL-separated.
-      const auto st = fs_.stat_inode(e->inode);
-      if (!st.has_value() || st->kind != NodeKind::Dir) return SimFs::kErrNotDir;
-      std::vector<std::string> names;
-      if (auto dpath = fs_.path_of_inode(e->inode)) {
-        if (auto lst = fs_.list_dir("/", *dpath)) names = *lst;
-      }
-      std::vector<std::uint8_t> out;
-      for (const auto& nme : names) {
-        for (char c : nme) out.push_back(static_cast<std::uint8_t>(c));
-        out.push_back(0);
-      }
-      if (e->offset >= out.size()) return 0;
-      const std::uint32_t take = std::min<std::uint32_t>(a[2], static_cast<std::uint32_t>(out.size()) - e->offset);
-      p.mem.write_bytes(a[1], std::span<const std::uint8_t>(out.data() + e->offset, take));
-      e->offset += take;
-      return take;
-    }
-    case SysId::Uname: {
-      const std::string s = personality_ == Personality::LinuxSim ? "LinuxSim 2.4-asc"
-                                                                  : "BsdSim 3.4-asc";
-      std::vector<std::uint8_t> bytes(s.begin(), s.end());
-      bytes.push_back(0);
-      p.mem.write_bytes(a[0], bytes);
-      return 0;
-    }
-    case SysId::Sysconf:
-      switch (a[0]) {
-        case 1: return 4096;   // page size
-        case 2: return 256;    // open max
-        default: return SimFs::kErrInval;
-      }
-    case SysId::Madvise:
-      return 0;
-    case SysId::Mmap: {
-      const std::uint32_t len = (a[1] + 4095u) & ~4095u;
-      if (len == 0 || len > p.mmap_cursor - p.brk_end) return SimFs::kErrInval;
-      p.mmap_cursor -= len;
-      return p.mmap_cursor;
-    }
-    case SysId::Munmap:
-      return 0;
-    case SysId::Writev: {
-      // iov = array of {ptr, len}; cnt = a[2]
-      std::int64_t total = 0;
-      for (std::uint32_t i = 0; i < a[2]; ++i) {
-        const std::uint32_t ptr = p.mem.r32(a[1] + 8 * i);
-        const std::uint32_t len = p.mem.r32(a[1] + 8 * i + 4);
-        const std::int64_t w = sys_write(p, {a[0], ptr, len, 0, 0});
-        if (w < 0) return w;
-        total += w;
-      }
-      return total;
-    }
-    case SysId::Umask: {
-      const std::uint32_t old = p.umask;
-      p.umask = a[0] & 0777;
-      return old;
-    }
-    case SysId::Ioctl:
-      return p.fd(a[0]) != nullptr ? 0 : SimFs::kErrBadf;
-    case SysId::Spawn: {
-      const std::string path = read_path(p, a[0]);
-      // a[1], when nonzero, points to a block of NUL-terminated argument
-      // strings ending with an empty string.
-      std::vector<std::string> argv;
-      if (a[1] != 0) {
-        std::uint32_t cursor = a[1];
-        for (int guard = 0; guard < 64; ++guard) {
-          const std::string s = p.mem.read_cstr(cursor, 4096);
-          if (s.empty()) break;
-          argv.push_back(s);
-          cursor += static_cast<std::uint32_t>(s.size()) + 1;
-        }
-      }
-      std::string joined = path;
-      for (const auto& s : argv) joined += " " + s;
-      log_event(p, AuditKind::Spawn, joined);
-      if (!spawn_) return SimFs::kErrNoEnt;
-      return spawn_(p, path, argv);
-    }
-    case SysId::Pipe: {
-      const std::int32_t r = p.alloc_fd();
-      if (r < 0) return SimFs::kErrBadf;
-      p.fds[static_cast<std::size_t>(r)].kind = FdEntry::Kind::Pipe;
-      const std::int32_t w = p.alloc_fd();
-      if (w < 0) return SimFs::kErrBadf;
-      p.fds[static_cast<std::size_t>(w)].kind = FdEntry::Kind::Pipe;
-      p.mem.w32(a[0], static_cast<std::uint32_t>(r));
-      p.mem.w32(a[0] + 4, static_cast<std::uint32_t>(w));
-      return 0;
-    }
-    case SysId::SyscallIndirect:
-      return SimFs::kErrInval;  // handled before dispatch
-    case SysId::kCount:
-      break;
-  }
-  return SimFs::kErrInval;
 }
 
 }  // namespace asc::os

@@ -1,78 +1,43 @@
-// The simulated kernel: syscall dispatch, the software trap handler, and the
-// enforcement hook.
+// The simulated kernel, structured as a staged trap pipeline:
 //
-// This is the component the paper implements by adding 248 lines to the Linux
-// trap handler plus a crypto library. Our trap handler supports four
-// enforcement modes so the benches can compare monitoring architectures:
+//   (1) trap layer      -- os/kernel.cpp: captures a TrapContext from the
+//                          trapping process (sysno, call site, raw args) and
+//                          threads it through the stages below. One context
+//                          per trap, on the handler's stack, so nested traps
+//                          (Spawn) cannot clobber each other.
+//   (2) enforcement     -- os/sysmonitor.h: a pluggable SyscallMonitor
+//                          inspects the context and returns a verdict
+//                          (AscMonitor / DaemonMonitor / KernelTableMonitor /
+//                          NullMonitor, composable via ChainMonitor).
+//   (3) dispatch        -- os/dispatch.cpp: the syscall handlers, reading
+//                          identity and arguments from the context.
+//   (4) audit           -- os/auditlog.h: the AuditLog records verdicts and
+//                          security events and applies the failure mode
+//                          (fail-stop / budgeted / audit-only).
 //
-//   Off         -- no monitoring (the paper's "original" baseline)
-//   Asc         -- authenticated system calls (§3.4 checking; the paper's
-//                  contribution). Every call is checked; unauthenticated
-//                  calls are blocked.
-//   Daemon      -- user-space policy daemon baseline (Systrace/Ostia style):
-//                  each call costs two extra context switches plus a policy
-//                  lookup in the daemon.
-//   KernelTable -- fully in-kernel policy table baseline.
+// This is the component the paper implements by adding 248 lines to the
+// Linux trap handler plus a crypto library; the four enforcement modes let
+// the benches compare monitoring architectures (§4.2).
 #pragma once
 
 #include <functional>
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
 #include <vector>
 
 #include "crypto/cmac.h"
 #include "os/asccache.h"
+#include "os/auditlog.h"
 #include "os/costmodel.h"
 #include "os/fs.h"
 #include "os/process.h"
 #include "os/syscalls.h"
+#include "os/sysmonitor.h"
+#include "os/trapcontext.h"
 
 namespace asc::os {
-
-enum class Enforcement : std::uint8_t { Off, Asc, Daemon, KernelTable };
-
-std::string enforcement_name(Enforcement e);
-
-/// How the kernel reacts once a violation has been established (graceful
-/// degradation). The paper prescribes fail-stop ("terminate the process,
-/// log the call, alert the administrator", §3.4); the other modes support
-/// staged rollout: audit a new policy in production before enforcing it.
-enum class FailureMode : std::uint8_t {
-  FailStop,   // kill on the first violation (paper-faithful)
-  Budgeted,   // tolerate up to the violation budget, then kill
-  AuditOnly,  // record every verdict, never kill (permissive)
-};
-
-std::string failure_mode_name(FailureMode m);
-
-/// What a structured audit record describes.
-enum class AuditKind : std::uint8_t {
-  Violation,  // the monitor established a policy violation
-  Net,        // outbound network traffic
-  Signal,     // signal sent to another process
-  Spawn,      // program execution request
-};
-
-/// One structured entry of the kernel's security/audit log. Every event
-/// carries the process, program, trapping call, and virtual timestamp; for
-/// violations, the Violation class and whether the verdict killed the guest.
-struct VerdictRecord {
-  AuditKind kind = AuditKind::Violation;
-  int pid = 0;
-  std::string prog;
-  std::uint16_t sysno = 0;
-  std::uint32_t call_site = 0;
-  Violation violation = Violation::None;
-  bool killed = false;  // did this verdict terminate the process?
-  std::string detail;
-  std::uint64_t vtime_ns = 0;
-
-  /// Legacy one-line view ("ALERT pid=... prog=... ...", "SPAWN ...").
-  std::string to_string() const;
-};
 
 /// One observed system call (used by training-based policy generation and by
 /// tests that assert on guest behavior).
@@ -85,19 +50,12 @@ struct TraceEntry {
   std::int64_t ret = 0;
 };
 
-/// Policy format used by the two baseline monitors (Daemon / KernelTable):
-/// a set of permitted syscall numbers, optionally with path patterns, plus
-/// Systrace-style fsread/fswrite aliases.
-struct MonitorPolicy {
-  std::set<std::uint16_t> allowed;
-  std::map<std::uint16_t, std::vector<std::string>> path_patterns;  // empty vec = any path
-  bool allow_fsread = false;   // permit every Category::FsRead call
-  bool allow_fswrite = false;  // permit every Category::FsWrite call
-};
-
 class Kernel {
  public:
   explicit Kernel(Personality personality, CostModel cost = {});
+  // Installed monitors hold a reference to this kernel.
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
 
   Personality personality() const { return personality_; }
   const CostModel& cost() const { return cost_; }
@@ -106,18 +64,30 @@ class Kernel {
   SimFs& fs() { return fs_; }
   const SimFs& fs() const { return fs_; }
 
-  // ---- enforcement configuration ----
-  void set_enforcement(Enforcement e) { enforcement_ = e; }
+  // ---- enforcement layer configuration ----
+  /// Select one of the built-in monitors by mode (see os/sysmonitor.h).
+  void set_enforcement(Enforcement e);
   Enforcement enforcement() const { return enforcement_; }
-  /// Install the MAC key (required for Asc mode). In the real system only
-  /// the installer and the kernel ever hold this key.
+  /// Install a custom monitor (e.g. a ChainMonitor composing several); the
+  /// enforcement() getter keeps reporting the last set_enforcement() mode.
+  void install_monitor(std::unique_ptr<SyscallMonitor> monitor);
+  SyscallMonitor& monitor() { return *monitor_; }
+  const SyscallMonitor& monitor() const { return *monitor_; }
+  /// Install the MAC key (required for the ASC monitor). In the real system
+  /// only the installer and the kernel ever hold this key.
   void set_key(const crypto::Key128& key);
   const crypto::MacKey* key() const { return key_ ? &*key_ : nullptr; }
   /// Policy for the baseline monitors, per program name.
   void set_monitor_policy(const std::string& program, MonitorPolicy policy);
+  /// The installed policy for a program, or nullptr.
+  const MonitorPolicy* find_monitor_policy(const std::string& program) const;
   /// Enable kernel-side fd capability checking (§5.3).
   void set_capability_checking(bool on) { capability_checking_ = on; }
   bool capability_checking() const { return capability_checking_; }
+  /// Normalize path arguments before checking baseline-monitor path
+  /// policies (§5.4).
+  void set_normalize_paths(bool on) { normalize_paths_ = on; }
+  bool normalize_paths() const { return normalize_paths_; }
 
   // ---- verified-call cache ----
   /// The MAC-verification fast path (os/asccache.h), on by default. When
@@ -132,36 +102,36 @@ class Kernel {
   /// Process teardown/exec hook: drop every cached verification of `pid` so
   /// recycled pids or re-execed images can never inherit stale trust.
   void end_process(int pid) { call_cache_.evict_pid(pid); }
-  /// Normalize path arguments before checking baseline-monitor path
-  /// policies (§5.4).
-  void set_normalize_paths(bool on) { normalize_paths_ = on; }
 
-  // ---- graceful degradation ----
+  // ---- audit layer (graceful degradation + the security log) ----
+  AuditLog& audit_log_component() { return audit_; }
+  const AuditLog& audit_log_component() const { return audit_; }
   /// Reaction to an established violation (default: paper-faithful
   /// fail-stop). Budgeted mode kills only when a process exceeds the
   /// violation budget; AuditOnly never kills.
-  void set_failure_mode(FailureMode m) { failure_mode_ = m; }
-  FailureMode failure_mode() const { return failure_mode_; }
+  void set_failure_mode(FailureMode m) { audit_.set_failure_mode(m); }
+  FailureMode failure_mode() const { return audit_.failure_mode(); }
   /// Violations tolerated per process in Budgeted mode before the kill
   /// (0 = kill on the first violation, same as FailStop).
-  void set_violation_budget(std::uint32_t n) { violation_budget_ = n; }
-  std::uint32_t violation_budget() const { return violation_budget_; }
+  void set_violation_budget(std::uint32_t n) { audit_.set_violation_budget(n); }
+  std::uint32_t violation_budget() const { return audit_.violation_budget(); }
+  /// Structured security/audit log: violation verdicts ("alert the
+  /// administrator"), spawn events, network sends, signals.
+  const std::vector<VerdictRecord>& audit_log() const { return audit_.records(); }
+  /// Append a record to the audit log (and its formatted view).
+  void audit(VerdictRecord rec) { audit_.append(std::move(rec)); }
+  /// Legacy formatted view of the audit log, one line per record.
+  const std::vector<std::string>& event_log() const { return audit_.formatted(); }
+  /// Clear the audit layer -- both the structured log and the formatted
+  /// view, which can never diverge. The trace (below) is a separate,
+  /// training-oriented surface and is deliberately not touched: see
+  /// os/auditlog.h.
+  void clear_events() { audit_.reset(); }
 
-  // ---- tracing & logging ----
+  // ---- tracing (training telemetry; not part of the audit layer) ----
   void set_tracing(bool on) { tracing_ = on; }
   const std::vector<TraceEntry>& trace() const { return trace_; }
   void clear_trace() { trace_.clear(); }
-  /// Structured security/audit log: violation verdicts ("alert the
-  /// administrator"), spawn events, network sends, signals.
-  const std::vector<VerdictRecord>& audit_log() const { return audit_log_; }
-  /// Append a record to the audit log (and its formatted view).
-  void audit(VerdictRecord rec);
-  /// Legacy formatted view of the audit log, one line per record.
-  const std::vector<std::string>& event_log() const { return events_; }
-  void clear_events() {
-    events_.clear();
-    audit_log_.clear();
-  }
 
   /// Virtual wall clock (ns); advanced by nanosleep and by retired cycles.
   std::uint64_t virtual_time_ns() const { return vtime_ns_; }
@@ -169,55 +139,52 @@ class Kernel {
 
   /// Hook used by the Spawn syscall: run another program to completion and
   /// return its exit status (or a negative error). Installed by vm::Machine.
+  /// Re-enters the trap pipeline for every child syscall; each nested trap
+  /// gets its own stacked TrapContext.
   using SpawnHandler = std::function<std::int64_t(Process& parent, const std::string& path,
                                                   const std::vector<std::string>& argv)>;
   void set_spawn_handler(SpawnHandler h) { spawn_ = std::move(h); }
 
   /// The software trap handler. Entered by the VM on a SYSCALL instruction;
   /// `call_site` is the address of the trapping instruction (derived from
-  /// the interrupt return address in the real system). Performs enforcement
-  /// then dispatch; on violation, terminates the process (fail-stop).
+  /// the interrupt return address in the real system). Runs the pipeline:
+  /// capture, enforce, dispatch, audit.
   void on_syscall(Process& p, std::uint32_t call_site);
 
  private:
-  void charge(Process& p, std::uint64_t cycles) { p.cycles += cycles; }
-  /// Record the verdict and apply the failure mode. Returns true when the
-  /// process was killed (caller must stop); false when the violation was
-  /// tolerated and the call should proceed (audit-only / within budget).
-  bool deny(Process& p, Violation v, const std::string& detail);
+  /// (1) trap layer: capture the context and charge the trap cost.
+  TrapContext capture_trap(Process& p, std::uint32_t call_site);
+  /// Resolve __syscall indirection (BsdSim's route to mmap) into the
+  /// context's effective identity. False = unresolvable (ENOSYS).
+  bool resolve_indirect(TrapContext& ctx);
+  /// Current virtual timestamp for audit records of `p`.
+  std::uint64_t now_ns(const Process& p) const { return vtime_ns_ + p.cycles; }
   /// Audit a non-violation event (net/signal/spawn) with full trap context.
-  void log_event(Process& p, AuditKind kind, std::string detail);
-  std::int64_t dispatch(Process& p, SysId id, std::array<std::uint32_t, 5> args,
-                        std::uint32_t call_site);
-  bool monitor_allows(Process& p, std::uint16_t sysno, SysId id,
-                      const std::array<std::uint32_t, 5>& args, std::string* why);
-  std::string read_path(Process& p, std::uint32_t addr);
+  void log_event(Process& p, const TrapContext& ctx, AuditKind kind, std::string detail);
 
-  // Individual handlers (args already shifted for __syscall indirection).
-  std::int64_t sys_open(Process& p, const std::array<std::uint32_t, 5>& a, std::uint32_t site);
-  std::int64_t sys_read(Process& p, const std::array<std::uint32_t, 5>& a);
-  std::int64_t sys_write(Process& p, const std::array<std::uint32_t, 5>& a);
+  // ---- dispatch layer (os/dispatch.cpp) ----
+  std::int64_t dispatch(Process& p, TrapContext& ctx);
+  std::string read_path(Process& p, std::uint32_t addr);
+  std::int64_t sys_open(Process& p, const TrapContext& ctx);
+  std::int64_t sys_read(Process& p, TrapContext& ctx,
+                        const std::array<std::uint32_t, kMaxSyscallArgs>& a);
+  std::int64_t sys_write(Process& p, TrapContext& ctx,
+                         const std::array<std::uint32_t, kMaxSyscallArgs>& a);
 
   Personality personality_;
   CostModel cost_;
   SimFs fs_;
   Enforcement enforcement_ = Enforcement::Off;
+  std::unique_ptr<SyscallMonitor> monitor_;
   std::optional<crypto::MacKey> key_;
   AscCache call_cache_;
   bool cache_enabled_ = true;
   std::map<std::string, MonitorPolicy> monitor_policies_;
   bool capability_checking_ = false;
   bool normalize_paths_ = false;
-  FailureMode failure_mode_ = FailureMode::FailStop;
-  std::uint32_t violation_budget_ = 0;
+  AuditLog audit_;
   bool tracing_ = false;
   std::vector<TraceEntry> trace_;
-  std::vector<VerdictRecord> audit_log_;
-  std::vector<std::string> events_;
-  // Trap context of the call currently being handled, so audit records
-  // emitted from dispatch handlers carry the call site and number.
-  std::uint16_t cur_sysno_ = 0;
-  std::uint32_t cur_site_ = 0;
   std::uint64_t vtime_ns_ = 1'000'000'000;  // arbitrary epoch
   SpawnHandler spawn_;
 };

@@ -1,0 +1,54 @@
+// TrapContext -- the first-class value threaded through the staged trap
+// pipeline (trap -> enforce -> dispatch -> audit).
+//
+// One TrapContext is captured per trap and lives on the trap handler's
+// stack, so nested traps (a Spawn syscall running a child to completion in
+// the middle of the parent's trap) each get their own context by
+// construction: nothing about the in-flight call is kernel-global state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "os/process.h"
+#include "os/syscalls.h"
+
+namespace asc::os {
+
+struct TrapContext {
+  // ---- captured by the trap layer ----
+  int pid = 0;
+  std::uint16_t sysno = 0;    // raw trapping number; what audit records cite
+  std::uint32_t call_site = 0;  // address of the trapping SYSCALL instruction
+  std::array<std::uint32_t, kMaxSyscallArgs> args{};  // r1..r5 at trap time
+  std::optional<SysId> id;    // resolved identity; nullopt = unknown number
+
+  // ---- filled by the dispatch layer ----
+  // Identity/arguments after __syscall indirection (BsdSim's route to mmap):
+  // equal to the raw capture for direct calls, shifted one slot for indirect
+  // ones. The trace records these; audit records keep the raw view above.
+  SysId effective_id = SysId::Exit;
+  std::uint16_t effective_sysno = 0;
+  std::array<std::uint32_t, kMaxSyscallArgs> effective_args{};
+
+  /// Resolved first PathIn argument, filled when a layer reads it (tracing,
+  /// baseline-monitor path policies).
+  std::string path;
+
+  // ---- verdict of the enforcement layer ----
+  Violation verdict = Violation::None;
+  std::string verdict_detail;
+
+  /// Modeled cycles charged against the process during this trap.
+  std::uint64_t charged = 0;
+
+  /// Charge modeled cycles for work done on behalf of this trap.
+  void charge(Process& p, std::uint64_t cycles) {
+    p.cycles += cycles;
+    charged += cycles;
+  }
+};
+
+}  // namespace asc::os

@@ -12,6 +12,14 @@ Machine::Machine(os::Personality personality, os::CostModel cost)
   // and the event log) but gets its own address space and process state.
   // The parent's accounting absorbs the child's, so end-to-end workload
   // measurements (Andrew benchmark) include spawned work.
+  //
+  // Re-entrancy contract: this handler runs from inside the parent's trap
+  // (Kernel::on_syscall -> dispatch -> sys Spawn) and re-enters the kernel
+  // for every child syscall, stacking one TrapContext per nesting level.
+  // Because trap state lives in those stack-local contexts -- never in
+  // kernel members -- the parent's in-flight trap (sysno, call site, args)
+  // is intact when the child returns, and post-spawn audit records cite the
+  // parent's own call. Tested by TrapPipelineSpawn.
   kernel_.set_spawn_handler([this](os::Process& parent, const std::string& path,
                                    const std::vector<std::string>& args) -> std::int64_t {
     const binary::Image* img = find_program(path);

@@ -46,7 +46,10 @@ class Machine {
   void register_program(const std::string& path, binary::Image image);
   const binary::Image* find_program(const std::string& path) const;
 
-  /// Run an image to completion.
+  /// Run an image to completion. Re-entrant with respect to the kernel: a
+  /// guest spawn() nests another run inside the parent's trap (up to the
+  /// spawn depth limit), so the trap pipeline must keep per-trap state
+  /// stack-local (see os/trapcontext.h).
   RunResult run(const binary::Image& image, const std::vector<std::string>& argv = {},
                 const std::string& stdin_data = {});
 
