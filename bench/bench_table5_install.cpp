@@ -1,0 +1,242 @@
+// Table 5 companion: host-side installer & fault-campaign throughput under
+// the work-stealing executor (util/executor.h), at jobs = 1, 2, 8.
+//
+// Two workloads:
+//   install_fleet   -- analyze+rewrite every bundled app (explicit program
+//                      ids, one shared pool), the paper's Fig. 2 installer
+//                      run over a whole machine image;
+//   fault_campaign  -- the seeded mutation sweep of fault::Campaign (each
+//                      mutated replay is an independent System).
+//
+// Two kinds of columns, deliberately separated:
+//   wall_j*           measured wall seconds. Honest but host-dependent --
+//                     a single-core CI runner shows no speedup. These are
+//                     INFORMATIONAL; the regression gate ignores them.
+//   modeled_speedup_* deterministic: sum(task weights) / LPT makespan over
+//                     the per-task weights (install: input .text bytes;
+//                     campaign: modeled cycles per mutated run). Captures
+//                     the parallelism the task DAG exposes, independent of
+//                     the host. GATED, along with `deterministic`: the
+//                     jobs=2/8 outputs must be byte-identical to jobs=1.
+//
+// Machine-readable copy in BENCH_table5.json
+// (scripts/check_bench_regression.py knows the schema).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/asc.h"
+#include "fault/campaign.h"
+#include "util/executor.h"
+
+namespace {
+
+using namespace asc;
+
+const auto kPers = os::Personality::LinuxSim;
+const int kJobs[] = {1, 2, 8};
+
+double now_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// sum(weights) / LPT-makespan(weights, jobs): the speedup an ideal
+/// work-stealing schedule of these tasks reaches on `jobs` workers.
+double modeled_speedup(std::vector<double> weights, int jobs) {
+  if (weights.empty() || jobs <= 1) return 1.0;
+  std::sort(weights.begin(), weights.end(), std::greater<>());
+  std::vector<double> bins(static_cast<std::size_t>(jobs), 0.0);
+  for (const double w : weights) {
+    *std::min_element(bins.begin(), bins.end()) += w;
+  }
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double makespan = *std::max_element(bins.begin(), bins.end());
+  return makespan > 0 ? total / makespan : 1.0;
+}
+
+void prepare_fs(os::SimFs& fs) {
+  const std::string body = "pear\napple\nmango\ncherry\nbanana\n";
+  auto ino = fs.open("/", "/lines.txt",
+                     os::SimFs::kWrOnly | os::SimFs::kCreat | os::SimFs::kTrunc, 0644);
+  fs.write(static_cast<std::uint32_t>(ino), 0,
+           std::vector<std::uint8_t>(body.begin(), body.end()), false);
+}
+
+struct FleetRun {
+  double wall = 0;
+  std::vector<std::vector<std::uint8_t>> images;  // serialized, app order
+};
+
+/// Install every bundled app on a `jobs`-wide pool. Program ids are
+/// explicit (index-derived) so the output cannot depend on install order.
+FleetRun install_fleet(int jobs) {
+  const auto apps = apps::build_all(kPers);
+  util::Executor ex(jobs);
+  FleetRun fr;
+  fr.wall = now_seconds();
+  installer::Installer inst(test_key(), kPers);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    installer::InstallOptions opt;
+    opt.program_id = static_cast<std::uint16_t>(i + 1);
+    opt.executor = &ex;
+    fr.images.push_back(inst.install(apps[i].second, opt).image.serialize());
+  }
+  fr.wall = now_seconds() - fr.wall;
+  return fr;
+}
+
+struct CampaignRun {
+  double wall = 0;
+  fault::CampaignResult result;
+};
+
+CampaignRun run_campaign(int jobs) {
+  util::Executor ex(jobs);
+  fault::CampaignConfig cfg;
+  cfg.seed = 1;
+  cfg.runs_per_class = 4;
+  cfg.executor = &ex;
+  fault::GuestProgram cat;
+  cat.name = "cat";
+  cat.image = apps::build_tool_cat(kPers);
+  cat.argv = {"/lines.txt"};
+  cat.prepare_fs = prepare_fs;
+  CampaignRun cr;
+  cr.wall = now_seconds();
+  cr.result = fault::Campaign(cfg).run(cat);
+  cr.wall = now_seconds() - cr.wall;
+  return cr;
+}
+
+struct Row {
+  std::string name;
+  std::size_t tasks = 0;
+  bool deterministic = true;
+  double wall[3] = {0, 0, 0};      // indexed like kJobs
+  double modeled[3] = {1, 1, 1};
+};
+
+void run_table() {
+  std::printf("\n=== Table 5 companion: parallel install & campaign throughput ===\n");
+  std::vector<Row> rows;
+
+  {
+    Row r;
+    r.name = "install_fleet";
+    FleetRun ref;
+    for (int j = 0; j < 3; ++j) {
+      FleetRun fr = install_fleet(kJobs[j]);
+      r.wall[j] = fr.wall;
+      if (j == 0) {
+        ref = std::move(fr);
+      } else if (fr.images != ref.images) {
+        r.deterministic = false;
+      }
+    }
+    r.tasks = ref.images.size();
+    // Weights: the input .text bytes of each app -- the analysis pipeline's
+    // cost scales with code size, and the weight must not depend on jobs.
+    std::vector<double> weights;
+    for (const auto& [name, img] : apps::build_all(kPers)) {
+      const auto* text = img.find_section(binary::SectionKind::Text);
+      weights.push_back(text != nullptr ? static_cast<double>(text->size()) : 1.0);
+      (void)name;
+    }
+    for (int j = 0; j < 3; ++j) r.modeled[j] = modeled_speedup(weights, kJobs[j]);
+    rows.push_back(std::move(r));
+  }
+
+  {
+    Row r;
+    r.name = "fault_campaign";
+    CampaignRun ref;
+    for (int j = 0; j < 3; ++j) {
+      CampaignRun cr = run_campaign(kJobs[j]);
+      r.wall[j] = cr.wall;
+      if (j == 0) {
+        ref = std::move(cr);
+      } else if (cr.result.summary() != ref.result.summary() ||
+                 cr.result.verdicts.size() != ref.result.verdicts.size()) {
+        r.deterministic = false;
+      }
+    }
+    r.tasks = ref.result.verdicts.size();
+    // Weights: modeled cycles of each mutated replay (deterministic).
+    std::vector<double> weights;
+    for (const auto& v : ref.result.verdicts) {
+      weights.push_back(static_cast<double>(v.cycles > 0 ? v.cycles : 1));
+    }
+    for (int j = 0; j < 3; ++j) r.modeled[j] = modeled_speedup(weights, kJobs[j]);
+    rows.push_back(std::move(r));
+  }
+
+  std::printf("%-16s %6s %6s %9s %9s %9s %9s %9s\n", "Workload", "tasks", "det",
+              "wall_j1", "wall_j2", "wall_j8", "model_j2", "model_j8");
+  FILE* json = std::fopen("BENCH_table5.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"table\": \"table5\",\n"
+                 "  \"unit\": \"wall_seconds + modeled_speedup\",\n"
+                 "  \"host_cpus\": %u,\n  \"rows\": [\n",
+                 std::thread::hardware_concurrency());
+  }
+  bool first = true;
+  for (const Row& r : rows) {
+    std::printf("%-16s %6zu %6s %8.3fs %8.3fs %8.3fs %8.2fx %8.2fx\n", r.name.c_str(),
+                r.tasks, r.deterministic ? "yes" : "NO", r.wall[0], r.wall[1], r.wall[2],
+                r.modeled[1], r.modeled[2]);
+    if (json != nullptr) {
+      std::fprintf(json,
+                   "%s    {\"name\": \"%s\", \"tasks\": %zu, \"deterministic\": %s, "
+                   "\"wall_j1\": %.4f, \"wall_j2\": %.4f, \"wall_j8\": %.4f, "
+                   "\"modeled_speedup_j2\": %.3f, \"modeled_speedup_j8\": %.3f}",
+                   first ? "" : ",\n", r.name.c_str(), r.tasks,
+                   r.deterministic ? "true" : "false", r.wall[0], r.wall[1], r.wall[2],
+                   r.modeled[1], r.modeled[2]);
+      first = false;
+    }
+  }
+  if (json != nullptr) {
+    std::fprintf(json, "\n  ]\n}\n");
+    std::fclose(json);
+  }
+  std::printf("(wall columns are host-dependent and informational; the determinism and\n"
+              " modeled-speedup columns are gated -- BENCH_table5.json)\n");
+}
+
+void BM_InstallFleet(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const FleetRun fr = install_fleet(jobs);
+    benchmark::DoNotOptimize(fr.images.size());
+  }
+  state.SetLabel("jobs=" + std::to_string(jobs));
+}
+BENCHMARK(BM_InstallFleet)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_FaultCampaign(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const CampaignRun cr = run_campaign(jobs);
+    benchmark::DoNotOptimize(cr.result.verdicts.size());
+  }
+  state.SetLabel("jobs=" + std::to_string(jobs));
+}
+BENCHMARK(BM_FaultCampaign)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

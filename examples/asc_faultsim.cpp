@@ -13,12 +13,17 @@
 //   asc-faultsim --seed 7 --runs 16    bigger sweep, different seed
 //   asc-faultsim --mode audit-only     permissive kernel: log, don't kill
 //   asc-faultsim --mode budgeted --budget 2
+//   asc-faultsim --jobs 8              mutated replays on 8 worker threads
+//                                      (default: ASC_JOBS, else hardware
+//                                      concurrency; verdicts are identical
+//                                      at any job count)
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "core/asc.h"
 #include "fault/campaign.h"
+#include "util/executor.h"
 
 using namespace asc;
 
@@ -52,8 +57,10 @@ std::vector<fault::GuestProgram> default_guests(os::Personality pers) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: asc-faultsim [--seed N] [--runs N] [--class NAME]\n"
+               "usage: asc-faultsim [--seed N] [--runs N] [--class NAME] [--jobs N]\n"
                "                    [--mode fail-stop|budgeted|audit-only] [--budget N]\n"
+               "--jobs N: worker threads for the mutated replays (default: ASC_JOBS,\n"
+               "          else hardware concurrency); results match --jobs 1 exactly\n"
                "classes:");
   for (const auto c : fault::all_mutation_classes()) {
     std::fprintf(stderr, " %s", fault::mutation_class_name(c).c_str());
@@ -95,6 +102,10 @@ int main(int argc, char** argv) {
       } else {
         return usage();
       }
+    } else if (a == "--jobs") {
+      const char* v = next();
+      if (v == nullptr || std::atoi(v) <= 0) return usage();
+      util::Executor::set_global_jobs(std::atoi(v));
     } else if (a == "--class") {
       const char* v = next();
       if (v == nullptr) return usage();

@@ -6,6 +6,12 @@
 //   asctool install <in.txe> <out.txe>   analyze + rewrite (prints policies)
 //   asctool run [flags] <img.txe> [args...]     execute under enforcement
 //     --stats                    print verified-call cache counters
+//     --jobs N                   (any command) worker threads for the
+//                                installer's parallel analysis/signing
+//                                phases; defaults to the ASC_JOBS
+//                                environment variable, else the hardware
+//                                concurrency. Output is identical at any
+//                                job count; --jobs 1 is the serial path.
 //     --monitor MODE             off | asc (default) | daemon | ktable;
 //                                selects the SyscallMonitor installed in the
 //                                kernel. daemon/ktable train their policy
@@ -26,6 +32,7 @@
 #include "core/asc.h"
 #include "monitor/ktable.h"
 #include "monitor/training.h"
+#include "util/executor.h"
 
 using namespace asc;
 
@@ -195,37 +202,57 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
 
 int main(int argc, char** argv) {
   try {
-    const std::string cmd = argc > 1 ? argv[1] : "";
-    if (cmd == "build" && argc == 4) return cmd_build(argv[2], argv[3]);
-    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
-    if (cmd == "install" && argc == 4) return cmd_install(argv[2], argv[3]);
-    if (cmd == "run" && argc >= 3) {
+    // --jobs is accepted by every command (it sizes the process-global
+    // executor pool); strip it before dispatch. Without the flag the pool
+    // follows ASC_JOBS, else the hardware concurrency.
+    std::vector<std::string> av;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--jobs" && i + 1 < argc) {
+        const std::string n = argv[++i];
+        if (n.empty() || n.find_first_not_of("0123456789") != std::string::npos ||
+            std::stoul(n) == 0) {
+          std::fprintf(stderr, "asctool: bad --jobs %s (want a positive integer)\n", n.c_str());
+          return 1;
+        }
+        util::Executor::set_global_jobs(static_cast<int>(std::stoul(n)));
+      } else {
+        av.push_back(a);
+      }
+    }
+    const auto ac = static_cast<int>(av.size());
+    const std::string cmd = ac > 0 ? av[0] : "";
+    if (cmd == "build" && ac == 3) return cmd_build(av[1], av[2]);
+    if (cmd == "inspect" && ac == 2) return cmd_inspect(av[1]);
+    if (cmd == "install" && ac == 3) return cmd_install(av[1], av[2]);
+    if (cmd == "run" && ac >= 2) {
       RunConfig cfg;
       std::vector<std::string> args;
-      int i = 2;
-      for (; i < argc; ++i) {
-        const std::string a = argv[i];
+      int i = 1;
+      for (; i < ac; ++i) {
+        const std::string a = av[i];
         if (a == "--stats") {
           cfg.stats = true;
-        } else if (a == "--monitor" && i + 1 < argc) {
-          if (!parse_monitor_flag(argv[++i], &cfg.monitor)) {
-            std::fprintf(stderr, "asctool: bad --monitor %s (off|asc|daemon|ktable)\n", argv[i]);
+        } else if (a == "--monitor" && i + 1 < ac) {
+          if (!parse_monitor_flag(av[++i], &cfg.monitor)) {
+            std::fprintf(stderr, "asctool: bad --monitor %s (off|asc|daemon|ktable)\n",
+                         av[i].c_str());
             return 1;
           }
-        } else if (a == "--failure-mode" && i + 1 < argc) {
-          if (!parse_failure_mode_flag(argv[++i], &cfg.failure, &cfg.budget)) {
+        } else if (a == "--failure-mode" && i + 1 < ac) {
+          if (!parse_failure_mode_flag(av[++i], &cfg.failure, &cfg.budget)) {
             std::fprintf(stderr,
                          "asctool: bad --failure-mode %s (fail-stop|budgeted:N|audit-only)\n",
-                         argv[i]);
+                         av[i].c_str());
             return 1;
           }
         } else {
           break;  // first non-flag is the image path
         }
       }
-      if (i < argc) {
-        const std::string img_path = argv[i++];
-        for (; i < argc; ++i) args.emplace_back(argv[i]);
+      if (i < ac) {
+        const std::string img_path = av[i++];
+        for (; i < ac; ++i) args.push_back(av[i]);
         return cmd_run(img_path, args, cfg);
       }
     }
@@ -234,9 +261,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::fprintf(stderr,
-               "usage: asctool build <name> <out.txe> | inspect <img.txe> |\n"
+               "usage: asctool [--jobs N] build <name> <out.txe> | inspect <img.txe> |\n"
                "       install <in.txe> <out.txe> |\n"
                "       run [--stats] [--monitor off|asc|daemon|ktable]\n"
-               "           [--failure-mode fail-stop|budgeted:N|audit-only] <img.txe> [args...]\n");
+               "           [--failure-mode fail-stop|budgeted:N|audit-only] <img.txe> [args...]\n"
+               "       --jobs N: worker threads for the installer's parallel phases\n"
+               "                 (default: ASC_JOBS, else hardware concurrency)\n");
   return 1;
 }

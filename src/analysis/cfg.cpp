@@ -3,6 +3,7 @@
 #include <set>
 
 #include "util/error.h"
+#include "util/executor.h"
 
 namespace asc::analysis {
 
@@ -13,100 +14,128 @@ std::uint32_t Cfg::block_containing(std::size_t func, std::size_t instr) const {
   throw Error("Cfg::block_containing: no block for instruction");
 }
 
-Cfg build_cfg(const ProgramIr& ir) {
+namespace {
+
+/// Blocks of one function with successors as LOCAL ordinals (position within
+/// the function's leader-sorted block list). Global ids are assigned by the
+/// serial merge pass, which keeps program-wide numbering identical to the
+/// fully serial build at any job count.
+struct LocalBlocks {
+  std::vector<BasicBlock> blocks;  // id unset; succs hold local ordinals
+};
+
+LocalBlocks build_function_blocks(const IrFunction& f, std::size_t fi) {
+  LocalBlocks out;
+  if (f.opaque || f.inlined_away || f.instrs.empty()) return out;
+
+  // ---- find leaders ----
+  std::set<std::size_t> leaders;
+  leaders.insert(0);
+  for (std::size_t i = 0; i < f.instrs.size(); ++i) {
+    const IrInstr& instr = f.instrs[i];
+    const isa::Op op = instr.ins.op;
+    const bool terminator =
+        isa::is_block_terminator(op) || op == isa::Op::Call || op == isa::Op::Callr;
+    if (terminator && i + 1 < f.instrs.size()) leaders.insert(i + 1);
+    if (instr.ref == RefKind::CodeLocal &&
+        (isa::is_conditional_branch(op) || op == isa::Op::Jmp)) {
+      leaders.insert(instr.ref_index);
+    }
+  }
+
+  // ---- create blocks ----
+  std::vector<std::size_t> sorted(leaders.begin(), leaders.end());
+  std::map<std::size_t, std::uint32_t> ordinal_of_leader;
+  for (std::size_t li = 0; li < sorted.size(); ++li) {
+    BasicBlock b;
+    b.func = fi;
+    b.first = sorted[li];
+    b.last = (li + 1 < sorted.size() ? sorted[li + 1] : f.instrs.size()) - 1;
+    for (std::size_t i = b.first; i <= b.last; ++i) {
+      if (f.instrs[i].ins.op == isa::Op::Syscall) b.syscall_instrs.push_back(i);
+    }
+    ordinal_of_leader[b.first] = static_cast<std::uint32_t>(li);
+    out.blocks.push_back(std::move(b));
+  }
+
+  // ---- successors (as local ordinals) ----
+  for (BasicBlock& b : out.blocks) {
+    const IrInstr& lastins = f.instrs[b.last];
+    const isa::Op op = lastins.ins.op;
+    auto fallthrough = [&]() {
+      if (b.last + 1 < f.instrs.size()) b.succs.push_back(ordinal_of_leader.at(b.last + 1));
+    };
+    switch (op) {
+      case isa::Op::Ret:
+        b.ends_in_ret = true;
+        break;
+      case isa::Op::Halt:
+        break;
+      case isa::Op::Jmp:
+        if (lastins.ref == RefKind::CodeLocal) {
+          b.succs.push_back(ordinal_of_leader.at(lastins.ref_index));
+        } else if (lastins.ref == RefKind::FuncEntry) {
+          // Tail call: treated as call-without-return.
+          b.ends_in_call = true;
+          b.call_target = lastins.ref_index;
+          b.ends_in_ret = true;  // control leaves this function
+        }
+        break;
+      case isa::Op::Jz:
+      case isa::Op::Jnz:
+      case isa::Op::Jlt:
+      case isa::Op::Jle:
+      case isa::Op::Jgt:
+      case isa::Op::Jge:
+        if (lastins.ref == RefKind::CodeLocal) {
+          b.succs.push_back(ordinal_of_leader.at(lastins.ref_index));
+        }
+        fallthrough();
+        break;
+      case isa::Op::Call:
+        b.ends_in_call = true;
+        if (lastins.ref == RefKind::FuncEntry) b.call_target = lastins.ref_index;
+        fallthrough();
+        break;
+      case isa::Op::Callr:
+        b.ends_in_call = true;  // indirect: targets = address-taken set
+        fallthrough();
+        break;
+      default:
+        fallthrough();
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Cfg build_cfg(const ProgramIr& ir, util::Executor* exec) {
   Cfg cfg;
   cfg.functions.resize(ir.funcs.size());
-  std::uint32_t next_id = 1;
 
+  // ---- phase A: per-function block discovery (parallel) ----
+  std::vector<LocalBlocks> local(ir.funcs.size());
+  util::resolve_executor(exec).parallel_for(ir.funcs.size(), [&](std::size_t fi) {
+    local[fi] = build_function_blocks(ir.funcs[fi], fi);
+  });
+
+  // ---- phase B: assign program-wide ids in function order (serial) ----
+  std::uint32_t next_id = 1;
   for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
-    const IrFunction& f = ir.funcs[fi];
     FunctionCfg& fc = cfg.functions[fi];
     fc.func = fi;
-    if (f.opaque || f.inlined_away || f.instrs.empty()) continue;
-
-    // ---- find leaders ----
-    std::set<std::size_t> leaders;
-    leaders.insert(0);
-    for (std::size_t i = 0; i < f.instrs.size(); ++i) {
-      const IrInstr& instr = f.instrs[i];
-      const isa::Op op = instr.ins.op;
-      const bool terminator = isa::is_block_terminator(op) || op == isa::Op::Call ||
-                              op == isa::Op::Callr;
-      if (terminator && i + 1 < f.instrs.size()) leaders.insert(i + 1);
-      if (instr.ref == RefKind::CodeLocal &&
-          (isa::is_conditional_branch(op) || op == isa::Op::Jmp)) {
-        leaders.insert(instr.ref_index);
-      }
-    }
-
-    // ---- create blocks ----
-    std::vector<std::size_t> sorted(leaders.begin(), leaders.end());
-    std::map<std::size_t, std::uint32_t> block_of_leader;
-    for (std::size_t li = 0; li < sorted.size(); ++li) {
-      BasicBlock b;
+    if (local[fi].blocks.empty()) continue;
+    const std::uint32_t base = next_id;
+    for (BasicBlock& b : local[fi].blocks) {
       b.id = next_id++;
-      b.func = fi;
-      b.first = sorted[li];
-      b.last = (li + 1 < sorted.size() ? sorted[li + 1] : f.instrs.size()) - 1;
-      for (std::size_t i = b.first; i <= b.last; ++i) {
-        if (f.instrs[i].ins.op == isa::Op::Syscall) b.syscall_instrs.push_back(i);
-        cfg.block_of_instr[{fi, i}] = b.id;
-      }
-      block_of_leader[b.first] = b.id;
+      for (std::uint32_t& s : b.succs) s = base + s;  // ordinal -> global id
+      for (std::size_t i = b.first; i <= b.last; ++i) cfg.block_of_instr[{fi, i}] = b.id;
       fc.block_ids.push_back(b.id);
       cfg.blocks.push_back(std::move(b));
     }
-    fc.entry_block = block_of_leader.at(0);
-
-    // ---- successors ----
-    for (std::uint32_t id : fc.block_ids) {
-      BasicBlock& b = cfg.block(id);
-      const IrInstr& lastins = f.instrs[b.last];
-      const isa::Op op = lastins.ins.op;
-      auto fallthrough = [&]() {
-        if (b.last + 1 < f.instrs.size()) b.succs.push_back(block_of_leader.at(b.last + 1));
-      };
-      switch (op) {
-        case isa::Op::Ret:
-          b.ends_in_ret = true;
-          break;
-        case isa::Op::Halt:
-          break;
-        case isa::Op::Jmp:
-          if (lastins.ref == RefKind::CodeLocal) {
-            b.succs.push_back(block_of_leader.at(lastins.ref_index));
-          } else if (lastins.ref == RefKind::FuncEntry) {
-            // Tail call: treated as call-without-return.
-            b.ends_in_call = true;
-            b.call_target = lastins.ref_index;
-            b.ends_in_ret = true;  // control leaves this function
-          }
-          break;
-        case isa::Op::Jz:
-        case isa::Op::Jnz:
-        case isa::Op::Jlt:
-        case isa::Op::Jle:
-        case isa::Op::Jgt:
-        case isa::Op::Jge:
-          if (lastins.ref == RefKind::CodeLocal) {
-            b.succs.push_back(block_of_leader.at(lastins.ref_index));
-          }
-          fallthrough();
-          break;
-        case isa::Op::Call:
-          b.ends_in_call = true;
-          if (lastins.ref == RefKind::FuncEntry) b.call_target = lastins.ref_index;
-          fallthrough();
-          break;
-        case isa::Op::Callr:
-          b.ends_in_call = true;  // indirect: targets = address-taken set
-          fallthrough();
-          break;
-        default:
-          fallthrough();
-          break;
-      }
-    }
+    fc.entry_block = base;  // the leader-sorted list always starts at instr 0
   }
   return cfg;
 }

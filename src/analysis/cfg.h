@@ -18,6 +18,10 @@
 
 #include "analysis/disassembler.h"
 
+namespace asc::util {
+class Executor;
+}
+
 namespace asc::analysis {
 
 struct BasicBlock {
@@ -48,7 +52,9 @@ struct Cfg {
   std::uint32_t block_containing(std::size_t func, std::size_t instr) const;
 };
 
-/// Build the CFG of every non-opaque function.
-Cfg build_cfg(const ProgramIr& ir);
+/// Build the CFG of every non-opaque function. Per-function block discovery
+/// fans out over `exec`; program-wide block ids are then assigned in a
+/// serial merge pass, so numbering is identical at any job count.
+Cfg build_cfg(const ProgramIr& ir, util::Executor* exec = nullptr);
 
 }  // namespace asc::analysis

@@ -6,6 +6,7 @@
 #include "isa/decode.h"
 #include "isa/encode.h"
 #include "util/error.h"
+#include "util/executor.h"
 #include "util/hex.h"
 
 namespace asc::analysis {
@@ -26,7 +27,8 @@ const IrFunction* ProgramIr::find(const std::string& fn_name) const {
   return nullptr;
 }
 
-ProgramIr disassemble(const binary::Image& image) {
+ProgramIr disassemble(const binary::Image& image, util::Executor* exec) {
+  util::Executor& ex = util::resolve_executor(exec);
   if (!image.relocatable) {
     throw Error("disassemble: installer requires a relocatable image (like PLTO)");
   }
@@ -51,11 +53,12 @@ ProgramIr disassemble(const binary::Image& image) {
   std::set<std::uint32_t> reloc_slots;
   for (const auto& r : image.relocs) reloc_slots.insert(r.slot);
 
-  // ---- pass 1: decode every function linearly ----
+  // ---- pass 1: decode every function linearly (parallel per function) ----
   // Per function: list of (addr, Instr); remember addr->index for pass 2.
+  // Each task touches only its own ir.funcs / index_of_addr slot.
   std::vector<std::map<std::uint32_t, std::size_t>> index_of_addr(fsyms.size());
   ir.funcs.resize(fsyms.size());
-  for (std::size_t fi = 0; fi < fsyms.size(); ++fi) {
+  ex.parallel_for(fsyms.size(), [&](std::size_t fi) {
     const binary::Symbol& sym = *fsyms[fi];
     IrFunction& f = ir.funcs[fi];
     f.name = sym.name;
@@ -85,12 +88,14 @@ ProgramIr disassemble(const binary::Image& image) {
       f.opaque = true;
       f.opaque_reason = "instruction overruns function end";
     }
-  }
+  });
 
-  // ---- pass 2: symbolize immediates ----
-  for (std::size_t fi = 0; fi < ir.funcs.size(); ++fi) {
+  // ---- pass 2: symbolize immediates (parallel per function) ----
+  // Reads the shared func_of_entry / reloc_slots maps and this function's
+  // own index_of_addr slot; writes only this function's instructions.
+  ex.parallel_for(ir.funcs.size(), [&](std::size_t fi) {
     IrFunction& f = ir.funcs[fi];
-    if (f.opaque) continue;
+    if (f.opaque) return;
     for (std::size_t ii = 0; ii < f.instrs.size(); ++ii) {
       IrInstr& instr = f.instrs[ii];
       const isa::Fmt fmt = isa::format_of(instr.ins.op);
@@ -131,7 +136,7 @@ ProgramIr disassemble(const binary::Image& image) {
       instr.ref = RefKind::DataAddr;
       instr.ref_addr = target;
     }
-    if (f.opaque) continue;
+    if (f.opaque) return;
     // Computed jumps defeat the conservative analysis: without value
     // tracking for the jump register the CFG is unknown.
     for (const auto& instr : f.instrs) {
@@ -141,7 +146,7 @@ ProgramIr disassemble(const binary::Image& image) {
         break;
       }
     }
-  }
+  });
 
   // ---- pass 3: address-taken functions & data-resident code pointers ----
   for (const auto& f : ir.funcs) (void)f;

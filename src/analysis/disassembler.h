@@ -25,6 +25,10 @@
 #include "binary/image.h"
 #include "isa/isa.h"
 
+namespace asc::util {
+class Executor;
+}
+
 namespace asc::analysis {
 
 enum class RefKind : std::uint8_t {
@@ -65,7 +69,9 @@ struct ProgramIr {
 
 /// Disassemble a relocatable image. Throws asc::Error if the image is not
 /// relocatable or structurally broken; individual undecodable functions are
-/// marked opaque rather than failing the whole program.
-ProgramIr disassemble(const binary::Image& image);
+/// marked opaque rather than failing the whole program. Per-function decode
+/// and symbolization fan out over `exec` (nullptr = the global executor);
+/// the result is identical at any job count.
+ProgramIr disassemble(const binary::Image& image, util::Executor* exec = nullptr);
 
 }  // namespace asc::analysis

@@ -5,11 +5,13 @@
 
 #include "policy/policy.h"
 #include "util/error.h"
+#include "util/executor.h"
 
 namespace asc::analysis {
 
 SyscallGraph build_syscall_graph(const ProgramIr& ir, const Cfg& cfg, const CallGraph& cg,
-                                 const std::vector<SyscallSite>& sites) {
+                                 const std::vector<SyscallSite>& sites,
+                                 util::Executor* exec) {
   // ---- collect per-function entry and exit (ret) blocks ----
   const std::size_t nfuncs = ir.funcs.size();
   std::vector<std::vector<std::uint32_t>> exits(nfuncs);
@@ -60,10 +62,11 @@ SyscallGraph build_syscall_graph(const ProgramIr& ir, const Cfg& cfg, const Call
     program_entry_block = cfg.functions[ir.entry_func].entry_block;
   }
 
-  // ---- per-site reverse walks ----
+  // ---- per-site reverse walks (parallel: rev/cfg are read-only, each
+  // site writes only its own predecessors slot) ----
   SyscallGraph g;
   g.predecessors.resize(sites.size());
-  for (std::size_t si = 0; si < sites.size(); ++si) {
+  util::resolve_executor(exec).parallel_for(sites.size(), [&](std::size_t si) {
     const SyscallSite& site = sites[si];
     std::set<std::uint32_t> preds;
 
@@ -75,7 +78,7 @@ SyscallGraph build_syscall_graph(const ProgramIr& ir, const Cfg& cfg, const Call
     }
     if (earlier_in_block) {
       g.predecessors[si] = {site.block};
-      continue;
+      return;
     }
 
     std::set<std::uint32_t> visited;
@@ -100,7 +103,7 @@ SyscallGraph build_syscall_graph(const ProgramIr& ir, const Cfg& cfg, const Call
       expand(cur);
     }
     g.predecessors[si].assign(preds.begin(), preds.end());
-  }
+  });
   return g;
 }
 

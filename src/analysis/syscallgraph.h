@@ -22,6 +22,10 @@
 #include "analysis/cfg.h"
 #include "analysis/syscallsites.h"
 
+namespace asc::util {
+class Executor;
+}
+
 namespace asc::analysis {
 
 struct SyscallGraph {
@@ -30,7 +34,11 @@ struct SyscallGraph {
   std::vector<std::vector<std::uint32_t>> predecessors;
 };
 
+/// The reverse supergraph is built once (serial); the per-site reverse
+/// reachability walks are independent and fan out over `exec`, each writing
+/// its own predecessors slot.
 SyscallGraph build_syscall_graph(const ProgramIr& ir, const Cfg& cfg, const CallGraph& cg,
-                                 const std::vector<SyscallSite>& sites);
+                                 const std::vector<SyscallSite>& sites,
+                                 util::Executor* exec = nullptr);
 
 }  // namespace asc::analysis

@@ -20,6 +20,10 @@
 #include "binary/image.h"
 #include "os/syscalls.h"
 
+namespace asc::util {
+class Executor;
+}
+
 namespace asc::analysis {
 
 struct ArgClass {
@@ -55,7 +59,11 @@ struct SiteScan {
   std::vector<std::string> warnings;
 };
 
+/// The per-function reaching-definitions + value-tracing work (the
+/// installer's hottest analysis) fans out over `exec`; per-function partial
+/// results are concatenated in function order, so sites and warnings come
+/// back in exactly the serial order at any job count.
 SiteScan find_syscall_sites(const ProgramIr& ir, const binary::Image& image, const Cfg& cfg,
-                            os::Personality personality);
+                            os::Personality personality, util::Executor* exec = nullptr);
 
 }  // namespace asc::analysis

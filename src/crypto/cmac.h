@@ -25,6 +25,11 @@ using Mac = Block;
 /// K1/K2 are derived once per distinct key and shared by every engine bound
 /// to it (the experiments construct hundreds of installer/kernel pairs
 /// against the same key; re-deriving per engine was pure setup waste).
+///
+/// Thread safety: the schedule memo is guarded by memo_mutex(); a derived
+/// Schedule is immutable, and compute() only reads it. Concurrent
+/// compute()/mac() calls on engines sharing a key are therefore safe --
+/// the parallel signing phases of the rewriter rely on this.
 class Cmac {
  public:
   explicit Cmac(const Key128& key);

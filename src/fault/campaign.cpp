@@ -8,6 +8,7 @@
 #include "policy/descriptor.h"
 #include "policy/policy.h"
 #include "util/error.h"
+#include "util/executor.h"
 #include "util/rng.h"
 
 namespace asc::fault {
@@ -170,7 +171,7 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
         if (call != spec.trigger_call) keys.push_back(call);
       }
       if (!keys.empty()) {
-        inj.set_replay_state(state_snapshots[keys[spec.seed % keys.size()]]);
+        inj.set_replay_state(state_snapshots.at(keys[spec.seed % keys.size()]));
       }
     }
     inj.arm(sys->machine());
@@ -187,6 +188,7 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
       return v;
     }
     v.mutation = inj.description();
+    v.cycles = r.cycles;
     const os::VerdictRecord* first = nullptr;
     for (const auto& rec : sys->kernel().audit_log()) {
       if (rec.kind != os::AuditKind::Violation) continue;
@@ -240,9 +242,15 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
   };
 
   // ---- the seeded mutation sweep ----
+  // The spec list is drawn serially (the seeded RNG sequence IS the
+  // campaign's identity); the mutated executions fan out over the pool,
+  // each on its own System. Verdicts land in spec order, so the tallies,
+  // the coverage matrix, and the verdict list match the serial sweep.
   const auto classes = cfg_.classes.empty() ? all_mutation_classes() : cfg_.classes;
   const util::Rng root(cfg_.seed);
   const std::uint64_t tag = fnv1a(prog.name);
+  std::vector<FaultSpec> specs;
+  specs.reserve(classes.size() * static_cast<std::size_t>(cfg_.runs_per_class));
   for (const auto cls : classes) {
     util::Rng rng = root.derive(tag ^ (static_cast<std::uint64_t>(cls) << 32));
     for (int i = 0; i < cfg_.runs_per_class; ++i) {
@@ -251,16 +259,24 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
       spec.trigger_call =
           1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(clean.n_calls)));
       spec.seed = rng.next_u64();
-      RunVerdict v = execute(spec);
-      if (v.outcome == Outcome::NotApplied && spec.trigger_call > 1) {
-        // The class had no target at or after the trigger (e.g. the last AS
-        // argument already went by); retry eligible from the first call.
-        spec.trigger_call = 1;
-        v = execute(spec);
-      }
-      record(std::move(v));
+      specs.push_back(spec);
     }
   }
+
+  std::vector<RunVerdict> verdicts =
+      util::resolve_executor(cfg_.executor)
+          .parallel_map<RunVerdict>(specs.size(), [&](std::size_t k) {
+            FaultSpec spec = specs[k];
+            RunVerdict v = execute(spec);
+            if (v.outcome == Outcome::NotApplied && spec.trigger_call > 1) {
+              // The class had no target at or after the trigger (e.g. the
+              // last AS argument already went by); retry from the first call.
+              spec.trigger_call = 1;
+              v = execute(spec);
+            }
+            return v;
+          });
+  for (RunVerdict& v : verdicts) record(std::move(v));
   return result;
 }
 

@@ -36,6 +36,10 @@
 #include "os/fs.h"
 #include "os/kernel.h"
 
+namespace asc::util {
+class Executor;
+}
+
 namespace asc::fault {
 
 /// A guest program plus everything a run of it needs.
@@ -58,6 +62,11 @@ struct CampaignConfig {
   os::FailureMode mode = os::FailureMode::FailStop;
   std::uint32_t violation_budget = 0;
   std::uint64_t cycle_limit = 0;  // 0 = machine default
+  /// Pool the mutated executions fan out over, each on its own System
+  /// (nullptr = the process-global pool). The fault-spec list is drawn
+  /// serially from the seeded RNG and verdicts are recorded in spec order,
+  /// so tallies, matrix, and verdict order are identical at any job count.
+  util::Executor* executor = nullptr;
 };
 
 enum class Outcome : std::uint8_t {
@@ -80,6 +89,10 @@ struct RunVerdict {
   os::Violation violation = os::Violation::None;  // first audited violation
   bool guest_killed = false;
   int violations_audited = 0;
+  /// Modeled machine cycles the mutated run consumed (0 on host crash).
+  /// Deterministic, so it doubles as the task weight when modeling parallel
+  /// campaign schedules (bench/bench_table5_install.cpp).
+  std::uint64_t cycles = 0;
   std::string detail;
 };
 

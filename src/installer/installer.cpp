@@ -11,6 +11,7 @@ GeneratedPolicies Installer::analyze(const binary::Image& input,
   pg.control_flow = options.control_flow;
   pg.capability_tracking = options.capability_tracking;
   pg.metapolicy = options.metapolicy;
+  pg.executor = options.executor;
   return generate_policies(input, personality_, pg);
 }
 
@@ -20,8 +21,9 @@ InstallResult Installer::rewrite(const binary::Image& input, GeneratedPolicies g
   result.warnings = gp.warnings;
   result.inline_report = gp.inline_report;
   RewriteOptions ro;
-  ro.program_id = next_program_id_++;
+  ro.program_id = options.program_id != 0 ? options.program_id : next_program_id_++;
   ro.unique_block_ids = options.unique_block_ids;
+  ro.executor = options.executor;
   RewriteResult rr = rewrite_with_policies(input, std::move(gp), key_, ro);
   result.image = std::move(rr.image);
   result.policies = std::move(rr.policies);

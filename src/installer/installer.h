@@ -24,6 +24,13 @@ struct InstallOptions {
   bool capability_tracking = false;
   bool unique_block_ids = true;
   policy::Metapolicy metapolicy;
+  /// Override the program id (0 = allocate from the installer's counter).
+  /// Explicit ids keep installs deterministic when several images are
+  /// installed concurrently by independent tasks.
+  std::uint16_t program_id = 0;
+  /// Pool the analysis and signing phases fan out over (nullptr = the
+  /// process-global pool). Output is byte-identical at any job count.
+  util::Executor* executor = nullptr;
 };
 
 struct InstallResult {

@@ -4,16 +4,17 @@ namespace asc::installer {
 
 GeneratedPolicies generate_policies(const binary::Image& image, os::Personality personality,
                                     const PolicyGenOptions& options) {
+  util::Executor* exec = options.executor;
   GeneratedPolicies gp;
-  gp.ir = analysis::disassemble(image);
+  gp.ir = analysis::disassemble(image, exec);
   gp.inline_report = analysis::inline_syscall_stubs(gp.ir);
   const analysis::InlineReport wrappers = analysis::inline_syscall_wrappers(gp.ir);
   gp.inline_report.stubs_found += wrappers.stubs_found;
   gp.inline_report.call_sites_inlined += wrappers.call_sites_inlined;
   gp.inline_report.stubs_removed += wrappers.stubs_removed;
-  gp.cfg = analysis::build_cfg(gp.ir);
+  gp.cfg = analysis::build_cfg(gp.ir, exec);
   gp.callgraph = analysis::build_callgraph(gp.ir, gp.cfg);
-  gp.scan = analysis::find_syscall_sites(gp.ir, image, gp.cfg, personality);
+  gp.scan = analysis::find_syscall_sites(gp.ir, image, gp.cfg, personality, exec);
 
   // Reachability pruning: only functions reachable from the entry point (or
   // address-taken, hence possible indirect targets) contribute policies --
@@ -38,7 +39,7 @@ GeneratedPolicies generate_policies(const binary::Image& image, os::Personality 
     gp.scan.sites = std::move(kept);
   }
 
-  gp.graph = analysis::build_syscall_graph(gp.ir, gp.cfg, gp.callgraph, gp.scan.sites);
+  gp.graph = analysis::build_syscall_graph(gp.ir, gp.cfg, gp.callgraph, gp.scan.sites, exec);
   gp.warnings = gp.scan.warnings;
   for (const auto& f : gp.ir.funcs) {
     if (f.opaque) {
@@ -46,8 +47,10 @@ GeneratedPolicies generate_policies(const binary::Image& image, os::Personality 
     }
   }
 
-  gp.policies.reserve(gp.scan.sites.size());
-  for (std::size_t si = 0; si < gp.scan.sites.size(); ++si) {
+  // Per-site policy derivation: independent per site, each task writes only
+  // its own slot of the (pre-sized) policy list.
+  gp.policies.resize(gp.scan.sites.size());
+  util::resolve_executor(exec).parallel_for(gp.scan.sites.size(), [&](std::size_t si) {
     const analysis::SyscallSite& site = gp.scan.sites[si];
     policy::SyscallPolicy p;
     p.sys = site.id;
@@ -85,8 +88,8 @@ GeneratedPolicies generate_policies(const binary::Image& image, os::Personality 
           break;
       }
     }
-    gp.policies.push_back(std::move(p));
-  }
+    gp.policies[si] = std::move(p);
+  });
 
   gp.holes = policy::find_holes(gp.policies, options.metapolicy);
   return gp;

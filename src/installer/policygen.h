@@ -23,6 +23,7 @@
 #include "os/syscalls.h"
 #include "policy/metapolicy.h"
 #include "policy/policy.h"
+#include "util/executor.h"
 
 namespace asc::installer {
 
@@ -30,6 +31,10 @@ struct PolicyGenOptions {
   bool control_flow = true;          // emit predecessor-set policies
   bool capability_tracking = false;  // emit fd-source sets (§5.3)
   policy::Metapolicy metapolicy;     // strictness requirements (§5.2)
+  /// Work-stealing pool the per-function/per-site analysis fans out over
+  /// (nullptr = the process-global pool). Output is identical at any job
+  /// count; jobs=1 is the exact serial reference path.
+  util::Executor* executor = nullptr;
 };
 
 struct GeneratedPolicies {

@@ -7,6 +7,7 @@
 #include "isa/encode.h"
 #include "policy/authstring.h"
 #include "util/error.h"
+#include "util/executor.h"
 #include "util/hex.h"
 
 namespace asc::installer {
@@ -19,6 +20,11 @@ using analysis::RefKind;
 using binary::SectionKind;
 
 /// Allocator for the .asdata section.
+///
+/// Layout (reserve/add_as/add_string_as) is strictly serial so addresses are
+/// identical at any job count; the CMAC over every AS blob is recorded as a
+/// pending signing job and computed by sign_pending() in parallel -- each
+/// job MACs its own content range and writes its own 16-byte MAC slot.
 class AsDataBuilder {
  public:
   /// Reserve `n` bytes; returns the virtual address of the first byte.
@@ -32,33 +38,46 @@ class AsDataBuilder {
     return addr;
   }
 
-  /// Append an AS blob; returns the BODY address.
-  std::uint32_t add_as(const crypto::MacKey& key, std::span<const std::uint8_t> content) {
-    const auto blob = policy::build_authenticated_string(key, content);
-    const std::uint32_t addr = reserve(static_cast<std::uint32_t>(blob.size()));
-    write(addr, blob);
+  /// Append an AS blob {len, MAC, content}; the MAC is left zero until
+  /// sign_pending(). Returns the BODY address.
+  std::uint32_t add_as(std::span<const std::uint8_t> content) {
+    if (content.size() > policy::kAsMaxLength) throw Error("authenticated string too long");
+    const auto len = static_cast<std::uint32_t>(content.size());
+    const std::uint32_t addr = reserve(policy::kAsHeaderSize + len);
+    const std::uint32_t off = addr - binary::section_base(SectionKind::AsData);
+    util::set_u32(bytes_, off, len);
+    std::copy(content.begin(), content.end(), bytes_.begin() + off + policy::kAsHeaderSize);
+    pending_.push_back({off + policy::kAsHeaderSize, len, off + 4});
     return addr + policy::as_body_offset();
   }
 
-  /// Deduplicated AS for a string constant.
-  std::uint32_t add_string_as(const crypto::MacKey& key, const std::string& s) {
+  /// Deduplicated AS for a string constant. The AS length covers the string
+  /// WITHOUT the NUL (the kernel MACs the logical string) while the stored
+  /// content keeps NUL termination for the guest.
+  std::uint32_t add_string_as(const std::string& s) {
     auto it = string_cache_.find(s);
     if (it != string_cache_.end()) return it->second;
-    std::vector<std::uint8_t> content(s.begin(), s.end());
-    content.push_back(0);  // keep NUL termination for the guest
-    // The AS length covers the string WITHOUT the NUL (the kernel MACs the
-    // logical string); store len = size-1 by building manually.
-    std::vector<std::uint8_t> blob;
-    util::put_u32(blob, static_cast<std::uint32_t>(s.size()));
-    const crypto::Mac mac = key.mac(std::span<const std::uint8_t>(
-        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
-    blob.insert(blob.end(), mac.begin(), mac.end());
-    blob.insert(blob.end(), content.begin(), content.end());
-    const std::uint32_t addr = reserve(static_cast<std::uint32_t>(blob.size()));
-    write(addr, blob);
+    const auto len = static_cast<std::uint32_t>(s.size());
+    const std::uint32_t addr = reserve(policy::kAsHeaderSize + len + 1);
+    const std::uint32_t off = addr - binary::section_base(SectionKind::AsData);
+    util::set_u32(bytes_, off, len);
+    std::copy(s.begin(), s.end(), bytes_.begin() + off + policy::kAsHeaderSize);
+    pending_.push_back({off + policy::kAsHeaderSize, len, off + 4});
     const std::uint32_t body = addr + policy::as_body_offset();
     string_cache_[s] = body;
     return body;
+  }
+
+  /// Compute every pending AS MAC (fanned out over `ex`) and write it into
+  /// its slot. Disjoint read/write ranges per job; bytes_ no longer grows.
+  void sign_pending(const crypto::MacKey& key, util::Executor& ex) {
+    ex.parallel_for(pending_.size(), [&](std::size_t i) {
+      const PendingMac& p = pending_[i];
+      const crypto::Mac mac =
+          key.mac(std::span<const std::uint8_t>(bytes_.data() + p.msg_off, p.msg_len));
+      std::copy(mac.begin(), mac.end(), bytes_.begin() + p.mac_off);
+    });
+    pending_.clear();
   }
 
   void write(std::uint32_t addr, std::span<const std::uint8_t> data) {
@@ -70,7 +89,13 @@ class AsDataBuilder {
   std::vector<std::uint8_t> take() { return std::move(bytes_); }
 
  private:
+  struct PendingMac {
+    std::uint32_t msg_off = 0;  // offsets into bytes_
+    std::uint32_t msg_len = 0;
+    std::uint32_t mac_off = 0;
+  };
   std::vector<std::uint8_t> bytes_;
+  std::vector<PendingMac> pending_;
   std::map<std::string, std::uint32_t> string_cache_;
 };
 
@@ -82,6 +107,7 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
     throw Error("rewriter: policy template has " + std::to_string(gp.holes.size()) +
                 " unfilled holes (metapolicy not satisfied)");
   }
+  util::Executor& ex = util::resolve_executor(options.executor);
   analysis::ProgramIr& ir = gp.ir;
 
   auto compose = [&](std::uint32_t local) {
@@ -94,6 +120,8 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
   const std::uint32_t state_addr = asdata.reserve(policy::kPolicyStateSize);
 
   // ---- per-site .asdata allocation: strings, patterns, pred sets, MACs ----
+  // Serial: address assignment must not depend on scheduling. All AES work
+  // (the AS MACs) is deferred to the parallel sign_pending() below.
   const std::size_t nsites = gp.scan.sites.size();
   struct SiteAlloc {
     std::array<std::uint32_t, os::kMaxSyscallArgs> as_body{};   // AS body addr per String arg
@@ -111,13 +139,13 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
     for (int a = 0; a < pol.arity; ++a) {
       const auto idx = static_cast<std::size_t>(a);
       if (pol.args[idx].kind == policy::ArgPolicy::Kind::String) {
-        al.as_body[idx] = asdata.add_string_as(key, pol.args[idx].str);
+        al.as_body[idx] = asdata.add_string_as(pol.args[idx].str);
       } else if (pol.args[idx].kind == policy::ArgPolicy::Kind::Pattern) {
         any_pattern = true;
         const std::string& pat = pol.args[idx].str;
-        al.pattern_body[idx] = asdata.add_as(
-            key, std::span<const std::uint8_t>(
-                     reinterpret_cast<const std::uint8_t*>(pat.data()), pat.size()));
+        al.pattern_body[idx] =
+            asdata.add_as(std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(pat.data()), pat.size()));
         pattern_refs.push_back(
             policy::PatternRef{static_cast<std::uint32_t>(a), al.pattern_body[idx]});
       }
@@ -129,10 +157,13 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
     if (pol.control_flow || !pattern_refs.empty() || !pol.fd_sources.empty()) {
       pol.control_flow = true;  // the blob rides on the control-flow tuple
       const auto blob = policy::encode_pred_set(pol.predecessors, pol.fd_sources, pattern_refs);
-      al.pred_body = asdata.add_as(key, blob);
+      al.pred_body = asdata.add_as(blob);
     }
     al.mac_slot = asdata.reserve(16);
   }
+
+  // ---- sign every AS blob (parallel per-site CMAC schedule) ----
+  asdata.sign_pending(key, ex);
 
   // ---- locate the guest hint buffer if patterns are used ----
   std::uint32_t hint_buf_addr = 0;
@@ -147,12 +178,19 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
 
   // ---- retarget string-argument LEAs and insert extra-arg setup ----
   // Group sites by function; rebuild each function's instruction list once.
+  // Functions are independent (each task rebuilds its own f.instrs and
+  // updates only its own sites' instruction indexes), so the rebuild -- and
+  // the per-function ReachingDefs it needs -- fans out over the pool.
   std::map<std::size_t, std::vector<std::size_t>> sites_by_func;
   for (std::size_t si = 0; si < nsites; ++si) {
     sites_by_func[gp.scan.sites[si].func].push_back(si);
   }
+  const std::vector<std::pair<std::size_t, std::vector<std::size_t>>> func_sites(
+      sites_by_func.begin(), sites_by_func.end());
 
-  for (auto& [fi, site_ids] : sites_by_func) {
+  ex.parallel_for(func_sites.size(), [&](std::size_t k) {
+    const std::size_t fi = func_sites[k].first;
+    const std::vector<std::size_t>& site_ids = func_sites[k].second;
     IrFunction& f = ir.funcs[fi];
 
     // Retarget defining LEAs of String arguments.
@@ -233,7 +271,7 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
       gp.scan.sites[si].instr = new_index[gp.scan.sites[si].instr];
     }
     f.instrs = std::move(out);
-  }
+  });
 
   // ---- layout pass: assign final addresses ----
   std::vector<std::uint32_t> func_addr(ir.funcs.size(), 0);
@@ -350,7 +388,9 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
   out.entry = func_addr[ir.entry_func];
 
   // ---- final call sites & encoded policies/MACs ----
-  for (std::size_t si = 0; si < nsites; ++si) {
+  // Parallel per site: every call MAC is an independent CMAC over that
+  // site's encoded policy, written to that site's own 16-byte .asdata slot.
+  ex.parallel_for(nsites, [&](std::size_t si) {
     policy::SyscallPolicy& pol = gp.policies[si];
     const analysis::SyscallSite& site = gp.scan.sites[si];
     pol.call_site = instr_addr[site.func][site.instr];
@@ -401,7 +441,7 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
     const auto encoded = policy::encode_policy(in);
     const crypto::Mac call_mac = key.mac(encoded);
     asdata.write(allocs[si].mac_slot, call_mac);
-  }
+  });
 
   // ---- initialize the policy state ----
   {

@@ -20,12 +20,18 @@
 #include "binary/image.h"
 #include "crypto/cmac.h"
 #include "installer/policygen.h"
+#include "util/executor.h"
 
 namespace asc::installer {
 
 struct RewriteOptions {
   std::uint16_t program_id = 1;
   bool unique_block_ids = true;  // §5.5 Frankenstein defence
+  /// Pool for the parallel phases (per-function instruction rebuild, AS and
+  /// call-MAC signing); nullptr = the process-global pool. The .asdata
+  /// layout stays serial, so the output image is byte-identical at any job
+  /// count.
+  util::Executor* executor = nullptr;
 };
 
 struct RewriteResult {

@@ -1,0 +1,233 @@
+#include "util/executor.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace asc::util {
+
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+}  // namespace
+
+struct Executor::Impl {
+  struct Range {
+    std::size_t begin = 0;
+    std::size_t end = 0;
+  };
+
+  /// One deque per worker. Guarded by its own mutex; contention is low
+  /// because owners and thieves touch opposite ends and chunks are coarse.
+  struct Worker {
+    std::mutex mu;
+    std::deque<Range> chunks;
+  };
+
+  explicit Impl(int njobs) : jobs(njobs), workers(static_cast<std::size_t>(njobs)) {
+    for (auto& w : workers) w = std::make_unique<Worker>();
+    threads.reserve(workers.size() - 1);
+    for (std::size_t i = 1; i < workers.size(); ++i) {
+      threads.emplace_back([this, i] { thread_main(i); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      stop = true;
+    }
+    cv_work.notify_all();
+    for (auto& t : threads) t.join();
+  }
+
+  void thread_main(std::size_t self) {
+    std::uint64_t seen = 0;
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+      cv_work.wait(lk, [&] { return stop || generation != seen; });
+      if (stop) return;
+      seen = generation;
+      lk.unlock();
+      work(self);
+      lk.lock();
+    }
+  }
+
+  bool pop_or_steal(std::size_t self, Range* out) {
+    {
+      Worker& own = *workers[self];
+      std::lock_guard<std::mutex> lk(own.mu);
+      if (!own.chunks.empty()) {
+        *out = own.chunks.back();
+        own.chunks.pop_back();
+        return true;
+      }
+    }
+    for (std::size_t off = 1; off < workers.size(); ++off) {
+      Worker& victim = *workers[(self + off) % workers.size()];
+      std::lock_guard<std::mutex> lk(victim.mu);
+      if (!victim.chunks.empty()) {
+        *out = victim.chunks.front();
+        victim.chunks.pop_front();
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Drain chunks (own deque first, then steal) until none remain. Runs on
+  /// pool threads and on the caller inside run_batch.
+  void work(std::size_t self) {
+    tls_in_parallel_region = true;
+    Range r;
+    while (pop_or_steal(self, &r)) {
+      const auto* fn = body.load(std::memory_order_acquire);
+      for (std::size_t i = r.begin; i < r.end; ++i) {
+        if (!cancelled.load(std::memory_order_relaxed)) {
+          try {
+            (*fn)(i);
+          } catch (...) {
+            {
+              std::lock_guard<std::mutex> lk(err_mu);
+              if (!first_error) first_error = std::current_exception();
+            }
+            cancelled.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      const std::size_t len = r.end - r.begin;
+      if (remaining.fetch_sub(len, std::memory_order_acq_rel) == len) {
+        std::lock_guard<std::mutex> lk(mu);
+        cv_done.notify_all();
+      }
+    }
+    tls_in_parallel_region = false;
+  }
+
+  void run_batch(const std::function<void(std::size_t)>& fn, std::size_t n) {
+    // One batch at a time; concurrent callers queue here.
+    std::lock_guard<std::mutex> outer(batch_mu);
+    {
+      std::lock_guard<std::mutex> lk(err_mu);
+      first_error = nullptr;
+    }
+    cancelled.store(false, std::memory_order_relaxed);
+    // Publish body/remaining BEFORE any chunk becomes visible: a worker
+    // lingering from the previous batch may pop new chunks the moment they
+    // are pushed, without ever seeing the generation bump.
+    body.store(&fn, std::memory_order_release);
+    remaining.store(n, std::memory_order_release);
+
+    const std::size_t nworkers = workers.size();
+    const std::size_t chunk = std::max<std::size_t>(1, n / (nworkers * 8));
+    std::size_t next_worker = 0;
+    for (std::size_t begin = 0; begin < n; begin += chunk) {
+      const Range r{begin, std::min(n, begin + chunk)};
+      Worker& w = *workers[next_worker];
+      {
+        std::lock_guard<std::mutex> lk(w.mu);
+        w.chunks.push_back(r);
+      }
+      next_worker = (next_worker + 1) % nworkers;
+    }
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      ++generation;
+    }
+    cv_work.notify_all();
+    work(0);  // the caller is worker 0
+    {
+      std::unique_lock<std::mutex> lk(mu);
+      cv_done.wait(lk, [&] { return remaining.load(std::memory_order_acquire) == 0; });
+    }
+    std::exception_ptr err;
+    {
+      std::lock_guard<std::mutex> lk(err_mu);
+      err = first_error;
+      first_error = nullptr;
+    }
+    if (err) std::rethrow_exception(err);
+  }
+
+  int jobs;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::vector<std::thread> threads;
+
+  std::mutex mu;  // guards generation/stop; cv notification
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::uint64_t generation = 0;
+  bool stop = false;
+
+  std::mutex batch_mu;  // serializes run_batch callers
+
+  std::atomic<const std::function<void(std::size_t)>*> body{nullptr};
+  std::atomic<std::size_t> remaining{0};
+  std::atomic<bool> cancelled{false};
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+};
+
+Executor::Executor(int jobs) : jobs_(jobs <= 0 ? default_jobs() : jobs) {
+  if (jobs_ > 1) impl_ = std::make_unique<Impl>(jobs_);
+}
+
+Executor::~Executor() = default;
+
+void Executor::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (impl_ == nullptr || n == 1 || tls_in_parallel_region) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  impl_->run_batch(body, n);
+}
+
+int Executor::default_jobs() {
+  if (const char* env = std::getenv("ASC_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 256));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+namespace {
+
+std::mutex& global_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unique_ptr<Executor>& global_slot() {
+  static std::unique_ptr<Executor> slot;
+  return slot;
+}
+
+}  // namespace
+
+Executor& Executor::global() {
+  std::lock_guard<std::mutex> lk(global_mutex());
+  auto& slot = global_slot();
+  if (slot == nullptr) slot = std::make_unique<Executor>(0);
+  return *slot;
+}
+
+void Executor::set_global_jobs(int jobs) {
+  // Startup-time configuration: must not race with parallel work in flight.
+  std::lock_guard<std::mutex> lk(global_mutex());
+  global_slot() = std::make_unique<Executor>(jobs);
+}
+
+bool Executor::in_parallel_region() { return tls_in_parallel_region; }
+
+}  // namespace asc::util
