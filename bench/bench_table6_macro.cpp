@@ -62,9 +62,10 @@ void prepare(os::SimFs& fs) {
 
 constexpr int kReps = 4;
 
-/// Unmonitored baseline, full per-trap verification, and verification with
-/// the kernel's verified-call cache (os/asccache.h).
-enum class Mode { Off, Auth, AuthCached };
+/// Unmonitored baseline, full per-trap verification, verification with the
+/// kernel's verified-call cache (os/asccache.h), and cache plus the
+/// policy-state shadow (os/ascshadow.h).
+enum class Mode { Off, Auth, AuthCached, AuthShadow };
 
 util::Summary measure(const Bench& b, Mode mode) {
   const bool authenticated = mode != Mode::Off;
@@ -72,7 +73,8 @@ util::Summary measure(const Bench& b, Mode mode) {
   for (int rep = 0; rep < kReps; ++rep) {
     System sys(os::Personality::LinuxSim, test_key(),
                authenticated ? os::Enforcement::Asc : os::Enforcement::Off);
-    sys.kernel().set_verified_call_cache(mode == Mode::AuthCached);
+    sys.kernel().set_verified_call_cache(mode == Mode::AuthCached || mode == Mode::AuthShadow);
+    sys.kernel().set_policy_shadow(mode == Mode::AuthShadow);
     prepare(sys.kernel().fs());
     binary::Image img = build(b.program, os::Personality::LinuxSim);
     if (authenticated) img = sys.install(img).image;
@@ -88,8 +90,9 @@ util::Summary measure(const Bench& b, Mode mode) {
 
 void run_table() {
   std::printf("\n=== Tables 5+6: Benchmark suite & performance overhead ===\n");
-  std::printf("%-10s %-12s %12s %12s %12s %8s %8s | %8s\n", "Program", "Type", "Orig(Mcyc)",
-              "Auth(Mcyc)", "Cache(Mcyc)", "Ovh(%)", "OvhC(%)", "paper(%)");
+  std::printf("%-10s %-12s %12s %12s %12s %12s %8s %8s %8s | %8s\n", "Program", "Type",
+              "Orig(Mcyc)", "Auth(Mcyc)", "Cache(Mcyc)", "Shdw(Mcyc)", "Ovh(%)", "OvhC(%)",
+              "OvhS(%)", "paper(%)");
   FILE* json = std::fopen("BENCH_table6.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"table\": \"table6\",\n"
@@ -97,25 +100,30 @@ void run_table() {
   }
   double sum = 0;
   double sum_cached = 0;
+  double sum_shadow = 0;
   bool first = true;
   for (const Bench& b : kSuite) {
     const auto orig = measure(b, Mode::Off);
     const auto auth = measure(b, Mode::Auth);
     const auto cached = measure(b, Mode::AuthCached);
+    const auto shadowed = measure(b, Mode::AuthShadow);
     const double ovh = orig.mean > 0 ? (auth.mean - orig.mean) / orig.mean * 100.0 : 0;
     const double ovh_c = orig.mean > 0 ? (cached.mean - orig.mean) / orig.mean * 100.0 : 0;
+    const double ovh_s = orig.mean > 0 ? (shadowed.mean - orig.mean) / orig.mean * 100.0 : 0;
     sum += ovh;
     sum_cached += ovh_c;
-    std::printf("%-10s %-12s %12.2f %12.2f %12.2f %7.2f%% %7.2f%% | %7.2f%%\n", b.program,
-                b.type, orig.mean / 1e6, auth.mean / 1e6, cached.mean / 1e6, ovh, ovh_c,
-                b.paper_overhead_pct);
+    sum_shadow += ovh_s;
+    std::printf("%-10s %-12s %12.2f %12.2f %12.2f %12.2f %7.2f%% %7.2f%% %7.2f%% | %7.2f%%\n",
+                b.program, b.type, orig.mean / 1e6, auth.mean / 1e6, cached.mean / 1e6,
+                shadowed.mean / 1e6, ovh, ovh_c, ovh_s, b.paper_overhead_pct);
     if (json != nullptr) {
       std::fprintf(json,
                    "%s    {\"name\": \"%s\", \"type\": \"%s\", \"orig\": %.3f, "
-                   "\"auth\": %.3f, \"auth_cached\": %.3f, \"overhead_pct\": %.3f, "
-                   "\"overhead_cached_pct\": %.3f}",
+                   "\"auth\": %.3f, \"auth_cached\": %.3f, \"auth_shadow\": %.3f, "
+                   "\"overhead_pct\": %.3f, \"overhead_cached_pct\": %.3f, "
+                   "\"overhead_shadow_pct\": %.3f}",
                    first ? "" : ",\n", b.program, b.type, orig.mean / 1e6, auth.mean / 1e6,
-                   cached.mean / 1e6, ovh, ovh_c);
+                   cached.mean / 1e6, shadowed.mean / 1e6, ovh, ovh_c, ovh_s);
       first = false;
     }
   }
@@ -123,13 +131,15 @@ void run_table() {
   if (json != nullptr) {
     std::fprintf(json,
                  "\n  ],\n  \"mean_overhead_pct\": %.3f,\n"
-                 "  \"mean_overhead_cached_pct\": %.3f\n}\n",
-                 sum / n, sum_cached / n);
+                 "  \"mean_overhead_cached_pct\": %.3f,\n"
+                 "  \"mean_overhead_shadow_pct\": %.3f\n}\n",
+                 sum / n, sum_cached / n, sum_shadow / n);
     std::fclose(json);
   }
-  std::printf("mean overhead: %.2f%% uncached, %.2f%% with the verified-call cache\n"
+  std::printf("mean overhead: %.2f%% uncached, %.2f%% with the verified-call cache, "
+              "%.2f%% with cache+shadow\n"
               "(paper range 0.73%%-7.92%%; machine-readable copy in BENCH_table6.json)\n",
-              sum / n, sum_cached / n);
+              sum / n, sum_cached / n, sum_shadow / n);
 }
 
 void BM_Macro(benchmark::State& state) {
@@ -140,11 +150,14 @@ void BM_Macro(benchmark::State& state) {
     benchmark::DoNotOptimize(s.mean);
     state.counters["Mcycles"] = s.mean / 1e6;
   }
-  const char* suffix = mode == Mode::Off ? "/orig" : mode == Mode::Auth ? "/auth" : "/cached";
+  const char* suffix = mode == Mode::Off      ? "/orig"
+                       : mode == Mode::Auth   ? "/auth"
+                       : mode == Mode::AuthCached ? "/cached"
+                                                  : "/shadow";
   state.SetLabel(std::string(b.program) + suffix);
 }
 BENCHMARK(BM_Macro)
-    ->ArgsProduct({{0, 7}, {0, 1, 2}})
+    ->ArgsProduct({{0, 7}, {0, 1, 2, 3}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -5,7 +5,11 @@
 //   asctool inspect <img.txe>            dump header, sections, symbols
 //   asctool install <in.txe> <out.txe>   analyze + rewrite (prints policies)
 //   asctool run [flags] <img.txe> [args...]     execute under enforcement
-//     --stats                    print verified-call cache counters
+//     --stats                    print the kernel fast-path counters
+//                                (verified-call cache + policy-state shadow)
+//                                as one aligned table
+//     --no-shadow                disable the policy-state shadow; every call
+//                                runs the eager §3.2 state-MAC protocol
 //     --jobs N                   (any command) worker threads for the
 //                                installer's parallel analysis/signing
 //                                phases; defaults to the ASC_JOBS
@@ -107,6 +111,7 @@ int cmd_install(const std::string& in, const std::string& out) {
 /// gathered from command-line flags.
 struct RunConfig {
   bool stats = false;
+  bool shadow = true;
   os::Enforcement monitor = os::Enforcement::Asc;
   os::FailureMode failure = os::FailureMode::FailStop;
   std::uint32_t budget = 0;
@@ -148,6 +153,7 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
             const RunConfig& cfg) {
   const binary::Image img = binary::Image::deserialize(read_file(path));
   System sys(os::Personality::LinuxSim, test_key(), cfg.monitor);
+  sys.kernel().set_policy_shadow(cfg.shadow);
   sys.kernel().set_failure_mode(cfg.failure);
   sys.kernel().set_violation_budget(cfg.budget);
   seed_demo_fs(sys.kernel().fs());
@@ -186,14 +192,20 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
               static_cast<unsigned long long>(r.syscalls),
               static_cast<unsigned long long>(r.cycles));
   if (cfg.stats) {
-    const auto& st = sys.kernel().cache_stats();
-    std::printf("[verified-call cache: %llu hits, %llu misses (%.1f%% hit rate), "
-                "%llu inserts, %llu evictions, %llu invalidation writes]\n",
-                static_cast<unsigned long long>(st.hits),
-                static_cast<unsigned long long>(st.misses), st.hit_rate() * 100.0,
-                static_cast<unsigned long long>(st.inserts),
-                static_cast<unsigned long long>(st.evictions),
-                static_cast<unsigned long long>(st.invalidation_writes));
+    // One aligned table for both kernel fast paths. The cache skips the
+    // per-call MAC verification; the shadow skips the per-call state MACs.
+    const auto& cs = sys.kernel().cache_stats();
+    const auto& ss = sys.kernel().shadow_stats();
+    auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
+    std::printf("[kernel fast-path stats]\n");
+    std::printf("  %-20s %10s %10s %9s %10s %10s %12s\n", "", "hits", "misses", "hit-rate",
+                "installs", "evictions", "write-backs");
+    std::printf("  %-20s %10llu %10llu %8.1f%% %10llu %10llu %12s\n", "verified-call cache",
+                u(cs.hits), u(cs.misses), cs.hit_rate() * 100.0, u(cs.inserts),
+                u(cs.evictions), "-");
+    std::printf("  %-20s %10llu %10llu %8.1f%% %10llu %10llu %12llu\n", "policy-state shadow",
+                u(ss.hits), u(ss.misses), ss.hit_rate() * 100.0, u(ss.installs),
+                u(ss.invalidations), u(ss.write_backs));
   }
   return r.completed ? r.exit_code : 3;
 }
@@ -233,6 +245,8 @@ int main(int argc, char** argv) {
         const std::string a = av[i];
         if (a == "--stats") {
           cfg.stats = true;
+        } else if (a == "--no-shadow") {
+          cfg.shadow = false;
         } else if (a == "--monitor" && i + 1 < ac) {
           if (!parse_monitor_flag(av[++i], &cfg.monitor)) {
             std::fprintf(stderr, "asctool: bad --monitor %s (off|asc|daemon|ktable)\n",
@@ -263,7 +277,7 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: asctool [--jobs N] build <name> <out.txe> | inspect <img.txe> |\n"
                "       install <in.txe> <out.txe> |\n"
-               "       run [--stats] [--monitor off|asc|daemon|ktable]\n"
+               "       run [--stats] [--no-shadow] [--monitor off|asc|daemon|ktable]\n"
                "           [--failure-mode fail-stop|budgeted:N|audit-only] <img.txe> [args...]\n"
                "       --jobs N: worker threads for the installer's parallel phases\n"
                "                 (default: ASC_JOBS, else hardware concurrency)\n");

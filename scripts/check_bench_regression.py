@@ -8,10 +8,14 @@ reproducible; the tolerance (default 10%) absorbs intentional cost-model
 retuning without letting a real fast-path regression slip through.
 
 Checks, per row matched by "name":
-  * cost columns (orig / auth / auth_cached) may not grow by more than the
-    tolerance over the baseline;
+  * cost columns (orig / auth / auth_cached / auth_shadow) may not grow by
+    more than the tolerance over the baseline;
   * auth_cached may never exceed auth (the cache must never make a call
     more expensive than full verification);
+  * auth_shadow may never exceed auth_cached (the policy-state shadow must
+    never make a call more expensive than the cache alone). Baselines that
+    predate the auth_shadow column are tolerated with a note -- only rows
+    that carry the column are gated;
   * table4 rows must keep overhead_reduction_pct >= 30 (the acceptance bar
     for the verified-call cache);
   * table5 rows (parallel install/campaign throughput) must stay
@@ -25,7 +29,7 @@ Exit status: 0 = within bounds, 1 = regression, 2 = usage/parse error.
 import json
 import sys
 
-COST_FIELDS = ("orig", "auth", "auth_cached")
+COST_FIELDS = ("orig", "auth", "auth_cached", "auth_shadow")
 MIN_TABLE4_REDUCTION_PCT = 30.0
 MIN_TABLE5_MODELED_SPEEDUP_J8 = 2.0
 
@@ -75,6 +79,18 @@ def main():
                 f"{table}/{name}: auth_cached ({cur['auth_cached']:.1f}) exceeds "
                 f"auth ({cur['auth']:.1f}) -- the cache made calls slower"
             )
+        if "auth_shadow" in cur and "auth_cached" in cur:
+            if cur["auth_shadow"] > cur["auth_cached"]:
+                failures.append(
+                    f"{table}/{name}: auth_shadow ({cur['auth_shadow']:.1f}) exceeds "
+                    f"auth_cached ({cur['auth_cached']:.1f}) -- the shadow made "
+                    f"calls slower"
+                )
+            if "auth_shadow" not in base:
+                print(
+                    f"  note: {name}/auth_shadow has no baseline yet "
+                    f"(baseline predates the column -- growth not gated)"
+                )
         if table == "table4":
             redu = cur.get("overhead_reduction_pct")
             if redu is not None and redu < MIN_TABLE4_REDUCTION_PCT:

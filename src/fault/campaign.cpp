@@ -134,6 +134,13 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
   std::map<int, std::vector<std::uint8_t>> state_snapshots;
   {
     auto sys = fresh(test_key());
+    // Harvest with the policy-state shadow off: under lazy write-back the
+    // guest record lags the kernel's shadow, so every snapshot would hold
+    // the same stale bytes -- useless as distinct-nonce replay donors. The
+    // eager protocol materializes {lastBlock, MAC(lastBlock, counter)} at
+    // every call, which is what a real attacker scraping a victim address
+    // space would capture. Mutated runs keep the shadow at its default.
+    sys->kernel().set_policy_shadow(false);
     int calls = 0;
     sys->machine().pre_syscall_hook = [&](os::Process& p, std::uint32_t) {
       ++calls;

@@ -21,6 +21,7 @@ std::string mutation_class_name(MutationClass c) {
     case MutationClass::RegisterSwap: return "register-swap";
     case MutationClass::KeyMismatch: return "key-mismatch";
     case MutationClass::CacheToctou: return "cache-toctou";
+    case MutationClass::ShadowToctou: return "shadow-toctou";
     case MutationClass::kCount: break;
   }
   return "?";
@@ -62,6 +63,10 @@ const std::vector<os::Violation>& expected_violations(MutationClass c) {
     case MutationClass::CacheToctou:
       return toctou;
     case MutationClass::PolicyStateCorrupt:
+    // ShadowToctou tampers with the policy-state record around the shadow's
+    // write-back window; both the bit-flip and the stale-record replay fail
+    // the step-3.1 memory checker (MAC/counter mismatch).
+    case MutationClass::ShadowToctou:
       return policy_state;
     case MutationClass::CrossReplay:
       return replay;
@@ -101,8 +106,9 @@ bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site) {
   const std::uint64_t seed = spec_.seed;
   char buf[160];
 
-  auto flip_bit = [&](std::uint32_t base, std::uint32_t nbytes, const char* what) {
-    const auto byte = static_cast<std::uint32_t>(seed % nbytes);
+  auto flip_bit = [&](std::uint32_t base, std::uint32_t nbytes, const char* what,
+                      std::uint32_t first = 0) {
+    const auto byte = first + static_cast<std::uint32_t>(seed % (nbytes - first));
     const int bit = static_cast<int>((seed / nbytes) % 8);
     p.mem.w8(base + byte,
              static_cast<std::uint8_t>(p.mem.r8(base + byte) ^ (1u << bit)));
@@ -191,7 +197,14 @@ bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site) {
       if (!des.control_flow_constrained()) return false;
       const std::uint32_t lb = regs[isa::kRegStatePtr];
       if (!p.mem.in_range(lb, policy::kPolicyStateSize)) return false;
-      flip_bit(lb, policy::kPolicyStateSize, "policy-state");
+      // Materialize any lazily shadowed record first: the same-value touch
+      // write fires the write watch, so a live shadow entry writes back its
+      // trusted bytes before the flip lands. Then flip past byte 0 -- a flip
+      // computed from the stale pre-write-back bytes could otherwise land
+      // exactly on the trusted value and turn the fault into a no-op (and
+      // byte 0 itself keeps the stale value the touch rewrote).
+      p.mem.w8(lb, p.mem.r8(lb));
+      flip_bit(lb, policy::kPolicyStateSize, "policy-state", 1);
       return true;
     }
 
@@ -253,6 +266,39 @@ bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site) {
       if (targets.empty()) return false;
       const auto& [addr, len] = targets[(seed >> 32) % targets.size()];
       flip_bit(addr, len, "cache-toctou");
+      return true;
+    }
+
+    case MutationClass::ShadowToctou: {
+      // Time-of-check-to-time-of-use against the policy-state shadow: wait
+      // until the pid's state has been verified at least once (so a shadow
+      // entry exists and the guest record may lag behind it), then strike
+      // inside the invalidation window. The touch write below fires the
+      // write watch, which must write back the trusted record BEFORE the
+      // tampering lands -- any ordering bug here silently accepts the fault.
+      if (site_visits_[call_site] < 1) return false;
+      if (!des.control_flow_constrained()) return false;
+      const std::uint32_t lb = regs[isa::kRegStatePtr];
+      if (!p.mem.in_range(lb, policy::kPolicyStateSize)) return false;
+      const auto stale = p.mem.read_bytes(lb, policy::kPolicyStateSize);
+      // Same-value touch: forces write-back of a live (dirty) shadow entry
+      // and drops it, exactly as any guest write into the watched range.
+      p.mem.w8(lb, p.mem.r8(lb));
+      const auto trusted = p.mem.read_bytes(lb, policy::kPolicyStateSize);
+      if (seed % 2 == 0 && stale != trusted) {
+        // Replay the stale pre-write-back record: authentic bytes carrying
+        // an earlier nonce. The slow path must refuse it (counter replay).
+        p.mem.write_bytes(lb, stale);
+        std::snprintf(buf, sizeof buf,
+                      "shadow-toctou: stale-record replay at call %d (site 0x%x)",
+                      calls_seen_, call_site);
+        description_ = buf;
+        return true;
+      }
+      // Flip past byte 0: the touch rewrote byte 0 with its stale value, so
+      // only bytes 1.. are guaranteed to hold the materialized trusted
+      // record a flip is guaranteed to diverge from.
+      flip_bit(lb, policy::kPolicyStateSize, "shadow-toctou", 1);
       return true;
     }
 

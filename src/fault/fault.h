@@ -39,6 +39,10 @@ enum class MutationClass : std::uint8_t {
   KeyMismatch,         // kernel key differs from the installer key
   CacheToctou,         // corrupt MAC/pred-set at a call site verified before
                        // (attacks the verified-call cache fast path)
+  ShadowToctou,        // force write-back of a shadowed {lastBlock, lbMAC}
+                       // record, then tamper with the materialized bytes or
+                       // replay the stale pre-write-back record (attacks the
+                       // policy-state shadow fast path)
   kCount,
 };
 

@@ -105,6 +105,7 @@ class AscCache {
   /// verification and drops them at process teardown, bracketing the
   /// process's lifetime.
   void set_range_hooks(int pid, RangeHook watch, RangeHook unwatch);
+  bool has_range_hooks(int pid) const { return hooks_.count(pid) != 0; }
   void drop_range_hooks(int pid);
 
   /// The entry for `key` iff its recorded bytes equal `material`, else

@@ -1,0 +1,77 @@
+#include "os/ascshadow.h"
+
+#include "policy/policy.h"
+
+namespace asc::os {
+
+void AscShadow::set_hooks(int pid, RangeHook watch, RangeHook unwatch,
+                          WriteBackFn write_back) {
+  hooks_[pid] = Hooks{std::move(watch), std::move(unwatch), std::move(write_back)};
+}
+
+AscShadow::Entry* AscShadow::find(int pid, std::uint32_t state_ptr) {
+  const auto it = entries_.find(pid);
+  if (it == entries_.end() || it->second.state_ptr != state_ptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  return &it->second;
+}
+
+const AscShadow::Entry* AscShadow::peek(int pid) const {
+  const auto it = entries_.find(pid);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void AscShadow::drop_entry(std::map<int, Entry>::iterator it) {
+  // Take the entry out of the map FIRST: the write-back stores into guest
+  // memory, and any watch callback that fires during them must find the
+  // shadow already coherent (re-entrant invalidate_write becomes a no-op).
+  const Entry e = it->second;
+  const int pid = it->first;
+  entries_.erase(it);
+  ++stats_.invalidations;
+  const auto h = hooks_.find(pid);
+  if (h == hooks_.end()) return;
+  // Unwatch BEFORE writing back, so the materializing stores do not trip
+  // the record's own watch range.
+  if (h->second.unwatch) h->second.unwatch(e.state_ptr, policy::kPolicyStateSize);
+  if (e.dirty && h->second.write_back) {
+    ++stats_.write_backs;
+    h->second.write_back(e);
+  }
+}
+
+void AscShadow::install(int pid, std::uint32_t state_ptr, std::uint32_t last_block,
+                        std::uint64_t counter) {
+  if (const auto it = entries_.find(pid); it != entries_.end()) {
+    drop_entry(it);  // repointed lbPtr: flush the old record first
+  }
+  entries_[pid] = Entry{state_ptr, last_block, counter, /*dirty=*/false};
+  ++stats_.installs;
+  if (const auto h = hooks_.find(pid); h != hooks_.end() && h->second.watch) {
+    h->second.watch(state_ptr, policy::kPolicyStateSize);
+  }
+}
+
+void AscShadow::invalidate_write(int pid, std::uint32_t addr, std::uint32_t len) {
+  const auto it = entries_.find(pid);
+  if (it == entries_.end()) return;
+  const Entry& e = it->second;
+  if (addr >= e.state_ptr + policy::kPolicyStateSize || e.state_ptr >= addr + len) {
+    return;  // the write does not touch the shadowed record
+  }
+  drop_entry(it);
+}
+
+void AscShadow::flush_pid(int pid) {
+  if (const auto it = entries_.find(pid); it != entries_.end()) drop_entry(it);
+  drop_hooks(pid);
+}
+
+void AscShadow::flush_all() {
+  while (!entries_.empty()) drop_entry(entries_.begin());
+}
+
+}  // namespace asc::os

@@ -1,0 +1,135 @@
+// Kernel-resident policy-state shadow: the control-flow fast path.
+//
+// The §3.2 online memory checker keeps {lastBlock, lbMAC} in UNTRUSTED
+// application memory, so the §3.4 checker must verify the record's MAC and
+// re-MAC the updated record on every single call -- two AES-CMAC operations
+// (2 x mac_cost(12) cycles) that survive even a verified-call cache hit and
+// dominate the residual per-call overhead of cheap syscalls (see
+// BENCH_table4.json). The shadow removes them: the kernel keeps its own
+// trusted per-process copy of {state_ptr, lastBlock, counter}. While the
+// guest has not written the watched {lastBlock, lbMAC} region, the checker
+// consults and updates only the shadow (no MAC at all, just
+// cost.shadow_hit_cost()); the lbMAC in guest memory is materialized
+// LAZILY -- written back (one CMAC under the current key) only when the
+// shadow is invalidated.
+//
+// Why this is exactly as strong as the online memory checker:
+//   * the shadow lives in kernel memory; the guest cannot address it. Its
+//     {lastBlock, counter} is updated only by the checker itself, with the
+//     same transition the eager protocol MACs into guest memory -- so a
+//     shadow hit proves precisely what a verify-MAC over an untampered
+//     guest record would prove;
+//   * a shadow entry exists only after the slow path fully verified the
+//     guest record once (the install point), and only while no guest write
+//     touched the watched region -- vm::Memory write-watch hooks fire
+//     BEFORE the bytes change, so the trusted record is written back first
+//     and the tampering write lands on top of it;
+//   * after any invalidation the next call takes the existing slow path
+//     over whatever bytes the guest left behind, so a tampered or replayed
+//     record is caught exactly where the eager checker would catch it.
+//
+// Invalidation table (every path drops the entry and unwatches its range):
+//   guest write into the record   -> write back (if dirty), then slow path
+//   key rotation                  -> write back under the OLD key first
+//   process teardown / exec       -> write back, drop hooks with the pid
+//   shadow disabled at runtime    -> write back, so the eager protocol
+//                                    resumes coherently
+//   cold start / repointed lbPtr  -> no entry, slow path verifies
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+
+namespace asc::os {
+
+struct AscShadowStats {
+  std::uint64_t hits = 0;           // control-flow checks served by the shadow
+  std::uint64_t misses = 0;         // checks that fell back to the slow path
+  std::uint64_t installs = 0;       // entries created after a full verification
+  std::uint64_t invalidations = 0;  // entries dropped (write/rotation/teardown)
+  std::uint64_t write_backs = 0;    // lazy lbMAC materializations (one CMAC each)
+
+  double hit_rate() const {
+    const std::uint64_t probes = hits + misses;
+    return probes == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(probes);
+  }
+};
+
+class AscShadow {
+ public:
+  /// The kernel's trusted copy of one process's control-flow state. `dirty`
+  /// means the guest record is stale (hits advanced the shadow only) and a
+  /// write-back is owed on invalidation.
+  struct Entry {
+    std::uint32_t state_ptr = 0;
+    std::uint32_t last_block = 0;
+    std::uint64_t counter = 0;
+    bool dirty = false;
+  };
+
+  /// (Un)registers the entry's {lastBlock, lbMAC} range with the process's
+  /// Memory write watch.
+  using RangeHook = std::function<void(std::uint32_t addr, std::uint32_t len)>;
+  /// Materialize `e` into guest memory: write lastBlock and a fresh lbMAC
+  /// over encode_policy_state(e.last_block, e.counter) under the current
+  /// key, charging one mac_cost to the process. Invoked AFTER the entry's
+  /// range is unwatched, so its own stores cannot re-enter the shadow.
+  using WriteBackFn = std::function<void(const Entry& e)>;
+
+  /// Wire `pid` to its address space. Installed by the checker at the first
+  /// full verification, dropped at process teardown (flush_pid) -- the
+  /// hooks' captured Process/Memory references stay valid in between.
+  void set_hooks(int pid, RangeHook watch, RangeHook unwatch, WriteBackFn write_back);
+  bool has_hooks(int pid) const { return hooks_.count(pid) != 0; }
+  void drop_hooks(int pid) { hooks_.erase(pid); }
+
+  /// The live entry for `pid` iff it shadows exactly `state_ptr`, else
+  /// nullptr. Counts a hit or a miss either way.
+  Entry* find(int pid, std::uint32_t state_ptr);
+
+  /// Install after a slow-path verification left guest memory holding the
+  /// freshly MACed {last_block, counter} record at `state_ptr` (dirty =
+  /// false: shadow and guest agree). Watches the record's range. Replaces
+  /// (flushing) any prior entry of the pid, e.g. a repointed lbPtr.
+  void install(int pid, std::uint32_t state_ptr, std::uint32_t last_block,
+               std::uint64_t counter);
+
+  /// A guest write of [addr, addr+len) is about to land in `pid`: if it
+  /// overlaps the shadowed record, unwatch, write back (if dirty), and drop
+  /// the entry -- the write then lands on top of the materialized trusted
+  /// bytes and the next call re-verifies via the slow path.
+  void invalidate_write(int pid, std::uint32_t addr, std::uint32_t len);
+
+  /// Process teardown / exec: write back, drop the entry and the hooks.
+  void flush_pid(int pid);
+
+  /// Key rotation or disabling the fast path: write every dirty record back
+  /// (the caller must still hold the OLD key) and drop all entries. Hooks
+  /// stay -- their processes are still alive.
+  void flush_all();
+
+  std::size_t size() const { return entries_.size(); }
+  bool has(int pid) const { return entries_.count(pid) != 0; }
+  /// The entry for `pid` regardless of state_ptr (inspection; no stats).
+  const Entry* peek(int pid) const;
+
+  const AscShadowStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  struct Hooks {
+    RangeHook watch;
+    RangeHook unwatch;
+    WriteBackFn write_back;
+  };
+
+  /// Unwatch, write back (when owed), and erase one entry.
+  void drop_entry(std::map<int, Entry>::iterator it);
+
+  std::map<int, Entry> entries_;  // at most one live record per process
+  std::map<int, Hooks> hooks_;
+  AscShadowStats stats_;
+};
+
+}  // namespace asc::os

@@ -30,6 +30,7 @@
 
 #include "crypto/cmac.h"
 #include "os/asccache.h"
+#include "os/ascshadow.h"
 #include "os/costmodel.h"
 #include "os/process.h"
 #include "os/syscalls.h"
@@ -41,15 +42,20 @@ struct CheckResult {
   std::string detail;
   std::uint64_t cycles = 0;  // modeled cost of the checking work
   bool cache_hit = false;    // static MACs served from the verified-call cache
+  bool shadow_hit = false;   // policy state served by the kernel-resident shadow
 };
 
 /// `cache`, when non-null, enables the verified-call fast path: static-input
 /// AES-CMAC verifications are skipped when the site's bytes are identical to
-/// a previously verified trap (see os/asccache.h). Steps 3.1-3.5 (the online
-/// memory checker), 4 (capabilities), and 5 (patterns) always run.
+/// a previously verified trap (see os/asccache.h). `shadow`, when non-null,
+/// enables the policy-state fast path: step 3's verify-MAC/re-MAC pair over
+/// {lastBlock, lbMAC} is replaced by the kernel-resident shadow while the
+/// guest record stays unwritten (see os/ascshadow.h; the slow path installs
+/// the shadow after a full step-3.1 verification). Steps 4 (capabilities)
+/// and 5 (patterns) always run.
 CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::uint16_t sysno,
                                      const SyscallSig& sig, const crypto::MacKey& key,
                                      const CostModel& cost, bool capability_checking,
-                                     AscCache* cache = nullptr);
+                                     AscCache* cache = nullptr, AscShadow* shadow = nullptr);
 
 }  // namespace asc::os

@@ -75,6 +75,14 @@ struct CostModel {
   std::uint64_t cache_hit_fixed = 150;
   std::uint64_t cache_cmp_per_block = 18;
 
+  // ---- policy-state shadow (kernel-resident control-flow state) ----
+  // A shadow hit replaces the §3.2 verify-MAC + re-MAC pair over the
+  // {lastBlock, counter} record -- 2 x mac_cost(12) = 1060 cycles, the floor
+  // under every cached call with control flow -- with one kernel map lookup
+  // and an in-place update of the trusted copy. The deferred re-MAC is
+  // charged as a full mac_cost at write-back time instead (os/ascshadow.h).
+  std::uint64_t shadow_hit_fixed = 40;
+
   // ---- baseline monitors (ablations) ----
   // User-space policy daemon (Systrace/Ostia style): two extra context
   // switches plus a policy table lookup in the daemon.
@@ -130,6 +138,10 @@ struct CostModel {
     const std::uint64_t blocks = material_len == 0 ? 1 : (material_len + 15) / 16;
     return cache_hit_fixed + cache_cmp_per_block * blocks;
   }
+
+  /// Modeled cost of a policy-state shadow hit (replaces both state
+  /// mac_costs of the §3.2 online memory checker on the hit path).
+  std::uint64_t shadow_hit_cost() const { return shadow_hit_fixed; }
 
   std::uint64_t handler_base_cost(SysId id) const {
     switch (id) {

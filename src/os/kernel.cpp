@@ -21,12 +21,24 @@ void Kernel::install_monitor(std::unique_ptr<SyscallMonitor> monitor) {
 }
 
 void Kernel::set_key(const crypto::Key128& key) {
+  // Rotation order matters: dirty shadowed records must be written back
+  // under the OLD key first (the write-back hooks read key_ through the
+  // reference the checker captured), leaving guest memory exactly as the
+  // eager protocol would have -- then no prior verification survives.
+  call_shadow_.flush_all();
   key_.emplace(key);
   // Key rotation invalidates every cached verification: no prior MAC match
   // says anything under the new key. (Charging note: the AES-CMAC subkey
   // derivation -- cost_.mac_subkey_setup -- is paid here, once per key,
   // which is what lets mac_cost() omit it on the per-call hot path.)
   call_cache_.clear();
+}
+
+void Kernel::set_policy_shadow(bool on) {
+  // Turning the fast path off mid-run materializes every live record, so
+  // the next trap's slow path verifies a fresh, coherent guest record.
+  if (!on) call_shadow_.flush_all();
+  shadow_enabled_ = on;
 }
 
 void Kernel::set_monitor_policy(const std::string& program, MonitorPolicy policy) {

@@ -29,6 +29,7 @@
 
 #include "crypto/cmac.h"
 #include "os/asccache.h"
+#include "os/ascshadow.h"
 #include "os/auditlog.h"
 #include "os/costmodel.h"
 #include "os/fs.h"
@@ -99,9 +100,28 @@ class Kernel {
   const AscCache& call_cache() const { return call_cache_; }
   /// Hit/miss/eviction counters of the fast path (stats audit surface).
   const AscCacheStats& cache_stats() const { return call_cache_.stats(); }
-  /// Process teardown/exec hook: drop every cached verification of `pid` so
-  /// recycled pids or re-execed images can never inherit stale trust.
-  void end_process(int pid) { call_cache_.evict_pid(pid); }
+
+  // ---- policy-state shadow ----
+  /// The control-flow fast path (os/ascshadow.h), on by default: the kernel
+  /// keeps the trusted {lastBlock, counter} copy and skips both per-call
+  /// state MACs while the guest record stays unwritten. Disabling flushes
+  /// (writes back) every live record first, so the eager §3.2 protocol
+  /// resumes coherently mid-run.
+  void set_policy_shadow(bool on);
+  bool policy_shadow() const { return shadow_enabled_; }
+  AscShadow& shadow() { return call_shadow_; }
+  const AscShadow& shadow() const { return call_shadow_; }
+  /// Hit/invalidation/write-back counters of the shadow, beside cache_stats.
+  const AscShadowStats& shadow_stats() const { return call_shadow_.stats(); }
+
+  /// Process teardown/exec hook: write back and drop the pid's shadowed
+  /// policy state (its Memory is still alive here), then drop every cached
+  /// verification, so recycled pids or re-execed images can never inherit
+  /// stale trust.
+  void end_process(int pid) {
+    call_shadow_.flush_pid(pid);
+    call_cache_.evict_pid(pid);
+  }
 
   // ---- audit layer (graceful degradation + the security log) ----
   AuditLog& audit_log_component() { return audit_; }
@@ -179,6 +199,8 @@ class Kernel {
   std::optional<crypto::MacKey> key_;
   AscCache call_cache_;
   bool cache_enabled_ = true;
+  AscShadow call_shadow_;
+  bool shadow_enabled_ = true;
   std::map<std::string, MonitorPolicy> monitor_policies_;
   bool capability_checking_ = false;
   bool normalize_paths_ = false;

@@ -37,7 +37,8 @@ MonitorVerdict AscMonitor::inspect(Process& p, TrapContext& ctx) {
   const CheckResult r = check_authenticated_call(
       p, ctx.call_site, ctx.sysno, signature(*ctx.id), *kernel_.key(), kernel_.cost(),
       kernel_.capability_checking(),
-      kernel_.verified_call_cache() ? &kernel_.call_cache() : nullptr);
+      kernel_.verified_call_cache() ? &kernel_.call_cache() : nullptr,
+      kernel_.policy_shadow() ? &kernel_.shadow() : nullptr);
   ctx.charge(p, r.cycles);
   return {r.violation, r.detail};
 }

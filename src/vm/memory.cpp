@@ -63,6 +63,13 @@ std::vector<std::uint8_t> Memory::read_bytes(std::uint32_t addr, std::uint32_t n
                                    bytes_.begin() + static_cast<std::ptrdiff_t>(i + n));
 }
 
+void Memory::read_bytes(std::uint32_t addr, std::uint32_t n, std::uint8_t* out) const {
+  check(addr, n);
+  const std::size_t i = index_of(addr);
+  std::copy(bytes_.begin() + static_cast<std::ptrdiff_t>(i),
+            bytes_.begin() + static_cast<std::ptrdiff_t>(i + n), out);
+}
+
 void Memory::write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes) {
   check(addr, static_cast<std::uint32_t>(bytes.size()));
   notify_write(addr, static_cast<std::uint32_t>(bytes.size()));

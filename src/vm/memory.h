@@ -36,6 +36,10 @@ class Memory {
 
   /// Bulk accessors. Throw GuestFault when any byte is out of range.
   std::vector<std::uint8_t> read_bytes(std::uint32_t addr, std::uint32_t n) const;
+  /// Allocation-free overload: copy `n` bytes into `out` (which must hold at
+  /// least `n`). The checker's hot path reads MACs and AS headers through
+  /// this instead of n byte-at-a-time r8() calls.
+  void read_bytes(std::uint32_t addr, std::uint32_t n, std::uint8_t* out) const;
   void write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes);
 
   /// NUL-terminated string, at most `max_len` bytes (fault if unterminated).

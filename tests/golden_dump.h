@@ -69,6 +69,9 @@ inline std::string golden_trap_dump() {
     const auto pers = os::Personality::LinuxSim;
     System sys(pers, test_key(), spec.mode);
     sys.kernel().set_verified_call_cache(spec.cache);
+    // The golden trace predates the policy-state shadow and pins the eager
+    // §3.2 per-call MAC cycles; keep it that way so the file stays stable.
+    sys.kernel().set_policy_shadow(false);
     prepare_fs(sys.kernel().fs());
     golden_detail::prepare_screen_fs(sys.kernel().fs());
 

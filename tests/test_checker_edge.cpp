@@ -210,6 +210,10 @@ TEST(CheckerEdge, PolicyStateReplayedFromAnotherProcessIsCaught) {
   std::vector<std::uint8_t> donor;
   {
     Harness a;
+    // Harvest eager-protocol bytes: with the shadow on, the donor's guest
+    // record lags (lazy write-back) and would coincide with the victim's own
+    // stale record, making the graft a no-op instead of a replay.
+    a.sys.kernel().set_policy_shadow(false);
     int count = 0;
     a.sys.machine().pre_syscall_hook = [&](os::Process& p, std::uint32_t) {
       if (++count == 3 && p.mem.in_range(p.cpu.regs[isa::kRegStatePtr],

@@ -50,7 +50,7 @@ crypto::Key128 wrong_key() {
 TEST(FaultCampaign, InvariantHoldsAcrossFiveHundredMutations) {
   CampaignConfig cfg;
   cfg.seed = 20260806;
-  cfg.runs_per_class = 28;  // 2 programs x 10 classes x 28 = 560 executions
+  cfg.runs_per_class = 28;  // 2 programs x 11 classes x 28 = 616 executions
   cfg.cycle_limit = 200'000'000;
   Campaign campaign(cfg);
   const CampaignResult r = campaign.run_all({cat_guest(), vuln_echo_guest()});
@@ -100,6 +100,33 @@ TEST(FaultCampaign, CacheToctouMutationsFailStop) {
   EXPECT_GT(r.detected, 0) << "no TOCTOU mutation ever landed:\n" << r.summary();
   // Bit-flips in live MAC/pred-set bytes are never no-ops: each applied
   // mutation must surface as a verdict, not blend into a benign run.
+  EXPECT_EQ(r.benign, 0) << r.summary();
+}
+
+// ---- the policy-state shadow under attack ----
+// TOCTOU against the control-flow fast path: once a pid's {lastBlock, lbMAC}
+// record is shadowed in the kernel, the guest copy lags behind (lazy
+// write-back). The mutation strikes inside the invalidation window: a guest
+// write into the watched range must FIRST write back the trusted record,
+// and only then land -- after which the slow path re-verifies. Both attack
+// shapes (bit-flip of the materialized record, replay of the stale
+// pre-write-back record carrying an old nonce) must fail-stop with
+// BadPolicyState. 2 programs x 60 = 120 mutated executions.
+TEST(FaultCampaign, ShadowToctouMutationsFailStop) {
+  CampaignConfig cfg;
+  cfg.seed = 424242;
+  cfg.runs_per_class = 60;
+  cfg.classes = {MutationClass::ShadowToctou};
+  cfg.cycle_limit = 200'000'000;
+  const CampaignResult r = Campaign(cfg).run_all({cat_guest(), vuln_echo_guest()});
+
+  EXPECT_TRUE(r.invariant_holds()) << r.summary();
+  EXPECT_EQ(r.host_crash, 0) << r.summary();
+  EXPECT_EQ(r.silent_bypass, 0) << r.summary();
+  EXPECT_EQ(r.wrong_verdict, 0) << r.summary();
+  EXPECT_GE(r.detected, 100) << "shadow TOCTOU coverage too thin:\n" << r.summary();
+  // The touch-then-tamper sequence guarantees divergence from the trusted
+  // record: no applied mutation may blend into a benign run.
   EXPECT_EQ(r.benign, 0) << r.summary();
 }
 
