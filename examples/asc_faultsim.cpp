@@ -59,8 +59,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: asc-faultsim [--seed N] [--runs N] [--class NAME] [--jobs N]\n"
                "                    [--mode fail-stop|budgeted|audit-only] [--budget N]\n"
+               "                    [--spec CLASS:TRIGGER:0xSEED[:STAGE]]\n"
                "--jobs N: worker threads for the mutated replays (default: ASC_JOBS,\n"
                "          else hardware concurrency); results match --jobs 1 exactly\n"
+               "--spec R: replay exactly one reproducer line (repeatable); R is the\n"
+               "          [repro ...] token a failing campaign printed\n"
                "classes:");
   for (const auto c : fault::all_mutation_classes()) {
     std::fprintf(stderr, " %s", fault::mutation_class_name(c).c_str());
@@ -106,6 +109,15 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr || std::atoi(v) <= 0) return usage();
       util::Executor::set_global_jobs(std::atoi(v));
+    } else if (a == "--spec") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      const auto spec = fault::parse_spec(v);
+      if (!spec) {
+        std::fprintf(stderr, "asc-faultsim: bad spec '%s'\n", v);
+        return usage();
+      }
+      cfg.explicit_specs.push_back(*spec);
     } else if (a == "--class") {
       const char* v = next();
       if (v == nullptr) return usage();
@@ -130,6 +142,13 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(cfg.seed), cfg.runs_per_class,
                 os::failure_mode_name(cfg.mode).c_str());
     const fault::CampaignResult r = campaign.run(guest);
+    if (!cfg.explicit_specs.empty()) {
+      for (const auto& v : r.verdicts) {
+        std::printf("  [%s] %s %s: %s (%s)\n", fault::outcome_name(v.outcome).c_str(),
+                    v.program.c_str(), v.repro.c_str(), v.detail.c_str(),
+                    os::violation_name(v.violation).c_str());
+      }
+    }
     std::printf("%s\n", r.summary().c_str());
     total.merge(r);
   }
@@ -142,11 +161,10 @@ int main(int argc, char** argv) {
           v.outcome == fault::Outcome::NotApplied) {
         continue;
       }
-      std::printf("  [%s] %s %s trigger=%d seed=%llu: %s (%s)\n",
+      std::printf("  [%s] %s: %s (%s)\n    replay: asc-faultsim --spec %s\n",
                   fault::outcome_name(v.outcome).c_str(), v.program.c_str(),
-                  fault::mutation_class_name(v.spec.cls).c_str(), v.spec.trigger_call,
-                  static_cast<unsigned long long>(v.spec.seed), v.detail.c_str(),
-                  os::violation_name(v.violation).c_str());
+                  v.detail.c_str(), os::violation_name(v.violation).c_str(),
+                  v.repro.c_str());
     }
     std::printf("FAIL: fail-stop invariant broken\n");
     return 1;

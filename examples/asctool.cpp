@@ -206,6 +206,23 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
     std::printf("  %-20s %10llu %10llu %8.1f%% %10llu %10llu %12llu\n", "policy-state shadow",
                 u(ss.hits), u(ss.misses), ss.hit_rate() * 100.0, u(ss.installs),
                 u(ss.invalidations), u(ss.write_backs));
+    // Kernel bookkeeping soundness: at teardown every hooked watch range
+    // must have been released, and the health machine must have no residue.
+    const auto& w = r.final_watch;
+    std::printf("[watch-range accounting]\n");
+    std::printf("  registered=%llu released=%llu peak-ranges=%llu live=%llu/%llu refs %s\n",
+                u(w.registered), u(w.released), u(w.peak_ranges), u(w.live_ranges),
+                u(w.live_refs),
+                w.live_ranges == 0 && w.registered == w.released ? "(balanced)"
+                                                                : "(LEAKED)");
+    const auto& hs = sys.kernel().health_stats();
+    if (hs.internal_faults > 0) {
+      std::printf("[health machine]\n");
+      std::printf("  internal-faults=%llu degradations=%llu quarantines=%llu "
+                  "repromotions=%llu recoveries=%llu\n",
+                  u(hs.internal_faults), u(hs.degradations), u(hs.quarantines),
+                  u(hs.repromotions), u(hs.recoveries));
+    }
   }
   return r.completed ? r.exit_code : 3;
 }

@@ -167,9 +167,15 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
     RunVerdict v;
     v.program = prog.name;
     v.spec = spec;
+    v.repro = spec_repr(spec);
     auto sys =
         fresh(spec.cls == MutationClass::KeyMismatch ? mismatched_key() : test_key());
     FaultInjector inj(spec);
+    if (spec.cls == MutationClass::RotationDuringTrap) {
+      // Rotate to a genuinely different key: every MAC the guest carries
+      // goes stale at the strike point.
+      inj.set_rotation_key(mismatched_key());
+    }
     if (spec.cls == MutationClass::CrossReplay) {
       // Donor from a different call index: its counter nonce (or foreign
       // lastBlock) cannot match what the kernel expects at the trigger.
@@ -187,11 +193,12 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
       r = sys->machine().run(inst.image, prog.argv, prog.stdin_data);
     } catch (const std::exception& e) {
       v.outcome = Outcome::HostCrash;
-      v.detail = e.what();
+      v.detail = std::string(e.what()) + " [repro " + prog.name + " " + v.repro + "]";
       return v;
     } catch (...) {
       v.outcome = Outcome::HostCrash;
-      v.detail = "non-standard exception escaped the simulator";
+      v.detail = "non-standard exception escaped the simulator [repro " + prog.name + " " +
+                 v.repro + "]";
       return v;
     }
     v.mutation = inj.description();
@@ -217,6 +224,11 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
                         r.stdout_data == clean.out && r.stderr_data == clean.err;
       v.outcome = same ? Outcome::Benign : Outcome::SilentBypass;
       if (!same) v.detail = "behavior diverged without an audited verdict: " + v.mutation;
+    }
+    // Fault-campaign DX: any unexpected verdict carries its own single-line
+    // reproducer, so one failing run out of thousands can be replayed alone.
+    if (v.outcome == Outcome::WrongVerdict || v.outcome == Outcome::SilentBypass) {
+      v.detail += " [repro " + prog.name + " " + v.repro + "]";
     }
     return v;
   };
@@ -254,19 +266,39 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
   // each on its own System. Verdicts land in spec order, so the tallies,
   // the coverage matrix, and the verdict list match the serial sweep.
   const auto classes = cfg_.classes.empty() ? all_mutation_classes() : cfg_.classes;
+  const auto stage_pool = cfg_.stages.empty() ? all_trap_stages() : cfg_.stages;
   const util::Rng root(cfg_.seed);
   const std::uint64_t tag = fnv1a(prog.name);
   std::vector<FaultSpec> specs;
-  specs.reserve(classes.size() * static_cast<std::size_t>(cfg_.runs_per_class));
-  for (const auto cls : classes) {
-    util::Rng rng = root.derive(tag ^ (static_cast<std::uint64_t>(cls) << 32));
-    for (int i = 0; i < cfg_.runs_per_class; ++i) {
-      FaultSpec spec;
-      spec.cls = cls;
-      spec.trigger_call =
-          1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(clean.n_calls)));
-      spec.seed = rng.next_u64();
-      specs.push_back(spec);
+  const bool replaying = !cfg_.explicit_specs.empty();
+  if (replaying) {
+    specs = cfg_.explicit_specs;
+  } else {
+    specs.reserve(classes.size() * static_cast<std::size_t>(cfg_.runs_per_class));
+    for (const auto cls : classes) {
+      util::Rng rng = root.derive(tag ^ (static_cast<std::uint64_t>(cls) << 32));
+      // The stage comes from a SEPARATE substream: trigger/seed sequences of
+      // every pre-existing class stay byte-identical to older campaigns.
+      util::Rng stage_rng =
+          root.derive(tag ^ (static_cast<std::uint64_t>(cls) << 32) ^ 0x57a6e5u);
+      // Per-class pool: only the boundaries this class may strike at (e.g.
+      // AsBodyCorrupt excludes Enforce -- see fault::stage_allowed).
+      std::vector<os::TrapStage> pool;
+      for (const auto s : stage_pool) {
+        if (stage_allowed(cls, s)) pool.push_back(s);
+      }
+      if (pool.empty()) pool.push_back(os::TrapStage::Trap);
+      for (int i = 0; i < cfg_.runs_per_class; ++i) {
+        FaultSpec spec;
+        spec.cls = cls;
+        spec.trigger_call =
+            1 + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(clean.n_calls)));
+        spec.seed = rng.next_u64();
+        if (stage_targetable(cls)) {
+          spec.stage = pool[stage_rng.next_below(pool.size())];
+        }
+        specs.push_back(spec);
+      }
     }
   }
 
@@ -275,9 +307,11 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
           .parallel_map<RunVerdict>(specs.size(), [&](std::size_t k) {
             FaultSpec spec = specs[k];
             RunVerdict v = execute(spec);
-            if (v.outcome == Outcome::NotApplied && spec.trigger_call > 1) {
+            if (!replaying && v.outcome == Outcome::NotApplied && spec.trigger_call > 1) {
               // The class had no target at or after the trigger (e.g. the
               // last AS argument already went by); retry from the first call.
+              // Replayed explicit specs are exempt: a reproducer must run
+              // exactly the spec it names.
               spec.trigger_call = 1;
               v = execute(spec);
             }

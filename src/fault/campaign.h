@@ -58,6 +58,13 @@ struct CampaignConfig {
   std::uint64_t seed = 1;
   int runs_per_class = 8;
   std::vector<MutationClass> classes;  // empty = all classes
+  /// Stage pool drawn from for stage-targetable classes (empty = all four
+  /// TrapStage boundaries). Non-targetable classes always strike at Trap.
+  std::vector<os::TrapStage> stages;
+  /// Replay exactly these specs instead of drawing from the seeded RNG
+  /// (the reproducer path: paste a RunVerdict::repro through parse_spec).
+  /// No NotApplied retry -- a reproduced run must match the original.
+  std::vector<FaultSpec> explicit_specs;
   os::Personality personality = os::Personality::LinuxSim;
   os::FailureMode mode = os::FailureMode::FailStop;
   std::uint32_t violation_budget = 0;
@@ -94,6 +101,10 @@ struct RunVerdict {
   /// campaign schedules (bench/bench_table5_install.cpp).
   std::uint64_t cycles = 0;
   std::string detail;
+  /// Single-line reproducer (spec_repr of the spec as executed, after any
+  /// NotApplied retry). On an unexpected verdict, feed it back through
+  /// CampaignConfig::explicit_specs or `asc-faultsim --spec` to replay.
+  std::string repro;
 };
 
 struct CampaignResult {

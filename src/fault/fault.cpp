@@ -22,6 +22,9 @@ std::string mutation_class_name(MutationClass c) {
     case MutationClass::KeyMismatch: return "key-mismatch";
     case MutationClass::CacheToctou: return "cache-toctou";
     case MutationClass::ShadowToctou: return "shadow-toctou";
+    case MutationClass::RotationDuringTrap: return "rotation-during-trap";
+    case MutationClass::TeardownMidVerify: return "teardown-mid-verify";
+    case MutationClass::DoubleInvalidation: return "double-invalidation";
     case MutationClass::kCount: break;
   }
   return "?";
@@ -33,6 +36,96 @@ std::vector<MutationClass> all_mutation_classes() {
     out.push_back(static_cast<MutationClass>(i));
   }
   return out;
+}
+
+std::optional<MutationClass> mutation_class_from_name(const std::string& name) {
+  for (const auto c : all_mutation_classes()) {
+    if (mutation_class_name(c) == name) return c;
+  }
+  return std::nullopt;
+}
+
+bool lifecycle_class(MutationClass c) {
+  return c == MutationClass::RotationDuringTrap || c == MutationClass::TeardownMidVerify ||
+         c == MutationClass::DoubleInvalidation;
+}
+
+bool stage_targetable(MutationClass c) {
+  switch (c) {
+    // Memory-resident targets: the corrupted bytes stay addressable for the
+    // rest of the trap and beyond, so a strike at any boundary is coherent
+    // (at post-Enforce stages it poisons the NEXT verification).
+    case MutationClass::CallMacFlip:
+    case MutationClass::AsHeaderCorrupt:
+    case MutationClass::AsBodyCorrupt:
+    case MutationClass::PredSetCorrupt:
+    case MutationClass::PolicyStateCorrupt:
+    case MutationClass::CrossReplay:
+    // Lifecycle strikes act on the kernel and are meaningful at every
+    // boundary (rotation-during-dispatch, teardown-mid-verify, ...).
+    case MutationClass::RotationDuringTrap:
+    case MutationClass::TeardownMidVerify:
+    case MutationClass::DoubleInvalidation:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool stage_allowed(MutationClass c, os::TrapStage s) {
+  if (!stage_targetable(c)) return s == os::TrapStage::Trap;
+  if (c == MutationClass::AsBodyCorrupt && s == os::TrapStage::Enforce) return false;
+  return true;
+}
+
+std::vector<os::TrapStage> all_trap_stages() {
+  return {os::TrapStage::Trap, os::TrapStage::Enforce, os::TrapStage::Dispatch,
+          os::TrapStage::Audit};
+}
+
+std::optional<os::TrapStage> trap_stage_from_name(const std::string& name) {
+  for (const auto s : all_trap_stages()) {
+    if (os::trap_stage_name(s) == name) return s;
+  }
+  return std::nullopt;
+}
+
+std::string spec_repr(const FaultSpec& spec) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "%s:%d:0x%llx:%s", mutation_class_name(spec.cls).c_str(),
+                spec.trigger_call, static_cast<unsigned long long>(spec.seed),
+                os::trap_stage_name(spec.stage).c_str());
+  return buf;
+}
+
+std::optional<FaultSpec> parse_spec(const std::string& repr) {
+  // "<class>:<trigger>:0x<seed>[:<stage>]" (stage defaults to trap).
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t colon = repr.find(':', start);
+    parts.push_back(repr.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) return std::nullopt;
+  FaultSpec spec;
+  const auto cls = mutation_class_from_name(parts[0]);
+  if (!cls.has_value()) return std::nullopt;
+  spec.cls = *cls;
+  try {
+    spec.trigger_call = std::stoi(parts[1]);
+    spec.seed = std::stoull(parts[2], nullptr, 0);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  if (spec.trigger_call < 1) return std::nullopt;
+  if (parts.size() == 4) {
+    const auto stage = trap_stage_from_name(parts[3]);
+    if (!stage.has_value()) return std::nullopt;
+    spec.stage = *stage;
+  }
+  return spec;
 }
 
 const std::vector<os::Violation>& expected_violations(MutationClass c) {
@@ -56,6 +149,15 @@ const std::vector<os::Violation>& expected_violations(MutationClass c) {
   // fails at the corresponding step.
   static const std::vector<os::Violation> toctou{os::Violation::BadCallMac,
                                                  os::Violation::BadStringArg};
+  // A mid-trap key rotation stales every signed byte of the guest at once;
+  // the next verified call fails its call MAC first (set_key cleared the
+  // cache, so no fast path can mask it). A rotation at the LAST trap of a
+  // run is consumed by nobody and stays benign.
+  static const std::vector<os::Violation> rotation{os::Violation::BadCallMac};
+  // Teardown and double invalidation must be pure lifecycle churn: eager
+  // verification resumes over coherently materialized records, so ANY
+  // audited violation is a wrong verdict.
+  static const std::vector<os::Violation> benign{};
   switch (c) {
     case MutationClass::AsBodyCorrupt:
     case MutationClass::PredSetCorrupt:
@@ -70,6 +172,11 @@ const std::vector<os::Violation>& expected_violations(MutationClass c) {
       return policy_state;
     case MutationClass::CrossReplay:
       return replay;
+    case MutationClass::RotationDuringTrap:
+      return rotation;
+    case MutationClass::TeardownMidVerify:
+    case MutationClass::DoubleInvalidation:
+      return benign;
     default:
       return call_mac;
   }
@@ -84,24 +191,95 @@ std::uint32_t nonzero32(std::uint64_t seed) {
 
 }  // namespace
 
+bool FaultInjector::needs_stage_hook() const {
+  return lifecycle_class(spec_.cls) || spec_.stage != os::TrapStage::Trap;
+}
+
 void FaultInjector::arm(vm::Machine& machine) {
+  machine_ = &machine;
   personality_ = machine.kernel().personality();
-  machine.pre_syscall_hook = [this](os::Process& p, std::uint32_t call_site) {
+  const bool staged = needs_stage_hook();
+  machine.pre_syscall_hook = [this, staged](os::Process& p, std::uint32_t call_site) {
     ++calls_seen_;
-    if (!applied_ && calls_seen_ >= spec_.trigger_call && try_apply(p, call_site)) {
+    // Trap-stage byte/register mutations keep striking from this hook (the
+    // pre-trap strike point every legacy campaign stream was drawn for);
+    // staged specs strike from the kernel's stage hook below instead.
+    if (!staged && !applied_ && calls_seen_ >= spec_.trigger_call &&
+        try_apply(p, call_site, static_cast<std::uint16_t>(p.cpu.regs[0]))) {
       applied_ = true;
       applied_at_ = calls_seen_;
     }
     // Count after try_apply so "visited" means a strictly earlier trap.
     ++site_visits_[call_site];
   };
+  if (staged) {
+    machine.kernel().set_stage_hook(
+        [this](os::Process& p, os::TrapContext& ctx, os::TrapStage stage) {
+          if (stage != spec_.stage || applied_ || calls_seen_ < spec_.trigger_call) return;
+          // regs[0] holds the syscall's return value from Dispatch on; the
+          // trapping identity must come from the captured context.
+          const bool ok = lifecycle_class(spec_.cls)
+                              ? apply_lifecycle(p, ctx.call_site)
+                              : try_apply(p, ctx.call_site, ctx.sysno);
+          if (ok) {
+            applied_ = true;
+            applied_at_ = calls_seen_;
+          }
+        });
+  } else {
+    machine.kernel().set_stage_hook({});
+  }
 }
 
-bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site) {
+bool FaultInjector::apply_lifecycle(os::Process& p, std::uint32_t call_site) {
+  if (machine_ == nullptr) return false;
+  os::Kernel& kernel = machine_->kernel();
+  char buf[160];
+  const std::string stage = os::trap_stage_name(spec_.stage);
+  switch (spec_.cls) {
+    case MutationClass::RotationDuringTrap: {
+      if (!rotation_key_.has_value()) return false;
+      // Mid-trap rotation: flushes the shadow under the old key, clears the
+      // cache, and re-keys. Every MAC the guest carries is now stale.
+      kernel.set_key(*rotation_key_);
+      std::snprintf(buf, sizeof buf,
+                    "rotation-during-trap: key rotated at %s of call %d (site 0x%x)",
+                    stage.c_str(), calls_seen_, call_site);
+      description_ = buf;
+      return true;
+    }
+    case MutationClass::TeardownMidVerify: {
+      // Full teardown while the pid's own trap is still in flight; the
+      // machine's normal teardown will call end_process a second time.
+      kernel.end_process(p.pid);
+      std::snprintf(buf, sizeof buf,
+                    "teardown-mid-verify: end_process(%d) at %s of call %d (site 0x%x)",
+                    p.pid, stage.c_str(), calls_seen_, call_site);
+      description_ = buf;
+      return true;
+    }
+    case MutationClass::DoubleInvalidation: {
+      // Double-free-shaped churn: both invalidations must be idempotent
+      // (write back at most once, never unwatch an already-released range).
+      kernel.shadow().flush_pid(p.pid);
+      kernel.shadow().flush_pid(p.pid);
+      kernel.call_cache().evict_pid(p.pid);
+      kernel.call_cache().evict_pid(p.pid);
+      std::snprintf(buf, sizeof buf,
+                    "double-invalidation: pid %d evicted twice at %s of call %d (site 0x%x)",
+                    p.pid, stage.c_str(), calls_seen_, call_site);
+      description_ = buf;
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site, std::uint16_t sysno) {
   auto& regs = p.cpu.regs;
   const policy::Descriptor des(regs[isa::kRegPolicyDescriptor]);
-  const auto maybe_id =
-      os::syscall_from_number(personality_, static_cast<std::uint16_t>(regs[0]));
+  const auto maybe_id = os::syscall_from_number(personality_, sysno);
   const int arity = maybe_id.has_value() ? os::signature(*maybe_id).arity : 0;
   const std::uint64_t seed = spec_.seed;
   char buf[160];
@@ -301,6 +479,12 @@ bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site) {
       flip_bit(lb, policy::kPolicyStateSize, "shadow-toctou", 1);
       return true;
     }
+
+    case MutationClass::RotationDuringTrap:
+    case MutationClass::TeardownMidVerify:
+    case MutationClass::DoubleInvalidation:
+      // Lifecycle classes strike via apply_lifecycle from the stage hook.
+      break;
 
     case MutationClass::kCount:
       break;

@@ -17,11 +17,14 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "crypto/aes.h"
 #include "os/process.h"
 #include "os/syscalls.h"
+#include "os/trapcontext.h"
 #include "vm/machine.h"
 
 namespace asc::fault {
@@ -43,6 +46,15 @@ enum class MutationClass : std::uint8_t {
                        // record, then tamper with the materialized bytes or
                        // replay the stale pre-write-back record (attacks the
                        // policy-state shadow fast path)
+  RotationDuringTrap,  // rotate the kernel key at a trap-stage boundary,
+                       // mid-trap (lifecycle: every signed byte goes stale)
+  TeardownMidVerify,   // fire Kernel::end_process at a trap-stage boundary
+                       // while the pid's trap is in flight (lifecycle: must
+                       // be benign -- teardown is idempotent and eager
+                       // verification resumes coherently)
+  DoubleInvalidation,  // evict the pid's shadow entry and cache entries
+                       // TWICE back-to-back (lifecycle: double-free-shaped
+                       // bookkeeping bug; must be benign)
   kCount,
 };
 
@@ -51,18 +63,47 @@ inline constexpr std::size_t kNumMutationClasses =
 
 std::string mutation_class_name(MutationClass c);
 std::vector<MutationClass> all_mutation_classes();
+/// Inverse of mutation_class_name (nullopt for an unknown name).
+std::optional<MutationClass> mutation_class_from_name(const std::string& name);
 
 /// The Violation verdicts a detection of this class may legitimately yield.
 const std::vector<os::Violation>& expected_violations(MutationClass c);
 
+/// Lifecycle classes act on the KERNEL (key rotation, teardown, double
+/// invalidation) instead of mutating guest-visible verification bytes.
+bool lifecycle_class(MutationClass c);
+/// Classes whose strike point may be any TrapStage boundary: the
+/// memory-resident targets (their bytes stay addressable across the whole
+/// trap) and the lifecycle classes. Register, TOCTOU, and environmental
+/// classes are Trap-only -- their targets are only coherent at trap entry.
+bool stage_targetable(MutationClass c);
+/// Whether a spec of class `c` may strike at `s`. Trap-only classes accept
+/// only Trap. AsBodyCorrupt additionally excludes Enforce: the simulator's
+/// dispatch layer re-reads argument bytes from guest memory, so a flip
+/// landing between inspect and dispatch is a single-trap double-fetch TOCTOU
+/// outside the ASC threat model (the real kernel dispatches on the bytes it
+/// verified) -- it would diverge behavior with no verdict by construction.
+bool stage_allowed(MutationClass c, os::TrapStage s);
+std::vector<os::TrapStage> all_trap_stages();
+/// Inverse of os::trap_stage_name (nullopt for an unknown name).
+std::optional<os::TrapStage> trap_stage_from_name(const std::string& name);
+
 /// One fully determined mutation: the class, the first syscall trap at which
-/// it becomes eligible (1-based, counted across all processes of a run), and
-/// a seed selecting the byte/bit/register within the class.
+/// it becomes eligible (1-based, counted across all processes of a run), a
+/// seed selecting the byte/bit/register within the class, and the trap-stage
+/// boundary at which the strike lands (Trap = the classic pre-enforcement
+/// injection; later stages strike between the pipeline's layers).
 struct FaultSpec {
   MutationClass cls = MutationClass::CallMacFlip;
   int trigger_call = 1;
   std::uint64_t seed = 0;
+  os::TrapStage stage = os::TrapStage::Trap;
 };
+
+/// Single-line reproducer: "<class>:<trigger>:0x<seed>:<stage>". Paste it
+/// back through parse_spec (or `asc-faultsim --spec`) to replay one run.
+std::string spec_repr(const FaultSpec& spec);
+std::optional<FaultSpec> parse_spec(const std::string& repr);
 
 /// Applies one FaultSpec to a machine run. Arm() installs a pre-syscall
 /// hook; from trigger_call on, the first trap where the class is applicable
@@ -79,6 +120,15 @@ class FaultInjector {
   /// captured from another process's address space.
   void set_replay_state(std::vector<std::uint8_t> state) { replay_state_ = std::move(state); }
 
+  /// RotationDuringTrap payload: the key the kernel rotates to mid-trap.
+  /// The class is NotApplied until one is provided.
+  void set_rotation_key(const crypto::Key128& key) { rotation_key_ = key; }
+
+  /// True when this spec strikes from the kernel's stage hook (a lifecycle
+  /// class, or any class at a non-Trap stage). arm() then claims the
+  /// machine's kernel stage hook in addition to the pre-syscall hook.
+  bool needs_stage_hook() const;
+
   const FaultSpec& spec() const { return spec_; }
   bool applied() const { return applied_; }
   int applied_at_call() const { return applied_at_; }
@@ -87,11 +137,16 @@ class FaultInjector {
   const std::string& description() const { return description_; }
 
  private:
-  bool try_apply(os::Process& p, std::uint32_t call_site);
+  bool try_apply(os::Process& p, std::uint32_t call_site, std::uint16_t sysno);
+  /// The lifecycle strikes (rotation / teardown / double invalidation);
+  /// they act on machine_->kernel() rather than guest memory.
+  bool apply_lifecycle(os::Process& p, std::uint32_t call_site);
 
   FaultSpec spec_;
+  vm::Machine* machine_ = nullptr;
   os::Personality personality_ = os::Personality::LinuxSim;
   std::vector<std::uint8_t> replay_state_;
+  std::optional<crypto::Key128> rotation_key_;
   bool applied_ = false;
   int applied_at_ = 0;
   int calls_seen_ = 0;

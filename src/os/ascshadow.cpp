@@ -65,6 +65,20 @@ void AscShadow::invalidate_write(int pid, std::uint32_t addr, std::uint32_t len)
   drop_entry(it);
 }
 
+std::optional<AscShadow::Entry> AscShadow::take_pid(int pid) {
+  const auto it = entries_.find(pid);
+  if (it == entries_.end()) return std::nullopt;
+  const Entry e = it->second;
+  entries_.erase(it);
+  ++stats_.invalidations;
+  // Unwatch like any other drop path -- but deliberately no write_back: the
+  // caller owns re-materializing the guest record from trusted state.
+  if (const auto h = hooks_.find(pid); h != hooks_.end() && h->second.unwatch) {
+    h->second.unwatch(e.state_ptr, policy::kPolicyStateSize);
+  }
+  return e;
+}
+
 void AscShadow::flush_pid(int pid) {
   if (const auto it = entries_.find(pid); it != entries_.end()) drop_entry(it);
   drop_hooks(pid);

@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <optional>
 
 namespace asc::os {
 
@@ -103,6 +104,15 @@ class AscShadow {
 
   /// Process teardown / exec: write back, drop the entry and the hooks.
   void flush_pid(int pid);
+
+  /// Health quarantine: unwatch and drop the pid's entry WITHOUT the normal
+  /// write-back, returning it (nullopt when none was live). After an
+  /// internal inconsistency the entry's {last_block, counter} pair can no
+  /// longer be written back wholesale -- the kernel re-materializes the
+  /// guest record itself, under its authoritative per-process nonce (see
+  /// Kernel::evict_fast_paths). Hooks stay: the process is still alive and
+  /// a later re-promotion may install a fresh entry.
+  std::optional<Entry> take_pid(int pid);
 
   /// Key rotation or disabling the fast path: write every dirty record back
   /// (the caller must still hold the OLD key) and drop all entries. Hooks

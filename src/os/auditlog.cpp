@@ -29,6 +29,10 @@ std::string VerdictRecord::to_string() const {
       return "SIGNAL " + detail + ctx;
     case AuditKind::Spawn:
       return "SPAWN " + detail + ctx;
+    case AuditKind::InternalFault:
+      return "INTERNAL " + detail + ctx;
+    case AuditKind::Health:
+      return "HEALTH " + detail + ctx;
   }
   return "?";
 }

@@ -35,10 +35,13 @@ std::string failure_mode_name(FailureMode m);
 
 /// What a structured audit record describes.
 enum class AuditKind : std::uint8_t {
-  Violation,  // the monitor established a policy violation
-  Net,        // outbound network traffic
-  Signal,     // signal sent to another process
-  Spawn,      // program execution request
+  Violation,      // the monitor established a policy violation
+  Net,            // outbound network traffic
+  Signal,         // signal sent to another process
+  Spawn,          // program execution request
+  InternalFault,  // the kernel's OWN bookkeeping failed a self-check -- not
+                  // guest tamper; never counts against the violation budget
+  Health,         // a per-pid health-state transition (see os/health.h)
 };
 
 /// One structured entry of the kernel's security/audit log. Every event

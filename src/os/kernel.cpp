@@ -3,6 +3,7 @@
 // (syscall handlers) lives in os/dispatch.cpp.
 #include "os/kernel.h"
 
+#include "policy/policy.h"
 #include "util/error.h"
 
 namespace asc::os {
@@ -94,12 +95,14 @@ bool Kernel::resolve_indirect(TrapContext& ctx) {
 void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
   // ---- (1) trap layer: capture this call's context ----
   TrapContext ctx = capture_trap(p, call_site);
+  if (stage_hook_) stage_hook_(p, ctx, TrapStage::Trap);
 
   // ---- (2) enforcement layer ----
   // A violation verdict goes to the audit layer, which applies the failure
   // mode; only a kill ends the trap here. A tolerated violation (audit-only
   // / within the violation budget) falls through to normal dispatch.
   MonitorVerdict verdict = monitor_->inspect(p, ctx);
+  if (stage_hook_) stage_hook_(p, ctx, TrapStage::Enforce);
   if (!verdict.allowed()) {
     ctx.verdict = verdict.violation;
     ctx.verdict_detail = verdict.detail;
@@ -124,6 +127,7 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
 
   ctx.charge(p, cost_.handler_base_cost(ctx.effective_id));
   if (p.running) regs[0] = static_cast<std::uint32_t>(ret);
+  if (stage_hook_) stage_hook_(p, ctx, TrapStage::Dispatch);
 
   // Trace exit() too: training-based policies must learn it or they kill
   // every process at termination.
@@ -144,6 +148,170 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
     }
     trace_.push_back(std::move(t));
   }
+
+  // ---- (4) audit layer boundary ----
+  // A killed trap never reaches here (the deny path returned above), so the
+  // Dispatch/Audit stages fire only for traps the guest survived.
+  if (stage_hook_) stage_hook_(p, ctx, TrapStage::Audit);
+}
+
+// ---- per-pid health machine (see os/health.h) ----
+
+HealthState Kernel::health(int pid) const {
+  const auto it = health_.find(pid);
+  return it == health_.end() ? HealthState::Healthy : it->second.state;
+}
+
+const HealthRecord* Kernel::health_record(int pid) const {
+  const auto it = health_.find(pid);
+  return it == health_.end() ? nullptr : &it->second;
+}
+
+void Kernel::report_internal_fault(Process& p, const std::string& detail) {
+  internal_fault(p, nullptr, detail);
+}
+
+void Kernel::health_self_check(Process& p, const TrapContext& ctx) {
+  // Already fully eager: nothing fast-path-resident left to distrust, and
+  // re-reporting the same inconsistency every trap would mask recovery.
+  if (health(p.pid) == HealthState::Quarantined) return;
+
+  // Shadow coherence: the kernel copy's nonce must equal the process's
+  // authoritative counter (the checker updates both in lockstep), and the
+  // shadowed record must still lie inside the address space.
+  if (const AscShadow::Entry* sh = call_shadow_.peek(p.pid); sh != nullptr) {
+    if (sh->counter != p.asc_counter) {
+      internal_fault(p, &ctx,
+                     "shadow nonce " + std::to_string(sh->counter) +
+                         " != process counter " + std::to_string(p.asc_counter));
+      return;
+    }
+    if (!p.mem.in_range(sh->state_ptr, policy::kPolicyStateSize)) {
+      internal_fault(p, &ctx, "shadowed policy state out of address space");
+      return;
+    }
+  }
+
+  // Cache/watch pairing: live entries without range hooks can never be
+  // evicted by a guest write -- their trusted bytes are unguarded.
+  if (call_cache_.size(p.pid) > 0 && !call_cache_.has_range_hooks(p.pid)) {
+    internal_fault(p, &ctx, "verified-call cache entries without range hooks");
+  }
+}
+
+void Kernel::note_verification(Process& p, const TrapContext& ctx, bool clean, bool eager) {
+  const auto it = health_.find(p.pid);
+  if (it == health_.end()) return;  // untracked == Healthy: nothing to earn
+  HealthRecord& h = it->second;
+  if (h.state == HealthState::Healthy) return;
+  if (!clean) {
+    // A genuine violation verdict interrupts the probation streak; the
+    // audit layer separately applies the failure mode to the guest.
+    h.clean_streak = 0;
+    return;
+  }
+  if (h.state == HealthState::Quarantined) {
+    if (!eager) return;  // only fully eager verifications count toward parole
+    ++h.clean_streak;
+    if (h.clean_streak >= h.promote_after) {
+      h.state = HealthState::Degraded;
+      h.clean_streak = 0;
+      ++health_stats_.repromotions;
+      health_event(p, &ctx, AuditKind::Health,
+                   "quarantined -> degraded after " + std::to_string(h.promote_after) +
+                       " clean eager verifications");
+    }
+    return;
+  }
+  // Degraded: the cache may serve hits, but the control-flow check is eager.
+  ++h.clean_streak;
+  if (h.clean_streak >= promote_threshold_) {
+    h.state = HealthState::Healthy;
+    h.clean_streak = 0;
+    ++health_stats_.recoveries;
+    health_event(p, &ctx, AuditKind::Health,
+                 "degraded -> healthy after " + std::to_string(promote_threshold_) +
+                     " clean verifications");
+  }
+}
+
+void Kernel::internal_fault(Process& p, const TrapContext* ctx, const std::string& detail) {
+  HealthRecord& h = health_[p.pid];
+  ++h.internal_faults;
+  ++health_stats_.internal_faults;
+  health_event(p, ctx, AuditKind::InternalFault, detail);
+
+  // The suspect state must go regardless of the resulting level: even a
+  // Healthy->Degraded demotion means the existing fast-path entries were
+  // built by bookkeeping that just failed a self-check.
+  evict_fast_paths(p);
+  h.clean_streak = 0;
+
+  const HealthState before = h.state;
+  switch (before) {
+    case HealthState::Healthy:
+      h.state = HealthState::Degraded;
+      ++health_stats_.degradations;
+      break;
+    case HealthState::Degraded:
+      h.state = HealthState::Quarantined;
+      enter_quarantine(h);
+      break;
+    case HealthState::Quarantined:
+      // Already at the bottom of the lattice: deepen the backoff so the
+      // parole gets longer, but there is nowhere further to demote.
+      enter_quarantine(h);
+      break;
+  }
+  health_event(p, ctx, AuditKind::Health,
+               health_state_name(before) + " -> " + health_state_name(h.state) + ": " +
+                   detail);
+}
+
+void Kernel::enter_quarantine(HealthRecord& h) {
+  ++h.quarantines;
+  ++health_stats_.quarantines;
+  // Exponential backoff: K, 2K, 4K, ... clean eager verifications required,
+  // capped so a long-lived flapping pid can still eventually re-promote.
+  std::uint64_t k = promote_threshold_;
+  for (std::uint32_t i = 1; i < h.quarantines && k < backoff_cap_; ++i) k *= 2;
+  h.promote_after = static_cast<std::uint32_t>(
+      k > backoff_cap_ ? backoff_cap_ : k);
+}
+
+void Kernel::evict_fast_paths(Process& p) {
+  // A live shadow entry holds the ONLY trusted {lastBlock, counter}: the
+  // guest record went stale the moment the entry was installed. Write-back
+  // under the entry's own counter is exactly the state we no longer trust,
+  // so re-materialize under the kernel's authoritative per-process nonce
+  // instead -- the next trap's eager 3.1 check then verifies a coherent
+  // record. take_pid() has already unwatched the range, so these stores do
+  // not re-enter the invalidation path.
+  if (const auto e = call_shadow_.take_pid(p.pid)) {
+    if (key_ && p.mem.in_range(e->state_ptr, policy::kPolicyStateSize)) {
+      const auto msg = policy::encode_policy_state(e->last_block, p.asc_counter);
+      p.cycles += cost_.mac_cost(msg.size());
+      p.mem.w32(e->state_ptr, e->last_block);
+      p.mem.write_bytes(e->state_ptr + 4, key_->mac(msg));
+    }
+  }
+  call_cache_.evict_pid(p.pid);
+}
+
+void Kernel::health_event(Process& p, const TrapContext* ctx, AuditKind kind,
+                          std::string detail) {
+  if (ctx != nullptr) {
+    audit_.event(p, *ctx, kind, std::move(detail), now_ns(p));
+    return;
+  }
+  // Oracle reports arrive outside any trap: synthesize a context-free record.
+  VerdictRecord rec;
+  rec.kind = kind;
+  rec.pid = p.pid;
+  rec.prog = p.name;
+  rec.detail = std::move(detail);
+  rec.vtime_ns = now_ns(p);
+  audit_.append(std::move(rec));
 }
 
 }  // namespace asc::os

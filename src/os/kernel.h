@@ -33,6 +33,7 @@
 #include "os/auditlog.h"
 #include "os/costmodel.h"
 #include "os/fs.h"
+#include "os/health.h"
 #include "os/process.h"
 #include "os/syscalls.h"
 #include "os/sysmonitor.h"
@@ -117,11 +118,62 @@ class Kernel {
   /// Process teardown/exec hook: write back and drop the pid's shadowed
   /// policy state (its Memory is still alive here), then drop every cached
   /// verification, so recycled pids or re-execed images can never inherit
-  /// stale trust.
+  /// stale trust. Idempotent: a second call for the same pid is a no-op,
+  /// which the teardown-mid-verify chaos class relies on.
   void end_process(int pid) {
     call_shadow_.flush_pid(pid);
     call_cache_.evict_pid(pid);
+    health_.erase(pid);
   }
+
+  // ---- per-pid health (self-healing fast-path quarantine) ----
+  // See os/health.h for the state machine and the degradation lattice.
+  /// Current state of `pid` (Healthy when untracked).
+  HealthState health(int pid) const;
+  /// The pid's full record, or nullptr when untracked (inspection surface).
+  const HealthRecord* health_record(int pid) const;
+  /// Kernel-wide transition counters (survive process teardown).
+  const HealthStats& health_stats() const { return health_stats_; }
+  /// Pids with a live health record (must be zero after all processes end).
+  std::size_t tracked_health() const { return health_.size(); }
+  /// Clean eager verifications required to leave Quarantined (K; doubles on
+  /// every re-entry, capped by the backoff cap). Also the Degraded->Healthy
+  /// probation length.
+  void set_health_promote_threshold(std::uint32_t k) {
+    promote_threshold_ = k == 0 ? 1 : k;
+  }
+  std::uint32_t health_promote_threshold() const { return promote_threshold_; }
+  void set_health_backoff_cap(std::uint32_t cap) { backoff_cap_ = cap == 0 ? 1 : cap; }
+  std::uint32_t health_backoff_cap() const { return backoff_cap_; }
+  /// Fast-path gates the enforcement layer consults per trap: the cache
+  /// survives until Quarantined, the shadow only while Healthy.
+  bool fast_path_cache_allowed(int pid) const {
+    return health(pid) != HealthState::Quarantined;
+  }
+  bool fast_path_shadow_allowed(int pid) const {
+    return health(pid) == HealthState::Healthy;
+  }
+  /// An EXTERNAL invariant oracle (chaos engine, tests) detected an
+  /// inconsistency in this pid's kernel bookkeeping: demote its health and
+  /// quarantine its fast paths. Never counts toward the violation budget --
+  /// this is the monitor's defect, not the guest's.
+  void report_internal_fault(Process& p, const std::string& detail);
+  /// Cheap per-trap self-checks of the fast-path bookkeeping (shadow nonce
+  /// coherence, cache/range-hook pairing), run by the ASC monitor before it
+  /// gates the fast paths. Charges no modeled cycles and emits no records on
+  /// clean runs. Demotes on a mismatch.
+  void health_self_check(Process& p, const TrapContext& ctx);
+  /// Outcome of one ASC verification of `pid` (clean = no violation, eager =
+  /// served by neither fast path); drives streak counting and the earned
+  /// re-promotions. Charges no modeled cycles.
+  void note_verification(Process& p, const TrapContext& ctx, bool clean, bool eager);
+
+  /// Stage hook: fires at every TrapStage boundary of on_syscall with the
+  /// in-flight context (chaos/fault injection surface; pass {} to clear).
+  /// The monitor is never on the stack when the hook runs, so hooks may
+  /// rotate keys, tear down the process, or invalidate fast-path entries.
+  using StageHook = std::function<void(Process&, TrapContext&, TrapStage)>;
+  void set_stage_hook(StageHook h) { stage_hook_ = std::move(h); }
 
   // ---- audit layer (graceful degradation + the security log) ----
   AuditLog& audit_log_component() { return audit_; }
@@ -182,6 +234,22 @@ class Kernel {
   /// Audit a non-violation event (net/signal/spawn) with full trap context.
   void log_event(Process& p, const TrapContext& ctx, AuditKind kind, std::string detail);
 
+  // ---- health machine internals (see os/health.h) ----
+  /// Record an internal inconsistency: audit it, evict the pid's fast
+  /// paths, and demote one level. `ctx` may be null (oracle reports arrive
+  /// outside any trap).
+  void internal_fault(Process& p, const TrapContext* ctx, const std::string& detail);
+  /// Drop the pid's cache and shadow state; a live shadow entry is
+  /// re-materialized into guest memory under the authoritative kernel-side
+  /// nonce so eager verification resumes coherently.
+  void evict_fast_paths(Process& p);
+  /// Enter (or deepen) quarantine: doubles the promote threshold per entry.
+  void enter_quarantine(HealthRecord& h);
+  /// Append an InternalFault/Health record (synthesizes a context-free
+  /// record when ctx is null).
+  void health_event(Process& p, const TrapContext* ctx, AuditKind kind,
+                    std::string detail);
+
   // ---- dispatch layer (os/dispatch.cpp) ----
   std::int64_t dispatch(Process& p, TrapContext& ctx);
   std::string read_path(Process& p, std::uint32_t addr);
@@ -209,6 +277,11 @@ class Kernel {
   std::vector<TraceEntry> trace_;
   std::uint64_t vtime_ns_ = 1'000'000'000;  // arbitrary epoch
   SpawnHandler spawn_;
+  StageHook stage_hook_;
+  std::map<int, HealthRecord> health_;
+  HealthStats health_stats_;
+  std::uint32_t promote_threshold_ = 8;
+  std::uint32_t backoff_cap_ = 1024;
 };
 
 }  // namespace asc::os

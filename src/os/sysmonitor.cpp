@@ -34,12 +34,22 @@ MonitorVerdict NullMonitor::inspect(Process& p, TrapContext& ctx) {
 MonitorVerdict AscMonitor::inspect(Process& p, TrapContext& ctx) {
   if (kernel_.key() == nullptr) throw Error("kernel: Asc enforcement without a key");
   if (!ctx.id.has_value()) return unknown_syscall(ctx);
+  // Self-check the fast-path bookkeeping BEFORE gating on it: a detected
+  // inconsistency demotes the pid's health and evicts the suspect state, so
+  // the gates below already reflect the demotion for this very trap.
+  kernel_.health_self_check(p, ctx);
   const CheckResult r = check_authenticated_call(
       p, ctx.call_site, ctx.sysno, signature(*ctx.id), *kernel_.key(), kernel_.cost(),
       kernel_.capability_checking(),
-      kernel_.verified_call_cache() ? &kernel_.call_cache() : nullptr,
-      kernel_.policy_shadow() ? &kernel_.shadow() : nullptr);
+      kernel_.verified_call_cache() && kernel_.fast_path_cache_allowed(p.pid)
+          ? &kernel_.call_cache()
+          : nullptr,
+      kernel_.policy_shadow() && kernel_.fast_path_shadow_allowed(p.pid)
+          ? &kernel_.shadow()
+          : nullptr);
   ctx.charge(p, r.cycles);
+  kernel_.note_verification(p, ctx, r.violation == Violation::None,
+                            !r.cache_hit && !r.shadow_hit);
   return {r.violation, r.detail};
 }
 

@@ -17,6 +17,28 @@
 
 namespace asc::os {
 
+/// The four stage boundaries of the trap pipeline, in execution order. The
+/// kernel's stage hook (Kernel::set_stage_hook) fires at each boundary with
+/// the in-flight context -- the seams where lifecycle chaos (key rotation,
+/// teardown, double invalidation) can be injected mid-trap. A killed trap
+/// ends at Enforce; Dispatch and Audit fire only for calls that proceed.
+enum class TrapStage : std::uint8_t {
+  Trap,      // context captured, before the monitor inspects
+  Enforce,   // monitor verdict in hand, before the failure mode applies
+  Dispatch,  // syscall handler returned, result in r0
+  Audit,     // trap complete (trace recorded), about to return to the guest
+};
+
+inline std::string trap_stage_name(TrapStage s) {
+  switch (s) {
+    case TrapStage::Trap: return "trap";
+    case TrapStage::Enforce: return "enforce";
+    case TrapStage::Dispatch: return "dispatch";
+    case TrapStage::Audit: return "audit";
+  }
+  return "?";
+}
+
 struct TrapContext {
   // ---- captured by the trap layer ----
   int pid = 0;

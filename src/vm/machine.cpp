@@ -1,5 +1,7 @@
 #include "vm/machine.h"
 
+#include <cassert>
+
 #include "isa/isa.h"
 #include "util/error.h"
 #include "vm/cpu.h"
@@ -130,6 +132,12 @@ RunResult Machine::run_internal(const binary::Image& image, const std::vector<st
   // this pid (its address space -- the bytes the cache vouches for -- dies
   // with it).
   kernel_.end_process(p.pid);
+
+  res.final_watch = p.mem.watch_stats();
+  // Teardown must leave zero watched ranges: a leak means an eviction path
+  // (cache, shadow, or quarantine) kept a registration past the process.
+  assert(res.final_watch.live_ranges == 0 &&
+         "process teardown left live watch ranges");
 
   res.exit_code = p.exit_code;
   res.violation = p.violation;

@@ -16,6 +16,7 @@
 #include "binary/image.h"
 #include "os/kernel.h"
 #include "os/process.h"
+#include "vm/memory.h"
 
 namespace asc::vm {
 
@@ -30,6 +31,10 @@ struct RunResult {
   std::uint64_t instructions = 0;
   std::uint64_t syscalls = 0;
   bool cycle_limit_hit = false;
+  /// Watch-range accounting of the process's Memory, captured AFTER kernel
+  /// teardown: live_ranges/live_refs must be zero (every cache/shadow
+  /// registration returned), which the chaos invariant oracles assert.
+  vm::Memory::WatchStats final_watch;
 
   bool killed_by_monitor() const { return violation != os::Violation::None; }
 };

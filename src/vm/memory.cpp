@@ -78,6 +78,7 @@ void Memory::write_bytes(std::uint32_t addr, std::span<const std::uint8_t> bytes
 
 void Memory::watch(std::uint32_t addr, std::uint32_t len) {
   if (len == 0) return;
+  ++watch_registered_;
   for (auto& w : watches_) {
     if (w.addr == addr && w.len == len) {
       ++w.refs;
@@ -85,6 +86,7 @@ void Memory::watch(std::uint32_t addr, std::uint32_t len) {
     }
   }
   watches_.push_back({addr, len, 1});
+  if (watches_.size() > watch_peak_) watch_peak_ = watches_.size();
   if (addr < watch_min_) watch_min_ = addr;
   if (addr + len > watch_max_) watch_max_ = addr + len;
 }
@@ -92,12 +94,23 @@ void Memory::watch(std::uint32_t addr, std::uint32_t len) {
 void Memory::unwatch(std::uint32_t addr, std::uint32_t len) {
   for (auto it = watches_.begin(); it != watches_.end(); ++it) {
     if (it->addr != addr || it->len != len) continue;
+    ++watch_released_;
     if (--it->refs == 0) {
       watches_.erase(it);
       recompute_watch_envelope();
     }
     return;
   }
+}
+
+Memory::WatchStats Memory::watch_stats() const {
+  WatchStats s;
+  s.live_ranges = watches_.size();
+  for (const auto& w : watches_) s.live_refs += w.refs;
+  s.peak_ranges = watch_peak_;
+  s.registered = watch_registered_;
+  s.released = watch_released_;
+  return s;
 }
 
 void Memory::clear_watches() {

@@ -70,6 +70,20 @@ class Memory {
   void clear_watches();
   std::size_t watch_count() const { return watches_.size(); }
 
+  /// Watch-range accounting: the bookkeeping-balance surface the chaos
+  /// engine's invariant oracles audit. After process teardown every
+  /// registration must have been returned (live_ranges == live_refs == 0,
+  /// registered == released) -- a leak here means a cache/shadow eviction
+  /// path forgot to unwatch.
+  struct WatchStats {
+    std::size_t live_ranges = 0;     // distinct ranges currently watched
+    std::uint64_t live_refs = 0;     // sum of refcounts over live ranges
+    std::uint64_t peak_ranges = 0;   // high-water mark of live_ranges
+    std::uint64_t registered = 0;    // watch() calls that took a reference
+    std::uint64_t released = 0;      // unwatch() calls that matched one
+  };
+  WatchStats watch_stats() const;
+
  private:
   struct WatchRange {
     std::uint32_t addr;
@@ -82,6 +96,9 @@ class Memory {
   std::vector<std::uint8_t> bytes_;
   WriteWatchFn on_watched_write_;
   std::vector<WatchRange> watches_;
+  std::uint64_t watch_peak_ = 0;
+  std::uint64_t watch_registered_ = 0;
+  std::uint64_t watch_released_ = 0;
   std::uint32_t watch_min_ = 0xffffffffu;
   std::uint32_t watch_max_ = 0;  // exclusive; 0 = no watches
 };
