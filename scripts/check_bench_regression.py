@@ -21,7 +21,13 @@ Checks, per row matched by "name":
   * table5 rows (parallel install/campaign throughput) must stay
     deterministic and keep modeled_speedup_j8 >= 2.0. Wall-clock columns
     (wall_j*) are host-dependent -- a single-core runner shows no speedup --
-    so they are printed as notes, never gated.
+    so they are printed as notes, never gated;
+  * table7 rows (fleet-scale multi-tenant throughput) must stay
+    deterministic across job counts, report zero invariant-oracle trips,
+    keep modeled_vsps_j8 (verified syscalls per modeled second) from falling
+    more than the tolerance below the baseline, and keep per_tenant_bytes
+    (retained TenantState shard bytes) from growing more than the tolerance.
+    Wall-clock columns are again notes, never gated.
 
 Exit status: 0 = within bounds, 1 = regression, 2 = usage/parse error.
 """
@@ -110,6 +116,44 @@ def main():
                     f"{table}/{name}: modeled speedup at 8 jobs {speedup:.2f}x "
                     f"fell below the {MIN_TABLE5_MODELED_SPEEDUP_J8:.1f}x bar"
                 )
+            for wall in ("wall_j1", "wall_j2", "wall_j8"):
+                if wall in cur:
+                    print(
+                        f"  note: {name}/{wall} = {cur[wall]:.3f}s "
+                        f"(host-dependent, not gated)"
+                    )
+        if table == "table7":
+            if cur.get("deterministic") is not True:
+                failures.append(
+                    f"{table}/{name}: output is NOT deterministic across job "
+                    f"counts -- the audit pipeline broke the byte-identical "
+                    f"contract"
+                )
+            if cur.get("trips", 0) != 0:
+                failures.append(
+                    f"{table}/{name}: {cur['trips']} fleet invariant-oracle "
+                    f"trips (must be zero)"
+                )
+            vsps = cur.get("modeled_vsps_j8")
+            base_vsps = base.get("modeled_vsps_j8")
+            if vsps is not None and base_vsps is not None:
+                floor = base_vsps * (1.0 - tolerance)
+                if vsps < floor:
+                    failures.append(
+                        f"{table}/{name}: modeled throughput {vsps:.0f} "
+                        f"verified-syscalls/s fell more than {tolerance:.0%} "
+                        f"below baseline {base_vsps:.0f}"
+                    )
+            bytes_per = cur.get("per_tenant_bytes")
+            base_bytes = base.get("per_tenant_bytes")
+            if bytes_per is not None and base_bytes is not None:
+                limit = base_bytes * (1.0 + tolerance)
+                if bytes_per > limit:
+                    failures.append(
+                        f"{table}/{name}: per-tenant shard grew to "
+                        f"{bytes_per} bytes, more than {tolerance:.0%} over "
+                        f"baseline {base_bytes}"
+                    )
             for wall in ("wall_j1", "wall_j2", "wall_j8"):
                 if wall in cur:
                     print(

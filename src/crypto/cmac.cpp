@@ -1,5 +1,6 @@
 #include "crypto/cmac.h"
 
+#include <array>
 #include <map>
 #include <mutex>
 
@@ -41,22 +42,34 @@ void xor_into(Block& dst, const Block& src) {
 
 }  // namespace
 
-std::mutex& Cmac::memo_mutex() {
-  static std::mutex mu;
-  return mu;
+/// One shard of the schedule memo. Sharding by key hash keeps concurrent
+/// multi-tenant engine construction contention-light: tenants with distinct
+/// keys almost always lock distinct shards.
+struct Cmac::MemoShard {
+  std::mutex mu;
+  std::map<Key128, std::weak_ptr<const Schedule>> map;
+};
+
+std::array<Cmac::MemoShard, Cmac::kMemoShards>& Cmac::shards() {
+  static std::array<MemoShard, kMemoShards> shards;
+  return shards;
 }
 
-std::map<Key128, std::weak_ptr<const Cmac::Schedule>>& Cmac::memo_map() {
-  static std::map<Key128, std::weak_ptr<const Cmac::Schedule>> memo;
-  return memo;
+Cmac::MemoShard& Cmac::shard_for(const Key128& key) {
+  // FNV-1a over the key bytes; any cheap spread works, the shard choice is
+  // invisible to callers.
+  std::uint64_t h = 1469598103934665603ull;
+  for (const std::uint8_t b : key) h = (h ^ b) * 1099511628211ull;
+  return shards()[h % kMemoShards];
 }
 
 Cmac::Cmac(const Key128& key) {
   // Once-per-key subkey derivation: memoize the schedule so repeated engine
   // construction under the same key (installer + kernel, many experiment
   // iterations) pays the AES key expansion and K1/K2 derivation only once.
-  std::lock_guard<std::mutex> lock(memo_mutex());
-  auto& memo = memo_map();
+  MemoShard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto& memo = shard.map;
   if (auto it = memo.find(key); it != memo.end()) {
     if (auto live = it->second.lock()) {
       sched_ = std::move(live);
@@ -65,7 +78,7 @@ Cmac::Cmac(const Key128& key) {
     memo.erase(it);
   }
   // Sweep nodes whose schedule died before inserting a new one: a workload
-  // rotating through many distinct keys then keeps the memo bounded by the
+  // rotating through many distinct keys then keeps the shard bounded by the
   // number of LIVE keys, not by every key ever seen.
   for (auto it = memo.begin(); it != memo.end();) {
     it = it->second.expired() ? memo.erase(it) : std::next(it);
@@ -80,8 +93,12 @@ Cmac::Cmac(const Key128& key) {
 }
 
 std::size_t Cmac::schedule_memo_size() {
-  std::lock_guard<std::mutex> lock(memo_mutex());
-  return memo_map().size();
+  std::size_t n = 0;
+  for (auto& shard : shards()) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    n += shard.map.size();
+  }
+  return n;
 }
 
 Mac Cmac::compute(std::span<const std::uint8_t> message) const {

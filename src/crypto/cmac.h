@@ -7,6 +7,7 @@
 // installer/kernel key.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -26,10 +27,15 @@ using Mac = Block;
 /// to it (the experiments construct hundreds of installer/kernel pairs
 /// against the same key; re-deriving per engine was pure setup waste).
 ///
-/// Thread safety: the schedule memo is guarded by memo_mutex(); a derived
-/// Schedule is immutable, and compute() only reads it. Concurrent
-/// compute()/mac() calls on engines sharing a key are therefore safe --
-/// the parallel signing phases of the rewriter rely on this.
+/// Thread safety, designed for fleet-scale multi-tenant use: the schedule
+/// memo is SHARDED kMemoShards ways by a hash of the key bytes, each shard
+/// guarded by its own mutex, so thousands of tenant kernels constructing
+/// engines concurrently (staggered key rotations, per-lifecycle System
+/// setup) contend only when their keys land in the same shard -- and only
+/// during construction. A derived Schedule is immutable, and compute() only
+/// reads it, so concurrent compute()/mac() calls on engines sharing a key
+/// are lock-free; the parallel signing phases of the rewriter and the fleet
+/// driver's tenant lifecycles rely on this.
 class Cmac {
  public:
   explicit Cmac(const Key128& key);
@@ -41,14 +47,19 @@ class Cmac {
   /// but cheap to do right).
   static bool equal(const Mac& a, const Mac& b);
 
-  /// Number of memoized key schedules currently tracked (live or awaiting
-  /// the sweep). Test hook: the memo must stay bounded by the live keys.
+  /// Number of memoized key schedules currently tracked across all shards
+  /// (live or awaiting the sweep). Test hook: the memo must stay bounded by
+  /// the live keys.
   static std::size_t schedule_memo_size();
 
+  /// Memo shard count (fixed; test/inspection surface).
+  static constexpr std::size_t kMemoShards = 16;
+
  private:
-  struct Schedule;  // {Aes128, K1, K2}, immutable once derived
-  static std::mutex& memo_mutex();
-  static std::map<Key128, std::weak_ptr<const Schedule>>& memo_map();
+  struct Schedule;   // {Aes128, K1, K2}, immutable once derived
+  struct MemoShard;  // {mutex, map<Key128, weak_ptr<Schedule>>}
+  static MemoShard& shard_for(const Key128& key);
+  static std::array<MemoShard, kMemoShards>& shards();
   std::shared_ptr<const Schedule> sched_;
 };
 

@@ -111,4 +111,17 @@ std::size_t AscCache::size(int pid) const {
   return n;
 }
 
+std::size_t AscCache::approx_bytes() const {
+  std::size_t n = 0;
+  for (const auto& [key, e] : entries_) {
+    n += sizeof(key) + sizeof(e);
+    n += e.material.size();
+    n += e.preds.size() * sizeof(std::uint32_t);
+    n += e.fd_sources.size() * sizeof(std::uint32_t);
+    n += e.patterns.size() * sizeof(policy::PatternRef);
+    n += e.ranges.size() * sizeof(std::pair<std::uint32_t, std::uint32_t>);
+  }
+  return n;
+}
+
 }  // namespace asc::os

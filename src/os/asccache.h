@@ -128,6 +128,10 @@ class AscCache {
 
   std::size_t size() const { return entries_.size(); }
   std::size_t size(int pid) const;
+  /// Approximate retained bytes across all entries (material, pred/range
+  /// vectors, map nodes) -- deterministic capacity-planning surface for the
+  /// per-tenant memory column of the fleet bench, not allocator-exact.
+  std::size_t approx_bytes() const;
 
   const AscCacheStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }

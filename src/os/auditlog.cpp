@@ -47,6 +47,13 @@ void AuditLog::reset() {
   formatted_.clear();
 }
 
+std::size_t AuditLog::approx_bytes() const {
+  std::size_t n = 0;
+  for (const auto& r : records_) n += sizeof(r) + r.prog.size() + r.detail.size();
+  for (const auto& f : formatted_) n += sizeof(f) + f.size();
+  return n;
+}
+
 bool AuditLog::deny(Process& p, const TrapContext& ctx, Violation v, const std::string& detail,
                     std::uint64_t now_ns) {
   ++p.violation_count;

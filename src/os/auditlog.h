@@ -75,6 +75,8 @@ class AuditLog {
   // ---- the two views ----
   const std::vector<VerdictRecord>& records() const { return records_; }
   const std::vector<std::string>& formatted() const { return formatted_; }
+  /// Approximate retained bytes of both views (fleet capacity planning).
+  std::size_t approx_bytes() const;
   /// Append a record to both views.
   void append(VerdictRecord rec);
   /// Clear both views. The single clearing operation of the audit layer.

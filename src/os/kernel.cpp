@@ -23,23 +23,24 @@ void Kernel::install_monitor(std::unique_ptr<SyscallMonitor> monitor) {
 
 void Kernel::set_key(const crypto::Key128& key) {
   // Rotation order matters: dirty shadowed records must be written back
-  // under the OLD key first (the write-back hooks read key_ through the
-  // reference the checker captured), leaving guest memory exactly as the
-  // eager protocol would have -- then no prior verification survives.
-  call_shadow_.flush_all();
-  key_.emplace(key);
+  // under the OLD key first (the write-back hooks read the tenant's key
+  // through the reference the checker captured), leaving guest memory
+  // exactly as the eager protocol would have -- then no prior verification
+  // survives.
+  tenant_.shadow.flush_all();
+  tenant_.key.emplace(key);
   // Key rotation invalidates every cached verification: no prior MAC match
   // says anything under the new key. (Charging note: the AES-CMAC subkey
   // derivation -- cost_.mac_subkey_setup -- is paid here, once per key,
   // which is what lets mac_cost() omit it on the per-call hot path.)
-  call_cache_.clear();
+  tenant_.cache.clear();
 }
 
 void Kernel::set_policy_shadow(bool on) {
   // Turning the fast path off mid-run materializes every live record, so
   // the next trap's slow path verifies a fresh, coherent guest record.
-  if (!on) call_shadow_.flush_all();
-  shadow_enabled_ = on;
+  if (!on) tenant_.shadow.flush_all();
+  tenant_.shadow_enabled = on;
 }
 
 void Kernel::set_monitor_policy(const std::string& program, MonitorPolicy policy) {
@@ -52,7 +53,7 @@ const MonitorPolicy* Kernel::find_monitor_policy(const std::string& program) con
 }
 
 void Kernel::log_event(Process& p, const TrapContext& ctx, AuditKind kind, std::string detail) {
-  audit_.event(p, ctx, kind, std::move(detail), now_ns(p));
+  tenant_.audit.event(p, ctx, kind, std::move(detail), now_ns(p));
 }
 
 TrapContext Kernel::capture_trap(Process& p, std::uint32_t call_site) {
@@ -106,7 +107,7 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
   if (!verdict.allowed()) {
     ctx.verdict = verdict.violation;
     ctx.verdict_detail = verdict.detail;
-    if (audit_.deny(p, ctx, verdict.violation, verdict.detail, now_ns(p))) return;
+    if (tenant_.audit.deny(p, ctx, verdict.violation, verdict.detail, now_ns(p))) return;
   }
 
   auto& regs = p.cpu.regs;
@@ -158,13 +159,13 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
 // ---- per-pid health machine (see os/health.h) ----
 
 HealthState Kernel::health(int pid) const {
-  const auto it = health_.find(pid);
-  return it == health_.end() ? HealthState::Healthy : it->second.state;
+  const auto it = tenant_.health.find(pid);
+  return it == tenant_.health.end() ? HealthState::Healthy : it->second.state;
 }
 
 const HealthRecord* Kernel::health_record(int pid) const {
-  const auto it = health_.find(pid);
-  return it == health_.end() ? nullptr : &it->second;
+  const auto it = tenant_.health.find(pid);
+  return it == tenant_.health.end() ? nullptr : &it->second;
 }
 
 void Kernel::report_internal_fault(Process& p, const std::string& detail) {
@@ -179,7 +180,7 @@ void Kernel::health_self_check(Process& p, const TrapContext& ctx) {
   // Shadow coherence: the kernel copy's nonce must equal the process's
   // authoritative counter (the checker updates both in lockstep), and the
   // shadowed record must still lie inside the address space.
-  if (const AscShadow::Entry* sh = call_shadow_.peek(p.pid); sh != nullptr) {
+  if (const AscShadow::Entry* sh = tenant_.shadow.peek(p.pid); sh != nullptr) {
     if (sh->counter != p.asc_counter) {
       internal_fault(p, &ctx,
                      "shadow nonce " + std::to_string(sh->counter) +
@@ -194,14 +195,14 @@ void Kernel::health_self_check(Process& p, const TrapContext& ctx) {
 
   // Cache/watch pairing: live entries without range hooks can never be
   // evicted by a guest write -- their trusted bytes are unguarded.
-  if (call_cache_.size(p.pid) > 0 && !call_cache_.has_range_hooks(p.pid)) {
+  if (tenant_.cache.size(p.pid) > 0 && !tenant_.cache.has_range_hooks(p.pid)) {
     internal_fault(p, &ctx, "verified-call cache entries without range hooks");
   }
 }
 
 void Kernel::note_verification(Process& p, const TrapContext& ctx, bool clean, bool eager) {
-  const auto it = health_.find(p.pid);
-  if (it == health_.end()) return;  // untracked == Healthy: nothing to earn
+  const auto it = tenant_.health.find(p.pid);
+  if (it == tenant_.health.end()) return;  // untracked == Healthy: nothing to earn
   HealthRecord& h = it->second;
   if (h.state == HealthState::Healthy) return;
   if (!clean) {
@@ -216,7 +217,7 @@ void Kernel::note_verification(Process& p, const TrapContext& ctx, bool clean, b
     if (h.clean_streak >= h.promote_after) {
       h.state = HealthState::Degraded;
       h.clean_streak = 0;
-      ++health_stats_.repromotions;
+      ++tenant_.health_stats.repromotions;
       health_event(p, &ctx, AuditKind::Health,
                    "quarantined -> degraded after " + std::to_string(h.promote_after) +
                        " clean eager verifications");
@@ -225,20 +226,20 @@ void Kernel::note_verification(Process& p, const TrapContext& ctx, bool clean, b
   }
   // Degraded: the cache may serve hits, but the control-flow check is eager.
   ++h.clean_streak;
-  if (h.clean_streak >= promote_threshold_) {
+  if (h.clean_streak >= tenant_.promote_threshold) {
     h.state = HealthState::Healthy;
     h.clean_streak = 0;
-    ++health_stats_.recoveries;
+    ++tenant_.health_stats.recoveries;
     health_event(p, &ctx, AuditKind::Health,
-                 "degraded -> healthy after " + std::to_string(promote_threshold_) +
+                 "degraded -> healthy after " + std::to_string(tenant_.promote_threshold) +
                      " clean verifications");
   }
 }
 
 void Kernel::internal_fault(Process& p, const TrapContext* ctx, const std::string& detail) {
-  HealthRecord& h = health_[p.pid];
+  HealthRecord& h = tenant_.health[p.pid];
   ++h.internal_faults;
-  ++health_stats_.internal_faults;
+  ++tenant_.health_stats.internal_faults;
   health_event(p, ctx, AuditKind::InternalFault, detail);
 
   // The suspect state must go regardless of the resulting level: even a
@@ -251,7 +252,7 @@ void Kernel::internal_fault(Process& p, const TrapContext* ctx, const std::strin
   switch (before) {
     case HealthState::Healthy:
       h.state = HealthState::Degraded;
-      ++health_stats_.degradations;
+      ++tenant_.health_stats.degradations;
       break;
     case HealthState::Degraded:
       h.state = HealthState::Quarantined;
@@ -270,13 +271,13 @@ void Kernel::internal_fault(Process& p, const TrapContext* ctx, const std::strin
 
 void Kernel::enter_quarantine(HealthRecord& h) {
   ++h.quarantines;
-  ++health_stats_.quarantines;
+  ++tenant_.health_stats.quarantines;
   // Exponential backoff: K, 2K, 4K, ... clean eager verifications required,
   // capped so a long-lived flapping pid can still eventually re-promote.
-  std::uint64_t k = promote_threshold_;
-  for (std::uint32_t i = 1; i < h.quarantines && k < backoff_cap_; ++i) k *= 2;
+  std::uint64_t k = tenant_.promote_threshold;
+  for (std::uint32_t i = 1; i < h.quarantines && k < tenant_.backoff_cap; ++i) k *= 2;
   h.promote_after = static_cast<std::uint32_t>(
-      k > backoff_cap_ ? backoff_cap_ : k);
+      k > tenant_.backoff_cap ? tenant_.backoff_cap : k);
 }
 
 void Kernel::evict_fast_paths(Process& p) {
@@ -287,21 +288,21 @@ void Kernel::evict_fast_paths(Process& p) {
   // instead -- the next trap's eager 3.1 check then verifies a coherent
   // record. take_pid() has already unwatched the range, so these stores do
   // not re-enter the invalidation path.
-  if (const auto e = call_shadow_.take_pid(p.pid)) {
-    if (key_ && p.mem.in_range(e->state_ptr, policy::kPolicyStateSize)) {
+  if (const auto e = tenant_.shadow.take_pid(p.pid)) {
+    if (tenant_.key && p.mem.in_range(e->state_ptr, policy::kPolicyStateSize)) {
       const auto msg = policy::encode_policy_state(e->last_block, p.asc_counter);
       p.cycles += cost_.mac_cost(msg.size());
       p.mem.w32(e->state_ptr, e->last_block);
-      p.mem.write_bytes(e->state_ptr + 4, key_->mac(msg));
+      p.mem.write_bytes(e->state_ptr + 4, tenant_.key->mac(msg));
     }
   }
-  call_cache_.evict_pid(p.pid);
+  tenant_.cache.evict_pid(p.pid);
 }
 
 void Kernel::health_event(Process& p, const TrapContext* ctx, AuditKind kind,
                           std::string detail) {
   if (ctx != nullptr) {
-    audit_.event(p, *ctx, kind, std::move(detail), now_ns(p));
+    tenant_.audit.event(p, *ctx, kind, std::move(detail), now_ns(p));
     return;
   }
   // Oracle reports arrive outside any trap: synthesize a context-free record.
@@ -311,7 +312,7 @@ void Kernel::health_event(Process& p, const TrapContext* ctx, AuditKind kind,
   rec.prog = p.name;
   rec.detail = std::move(detail);
   rec.vtime_ns = now_ns(p);
-  audit_.append(std::move(rec));
+  tenant_.audit.append(std::move(rec));
 }
 
 }  // namespace asc::os

@@ -37,6 +37,7 @@
 #include "os/process.h"
 #include "os/syscalls.h"
 #include "os/sysmonitor.h"
+#include "os/tenant.h"
 #include "os/trapcontext.h"
 
 namespace asc::os {
@@ -78,7 +79,7 @@ class Kernel {
   /// Install the MAC key (required for the ASC monitor). In the real system
   /// only the installer and the kernel ever hold this key.
   void set_key(const crypto::Key128& key);
-  const crypto::MacKey* key() const { return key_ ? &*key_ : nullptr; }
+  const crypto::MacKey* key() const { return tenant_.key ? &*tenant_.key : nullptr; }
   /// Policy for the baseline monitors, per program name.
   void set_monitor_policy(const std::string& program, MonitorPolicy policy);
   /// The installed policy for a program, or nullptr.
@@ -95,12 +96,12 @@ class Kernel {
   /// The MAC-verification fast path (os/asccache.h), on by default. When
   /// disabled, every trap performs the full §3.4 verification (the paper's
   /// uncached behavior; benchmarks compare both).
-  void set_verified_call_cache(bool on) { cache_enabled_ = on; }
-  bool verified_call_cache() const { return cache_enabled_; }
-  AscCache& call_cache() { return call_cache_; }
-  const AscCache& call_cache() const { return call_cache_; }
+  void set_verified_call_cache(bool on) { tenant_.cache_enabled = on; }
+  bool verified_call_cache() const { return tenant_.cache_enabled; }
+  AscCache& call_cache() { return tenant_.cache; }
+  const AscCache& call_cache() const { return tenant_.cache; }
   /// Hit/miss/eviction counters of the fast path (stats audit surface).
-  const AscCacheStats& cache_stats() const { return call_cache_.stats(); }
+  const AscCacheStats& cache_stats() const { return tenant_.cache.stats(); }
 
   // ---- policy-state shadow ----
   /// The control-flow fast path (os/ascshadow.h), on by default: the kernel
@@ -109,11 +110,18 @@ class Kernel {
   /// (writes back) every live record first, so the eager §3.2 protocol
   /// resumes coherently mid-run.
   void set_policy_shadow(bool on);
-  bool policy_shadow() const { return shadow_enabled_; }
-  AscShadow& shadow() { return call_shadow_; }
-  const AscShadow& shadow() const { return call_shadow_; }
+  bool policy_shadow() const { return tenant_.shadow_enabled; }
+  AscShadow& shadow() { return tenant_.shadow; }
+  const AscShadow& shadow() const { return tenant_.shadow; }
   /// Hit/invalidation/write-back counters of the shadow, beside cache_stats.
-  const AscShadowStats& shadow_stats() const { return call_shadow_.stats(); }
+  const AscShadowStats& shadow_stats() const { return tenant_.shadow.stats(); }
+
+  // ---- the tenant shard ----
+  /// The whole per-tenant slice of this kernel's state (os/tenant.h): key,
+  /// fast paths, health, audit. One kernel == one tenant; the fleet layer
+  /// holds many kernels and therefore many disjoint shards.
+  TenantState& tenant_state() { return tenant_; }
+  const TenantState& tenant_state() const { return tenant_; }
 
   /// Process teardown/exec hook: write back and drop the pid's shadowed
   /// policy state (its Memory is still alive here), then drop every cached
@@ -121,9 +129,9 @@ class Kernel {
   /// stale trust. Idempotent: a second call for the same pid is a no-op,
   /// which the teardown-mid-verify chaos class relies on.
   void end_process(int pid) {
-    call_shadow_.flush_pid(pid);
-    call_cache_.evict_pid(pid);
-    health_.erase(pid);
+    tenant_.shadow.flush_pid(pid);
+    tenant_.cache.evict_pid(pid);
+    tenant_.health.erase(pid);
   }
 
   // ---- per-pid health (self-healing fast-path quarantine) ----
@@ -133,18 +141,20 @@ class Kernel {
   /// The pid's full record, or nullptr when untracked (inspection surface).
   const HealthRecord* health_record(int pid) const;
   /// Kernel-wide transition counters (survive process teardown).
-  const HealthStats& health_stats() const { return health_stats_; }
+  const HealthStats& health_stats() const { return tenant_.health_stats; }
   /// Pids with a live health record (must be zero after all processes end).
-  std::size_t tracked_health() const { return health_.size(); }
+  std::size_t tracked_health() const { return tenant_.health.size(); }
   /// Clean eager verifications required to leave Quarantined (K; doubles on
   /// every re-entry, capped by the backoff cap). Also the Degraded->Healthy
   /// probation length.
   void set_health_promote_threshold(std::uint32_t k) {
-    promote_threshold_ = k == 0 ? 1 : k;
+    tenant_.promote_threshold = k == 0 ? 1 : k;
   }
-  std::uint32_t health_promote_threshold() const { return promote_threshold_; }
-  void set_health_backoff_cap(std::uint32_t cap) { backoff_cap_ = cap == 0 ? 1 : cap; }
-  std::uint32_t health_backoff_cap() const { return backoff_cap_; }
+  std::uint32_t health_promote_threshold() const { return tenant_.promote_threshold; }
+  void set_health_backoff_cap(std::uint32_t cap) {
+    tenant_.backoff_cap = cap == 0 ? 1 : cap;
+  }
+  std::uint32_t health_backoff_cap() const { return tenant_.backoff_cap; }
   /// Fast-path gates the enforcement layer consults per trap: the cache
   /// survives until Quarantined, the shadow only while Healthy.
   bool fast_path_cache_allowed(int pid) const {
@@ -176,29 +186,29 @@ class Kernel {
   void set_stage_hook(StageHook h) { stage_hook_ = std::move(h); }
 
   // ---- audit layer (graceful degradation + the security log) ----
-  AuditLog& audit_log_component() { return audit_; }
-  const AuditLog& audit_log_component() const { return audit_; }
+  AuditLog& audit_log_component() { return tenant_.audit; }
+  const AuditLog& audit_log_component() const { return tenant_.audit; }
   /// Reaction to an established violation (default: paper-faithful
   /// fail-stop). Budgeted mode kills only when a process exceeds the
   /// violation budget; AuditOnly never kills.
-  void set_failure_mode(FailureMode m) { audit_.set_failure_mode(m); }
-  FailureMode failure_mode() const { return audit_.failure_mode(); }
+  void set_failure_mode(FailureMode m) { tenant_.audit.set_failure_mode(m); }
+  FailureMode failure_mode() const { return tenant_.audit.failure_mode(); }
   /// Violations tolerated per process in Budgeted mode before the kill
   /// (0 = kill on the first violation, same as FailStop).
-  void set_violation_budget(std::uint32_t n) { audit_.set_violation_budget(n); }
-  std::uint32_t violation_budget() const { return audit_.violation_budget(); }
+  void set_violation_budget(std::uint32_t n) { tenant_.audit.set_violation_budget(n); }
+  std::uint32_t violation_budget() const { return tenant_.audit.violation_budget(); }
   /// Structured security/audit log: violation verdicts ("alert the
   /// administrator"), spawn events, network sends, signals.
-  const std::vector<VerdictRecord>& audit_log() const { return audit_.records(); }
+  const std::vector<VerdictRecord>& audit_log() const { return tenant_.audit.records(); }
   /// Append a record to the audit log (and its formatted view).
-  void audit(VerdictRecord rec) { audit_.append(std::move(rec)); }
+  void audit(VerdictRecord rec) { tenant_.audit.append(std::move(rec)); }
   /// Legacy formatted view of the audit log, one line per record.
-  const std::vector<std::string>& event_log() const { return audit_.formatted(); }
+  const std::vector<std::string>& event_log() const { return tenant_.audit.formatted(); }
   /// Clear the audit layer -- both the structured log and the formatted
   /// view, which can never diverge. The trace (below) is a separate,
   /// training-oriented surface and is deliberately not touched: see
   /// os/auditlog.h.
-  void clear_events() { audit_.reset(); }
+  void clear_events() { tenant_.audit.reset(); }
 
   // ---- tracing (training telemetry; not part of the audit layer) ----
   void set_tracing(bool on) { tracing_ = on; }
@@ -264,24 +274,16 @@ class Kernel {
   SimFs fs_;
   Enforcement enforcement_ = Enforcement::Off;
   std::unique_ptr<SyscallMonitor> monitor_;
-  std::optional<crypto::MacKey> key_;
-  AscCache call_cache_;
-  bool cache_enabled_ = true;
-  AscShadow call_shadow_;
-  bool shadow_enabled_ = true;
+  /// The per-tenant shard: key, fast paths, health, audit (os/tenant.h).
+  TenantState tenant_;
   std::map<std::string, MonitorPolicy> monitor_policies_;
   bool capability_checking_ = false;
   bool normalize_paths_ = false;
-  AuditLog audit_;
   bool tracing_ = false;
   std::vector<TraceEntry> trace_;
   std::uint64_t vtime_ns_ = 1'000'000'000;  // arbitrary epoch
   SpawnHandler spawn_;
   StageHook stage_hook_;
-  std::map<int, HealthRecord> health_;
-  HealthStats health_stats_;
-  std::uint32_t promote_threshold_ = 8;
-  std::uint32_t backoff_cap_ = 1024;
 };
 
 }  // namespace asc::os

@@ -1,0 +1,72 @@
+// The per-tenant shard of kernel enforcement state.
+//
+// Everything the kernel tracks on behalf of ONE tenant's guest processes
+// lives here, in a single value type with no hidden global state behind it:
+// the MAC key, the verified-call cache and its enable flag, the policy-state
+// shadow and its enable flag, the per-pid health map with its kernel-wide
+// counters and promotion knobs, and the structured audit log. os::Kernel
+// owns exactly one TenantState and delegates to it, so the single-tenant
+// API is unchanged -- but a fleet of kernels is now, by construction, a
+// fleet of disjoint shards: thousands of tenants can verify system calls
+// concurrently with no shared mutable state at all beyond the process-wide
+// CMAC schedule memo, which is itself sharded and per-shard locked
+// (crypto/cmac.h). fleet::Driver builds on exactly this property.
+//
+// Sharding rationale (why these five and nothing else): each member is
+// keyed by pid or by the tenant's key, never by anything another tenant can
+// name. The pieces of Kernel that stay outside -- personality, cost model,
+// the simulated filesystem, the monitor, trace/tracing, the virtual clock --
+// are configuration or simulation plumbing, not enforcement state; sharing
+// or cloning them is a policy decision the embedder makes per System.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "crypto/cmac.h"
+#include "os/asccache.h"
+#include "os/ascshadow.h"
+#include "os/auditlog.h"
+#include "os/health.h"
+
+namespace asc::os {
+
+struct TenantState {
+  /// The tenant's MAC key (installer/kernel shared secret). Distinct tenants
+  /// hold distinct MacKey instances even under equal key bytes, so rotation
+  /// in one tenant can never invalidate another tenant's verifications.
+  std::optional<crypto::MacKey> key;
+
+  /// MAC-verification fast path (os/asccache.h) and its gate.
+  AscCache cache;
+  bool cache_enabled = true;
+
+  /// Control-flow fast path (os/ascshadow.h) and its gate.
+  AscShadow shadow;
+  bool shadow_enabled = true;
+
+  /// Structured security/audit log; the fleet's aggregated audit pipeline
+  /// drains records() per tenant and merges them in tenant order.
+  AuditLog audit;
+
+  /// Per-pid health lattice (os/health.h) plus tenant-wide counters.
+  std::map<int, HealthRecord> health;
+  HealthStats health_stats;
+  std::uint32_t promote_threshold = 8;
+  std::uint32_t backoff_cap = 1024;
+
+  /// Approximate retained bytes of this shard (capacity-planning surface for
+  /// the Table 7 fleet bench: deterministic, counts the dynamic containers,
+  /// not allocator overhead).
+  std::size_t approx_bytes() const {
+    std::size_t n = sizeof(TenantState);
+    n += cache.approx_bytes();
+    n += shadow.size() * (sizeof(int) + sizeof(AscShadow::Entry));
+    n += audit.approx_bytes();
+    n += health.size() * (sizeof(int) + sizeof(HealthRecord));
+    return n;
+  }
+};
+
+}  // namespace asc::os

@@ -1,0 +1,75 @@
+// The fleet soak (`slow` label): hundreds of tenant lifecycles by default,
+// 10k+ in the nightly (ASC_FLEET_SOAK_TENANTS), replayed at executor widths
+// 1/2/8. Acceptance: zero invariant-oracle trips, every injected tamper
+// fail-stops inside its own shard, and both determinism surfaces (verdict
+// trace, aggregated audit stream) are byte-identical at every width. On
+// failure, the reproducer lines are written to fleet_repro.txt in the
+// test's working directory (uploaded as a CI artifact).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.h"
+#include "util/executor.h"
+
+namespace asc {
+namespace {
+
+int soak_tenants() {
+  const char* env = std::getenv("ASC_FLEET_SOAK_TENANTS");
+  if (env != nullptr) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 300;
+}
+
+void dump_repro(const fleet::FleetResult& r, const std::string& tag) {
+  std::ofstream out("fleet_repro.txt", std::ios::app);
+  out << "== " << tag << " ==\n";
+  for (const auto& t : r.trips) out << t << "\n";
+}
+
+TEST(FleetSoak, StormIsByteIdenticalAtEveryWidthWithZeroTrips) {
+  fleet::FleetConfig cfg;
+  cfg.seed = 20260808;
+  cfg.tenants = soak_tenants();
+  // Tamper a sparse deterministic subset; everyone else must be untouched.
+  for (int t = 13; t < cfg.tenants; t += 41) cfg.tamper_tenants.push_back(t);
+
+  std::vector<fleet::FleetResult> results;
+  for (const int jobs : {1, 2, 8}) {
+    util::Executor exec(jobs);
+    fleet::FleetConfig c = cfg;
+    c.executor = &exec;
+    results.push_back(fleet::Driver(c).run());
+    const fleet::FleetResult& r = results.back();
+    if (!r.ok()) dump_repro(r, "jobs=" + std::to_string(jobs));
+    EXPECT_TRUE(r.ok()) << "jobs=" << jobs << "\n" << r.summary();
+    ASSERT_EQ(r.tenants.size(), static_cast<std::size_t>(cfg.tenants));
+  }
+
+  EXPECT_EQ(results[0].verdict_trace, results[1].verdict_trace)
+      << "jobs=2 diverged from the serial reference";
+  EXPECT_EQ(results[0].verdict_trace, results[2].verdict_trace)
+      << "jobs=8 diverged from the serial reference";
+  EXPECT_EQ(results[0].audit.digest, results[1].audit.digest);
+  EXPECT_EQ(results[0].audit.digest, results[2].audit.digest);
+  EXPECT_EQ(results[0].audit.lines, results[2].audit.lines);
+
+  const fleet::FleetResult& r = results[0];
+  // The storm actually exercised what it claims to.
+  EXPECT_GT(r.rotations, 0);
+  EXPECT_GT(r.swaps, 0);
+  EXPECT_GT(r.respawns, 0);
+  EXPECT_EQ(r.tampered, static_cast<int>(cfg.tamper_tenants.size()));
+  EXPECT_EQ(r.tamper_detected, r.tampered) << "a tamper escaped detection";
+  EXPECT_GT(r.audit.records.size(), 0u);
+  EXPECT_GT(r.total_shard_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace asc
