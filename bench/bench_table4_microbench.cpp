@@ -111,10 +111,13 @@ constexpr int kReps = 12;
 /// Measurement configurations: unmonitored baseline, full §3.4 verification
 /// on every trap (the paper's system), verification with the kernel's
 /// verified-call cache enabled (os/asccache.h; on after the first trap per
-/// site every iteration takes the fast path), and cache plus the
-/// policy-state shadow (os/ascshadow.h; the per-call state MACs collapse to
-/// a shadow transition, lbMAC materialized lazily).
-enum class Mode { Off, Auth, AuthCached, AuthShadow };
+/// site every iteration takes the fast path), cache plus the policy-state
+/// shadow (os/ascshadow.h; the per-call state MACs collapse to a shadow
+/// transition, lbMAC materialized lazily), and the full tier lattice with
+/// the trap-less Inline tier on top (os/tiertable.h; after the promotion
+/// streak each call clears a pre-authorized register/watch probe instead of
+/// the enforcement pipeline).
+enum class Mode { Off, Auth, AuthCached, AuthShadow, AuthInline };
 
 /// Cycles per syscall for one configuration. Subtracts a calibration run
 /// (same loop with no syscall other than exit) so only the per-call cost
@@ -126,8 +129,10 @@ double measure(Call call, Mode mode) {
   for (int rep = 0; rep < kReps; ++rep) {
     System sys(pers, test_key(),
                authenticated ? os::Enforcement::Asc : os::Enforcement::Off);
-    sys.kernel().set_verified_call_cache(mode == Mode::AuthCached || mode == Mode::AuthShadow);
-    sys.kernel().set_policy_shadow(mode == Mode::AuthShadow);
+    sys.kernel().set_verified_call_cache(mode == Mode::AuthCached || mode == Mode::AuthShadow ||
+                                         mode == Mode::AuthInline);
+    sys.kernel().set_policy_shadow(mode == Mode::AuthShadow || mode == Mode::AuthInline);
+    sys.kernel().set_inline_tier(mode == Mode::AuthInline);
     // Seed a data file big enough for kIters full-size reads.
     if (call == Call::Read4k) {
       auto& fs = sys.kernel().fs();
@@ -155,9 +160,9 @@ double measure(Call call, Mode mode) {
 
 void run_table() {
   std::printf("\n=== Table 4: Effect of Authentication (modeled cycles/call) ===\n");
-  std::printf("%-16s %10s %10s %10s %10s %8s %8s %8s %8s | %9s %9s\n", "System Call",
-              "Original", "Auth.", "AuthCache", "AuthShdw", "Ovh(%)", "OvhC(%)", "OvhS(%)",
-              "Redu(%)", "paperAuth", "paperOvh%");
+  std::printf("%-16s %10s %10s %10s %10s %10s %8s %8s %8s %8s %8s | %9s %9s\n", "System Call",
+              "Original", "Auth.", "AuthCache", "AuthShdw", "AuthInl", "Ovh(%)", "OvhC(%)",
+              "OvhS(%)", "OvhI(%)", "Redu(%)", "paperAuth", "paperOvh%");
   FILE* json = std::fopen("BENCH_table4.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"table\": \"table4\",\n"
@@ -169,24 +174,29 @@ void run_table() {
     const double auth = measure(row.call, Mode::Auth);
     const double cached = measure(row.call, Mode::AuthCached);
     const double shadowed = measure(row.call, Mode::AuthShadow);
+    const double inl = measure(row.call, Mode::AuthInline);
     const double ovh = orig > 0 ? (auth - orig) / orig * 100.0 : 0;
     const double ovh_c = orig > 0 ? (cached - orig) / orig * 100.0 : 0;
     const double ovh_s = orig > 0 ? (shadowed - orig) / orig * 100.0 : 0;
+    const double ovh_i = orig > 0 ? (inl - orig) / orig * 100.0 : 0;
     // The headline number the cache is judged on: how much of the
     // authenticated per-call overhead the fast path removes.
     const double redu = auth - orig > 0 ? (auth - cached) / (auth - orig) * 100.0 : 0;
     const double paper_ovh = (row.paper_auth - row.paper_orig) / row.paper_orig * 100.0;
-    std::printf("%-16s %10.0f %10.0f %10.0f %10.0f %7.1f%% %7.1f%% %7.1f%% %7.1f%% | %9.0f %8.1f%%\n",
-                row.name, orig, auth, cached, shadowed, ovh, ovh_c, ovh_s, redu,
+    std::printf("%-16s %10.0f %10.0f %10.0f %10.0f %10.0f %7.1f%% %7.1f%% %7.1f%% %7.1f%% "
+                "%7.1f%% | %9.0f %8.1f%%\n",
+                row.name, orig, auth, cached, shadowed, inl, ovh, ovh_c, ovh_s, ovh_i, redu,
                 row.paper_auth, paper_ovh);
     if (json != nullptr) {
       std::fprintf(json,
                    "%s    {\"name\": \"%s\", \"orig\": %.1f, \"auth\": %.1f, "
-                   "\"auth_cached\": %.1f, \"auth_shadow\": %.1f, \"overhead_pct\": %.2f, "
+                   "\"auth_cached\": %.1f, \"auth_shadow\": %.1f, \"auth_inline\": %.1f, "
+                   "\"overhead_pct\": %.2f, "
                    "\"overhead_cached_pct\": %.2f, \"overhead_shadow_pct\": %.2f, "
+                   "\"overhead_inline_pct\": %.2f, "
                    "\"overhead_reduction_pct\": %.2f}",
-                   first ? "" : ",\n", row.name, orig, auth, cached, shadowed, ovh, ovh_c,
-                   ovh_s, redu);
+                   first ? "" : ",\n", row.name, orig, auth, cached, shadowed, inl, ovh, ovh_c,
+                   ovh_s, ovh_i, redu);
       first = false;
     }
   }
@@ -197,6 +207,8 @@ void run_table() {
   std::printf("(each row: %u calls/loop, %d reps, hi/lo dropped, mean of the rest;\n"
               " read row streams a pre-seeded file; write row appends;\n"
               " AuthCache = verified-call cache on; AuthShdw = cache + policy-state shadow;\n"
+              " AuthInl = full tier lattice incl. the trap-less Inline tier (eligible\n"
+              " side-effect-light calls only; others stay on the Shadowed tier);\n"
               " Redu%% = share of auth overhead the cache removes;\n"
               " machine-readable copy written to BENCH_table4.json)\n",
               kIters, kReps);
@@ -211,7 +223,7 @@ void BM_Table4(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Table4)
-    ->ArgsProduct({{0, 1, 4}, {0, 1, 2, 3}})
+    ->ArgsProduct({{0, 1, 4}, {0, 1, 2, 3, 4}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

@@ -63,9 +63,10 @@ void prepare(os::SimFs& fs) {
 constexpr int kReps = 4;
 
 /// Unmonitored baseline, full per-trap verification, verification with the
-/// kernel's verified-call cache (os/asccache.h), and cache plus the
-/// policy-state shadow (os/ascshadow.h).
-enum class Mode { Off, Auth, AuthCached, AuthShadow };
+/// kernel's verified-call cache (os/asccache.h), cache plus the policy-state
+/// shadow (os/ascshadow.h), and the full tier lattice with the trap-less
+/// Inline tier on top (os/tiertable.h).
+enum class Mode { Off, Auth, AuthCached, AuthShadow, AuthInline };
 
 util::Summary measure(const Bench& b, Mode mode) {
   const bool authenticated = mode != Mode::Off;
@@ -73,8 +74,10 @@ util::Summary measure(const Bench& b, Mode mode) {
   for (int rep = 0; rep < kReps; ++rep) {
     System sys(os::Personality::LinuxSim, test_key(),
                authenticated ? os::Enforcement::Asc : os::Enforcement::Off);
-    sys.kernel().set_verified_call_cache(mode == Mode::AuthCached || mode == Mode::AuthShadow);
-    sys.kernel().set_policy_shadow(mode == Mode::AuthShadow);
+    sys.kernel().set_verified_call_cache(mode == Mode::AuthCached || mode == Mode::AuthShadow ||
+                                         mode == Mode::AuthInline);
+    sys.kernel().set_policy_shadow(mode == Mode::AuthShadow || mode == Mode::AuthInline);
+    sys.kernel().set_inline_tier(mode == Mode::AuthInline);
     prepare(sys.kernel().fs());
     binary::Image img = build(b.program, os::Personality::LinuxSim);
     if (authenticated) img = sys.install(img).image;
@@ -90,9 +93,9 @@ util::Summary measure(const Bench& b, Mode mode) {
 
 void run_table() {
   std::printf("\n=== Tables 5+6: Benchmark suite & performance overhead ===\n");
-  std::printf("%-10s %-12s %12s %12s %12s %12s %8s %8s %8s | %8s\n", "Program", "Type",
-              "Orig(Mcyc)", "Auth(Mcyc)", "Cache(Mcyc)", "Shdw(Mcyc)", "Ovh(%)", "OvhC(%)",
-              "OvhS(%)", "paper(%)");
+  std::printf("%-10s %-12s %12s %12s %12s %12s %12s %8s %8s %8s %8s | %8s\n", "Program",
+              "Type", "Orig(Mcyc)", "Auth(Mcyc)", "Cache(Mcyc)", "Shdw(Mcyc)", "Inl(Mcyc)",
+              "Ovh(%)", "OvhC(%)", "OvhS(%)", "OvhI(%)", "paper(%)");
   FILE* json = std::fopen("BENCH_table6.json", "w");
   if (json != nullptr) {
     std::fprintf(json, "{\n  \"table\": \"table6\",\n"
@@ -101,29 +104,37 @@ void run_table() {
   double sum = 0;
   double sum_cached = 0;
   double sum_shadow = 0;
+  double sum_inline = 0;
   bool first = true;
   for (const Bench& b : kSuite) {
     const auto orig = measure(b, Mode::Off);
     const auto auth = measure(b, Mode::Auth);
     const auto cached = measure(b, Mode::AuthCached);
     const auto shadowed = measure(b, Mode::AuthShadow);
+    const auto inl = measure(b, Mode::AuthInline);
     const double ovh = orig.mean > 0 ? (auth.mean - orig.mean) / orig.mean * 100.0 : 0;
     const double ovh_c = orig.mean > 0 ? (cached.mean - orig.mean) / orig.mean * 100.0 : 0;
     const double ovh_s = orig.mean > 0 ? (shadowed.mean - orig.mean) / orig.mean * 100.0 : 0;
+    const double ovh_i = orig.mean > 0 ? (inl.mean - orig.mean) / orig.mean * 100.0 : 0;
     sum += ovh;
     sum_cached += ovh_c;
     sum_shadow += ovh_s;
-    std::printf("%-10s %-12s %12.2f %12.2f %12.2f %12.2f %7.2f%% %7.2f%% %7.2f%% | %7.2f%%\n",
+    sum_inline += ovh_i;
+    std::printf("%-10s %-12s %12.2f %12.2f %12.2f %12.2f %12.2f %7.2f%% %7.2f%% %7.2f%% "
+                "%7.2f%% | %7.2f%%\n",
                 b.program, b.type, orig.mean / 1e6, auth.mean / 1e6, cached.mean / 1e6,
-                shadowed.mean / 1e6, ovh, ovh_c, ovh_s, b.paper_overhead_pct);
+                shadowed.mean / 1e6, inl.mean / 1e6, ovh, ovh_c, ovh_s, ovh_i,
+                b.paper_overhead_pct);
     if (json != nullptr) {
       std::fprintf(json,
                    "%s    {\"name\": \"%s\", \"type\": \"%s\", \"orig\": %.3f, "
                    "\"auth\": %.3f, \"auth_cached\": %.3f, \"auth_shadow\": %.3f, "
+                   "\"auth_inline\": %.3f, "
                    "\"overhead_pct\": %.3f, \"overhead_cached_pct\": %.3f, "
-                   "\"overhead_shadow_pct\": %.3f}",
+                   "\"overhead_shadow_pct\": %.3f, \"overhead_inline_pct\": %.3f}",
                    first ? "" : ",\n", b.program, b.type, orig.mean / 1e6, auth.mean / 1e6,
-                   cached.mean / 1e6, shadowed.mean / 1e6, ovh, ovh_c, ovh_s);
+                   cached.mean / 1e6, shadowed.mean / 1e6, inl.mean / 1e6, ovh, ovh_c, ovh_s,
+                   ovh_i);
       first = false;
     }
   }
@@ -132,14 +143,15 @@ void run_table() {
     std::fprintf(json,
                  "\n  ],\n  \"mean_overhead_pct\": %.3f,\n"
                  "  \"mean_overhead_cached_pct\": %.3f,\n"
-                 "  \"mean_overhead_shadow_pct\": %.3f\n}\n",
-                 sum / n, sum_cached / n, sum_shadow / n);
+                 "  \"mean_overhead_shadow_pct\": %.3f,\n"
+                 "  \"mean_overhead_inline_pct\": %.3f\n}\n",
+                 sum / n, sum_cached / n, sum_shadow / n, sum_inline / n);
     std::fclose(json);
   }
   std::printf("mean overhead: %.2f%% uncached, %.2f%% with the verified-call cache, "
-              "%.2f%% with cache+shadow\n"
+              "%.2f%% with cache+shadow, %.2f%% with the full tier lattice\n"
               "(paper range 0.73%%-7.92%%; machine-readable copy in BENCH_table6.json)\n",
-              sum / n, sum_cached / n, sum_shadow / n);
+              sum / n, sum_cached / n, sum_shadow / n, sum_inline / n);
 }
 
 void BM_Macro(benchmark::State& state) {
@@ -153,11 +165,12 @@ void BM_Macro(benchmark::State& state) {
   const char* suffix = mode == Mode::Off      ? "/orig"
                        : mode == Mode::Auth   ? "/auth"
                        : mode == Mode::AuthCached ? "/cached"
-                                                  : "/shadow";
+                       : mode == Mode::AuthShadow ? "/shadow"
+                                                  : "/inline";
   state.SetLabel(std::string(b.program) + suffix);
 }
 BENCHMARK(BM_Macro)
-    ->ArgsProduct({{0, 7}, {0, 1, 2, 3}})
+    ->ArgsProduct({{0, 7}, {0, 1, 2, 3, 4}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond);
 

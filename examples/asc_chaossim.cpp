@@ -32,8 +32,12 @@ int usage() {
   std::fprintf(stderr,
                "usage: asc-chaossim [--tenants N] [--seed N] [--jobs N] [--trace]\n"
                "                    [--stages s1,s2,...] [--classes c1,c2,...]\n"
+               "                    [--inline]\n"
+               "--inline: enable the trap-less Inline tier on every tenant kernel\n"
+               "          (widens the class pool with promo-toctou and adds a\n"
+               "          promoting getpid-loop guest)\n"
                "stages: trap enforce dispatch audit\nclasses:");
-  for (const auto c : fault::all_mutation_classes()) {
+  for (const auto c : fault::extended_mutation_classes()) {
     std::fprintf(stderr, " %s", fault::mutation_class_name(c).c_str());
   }
   std::fprintf(stderr, "\n");
@@ -91,6 +95,8 @@ int main(int argc, char** argv) {
         cfg.classes.push_back(*c);
       }
       if (cfg.classes.empty()) return usage();
+    } else if (a == "--inline") {
+      cfg.inline_tier = true;
     } else if (a == "--trace") {
       print_trace = true;
     } else {

@@ -17,12 +17,16 @@
 //                                      (default: ASC_JOBS, else hardware
 //                                      concurrency; verdicts are identical
 //                                      at any job count)
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "apps/libtoy.h"
 #include "core/asc.h"
 #include "fault/campaign.h"
+#include "tasm/assembler.h"
 #include "util/executor.h"
 
 using namespace asc;
@@ -55,6 +59,36 @@ std::vector<fault::GuestProgram> default_guests(os::Personality pers) {
   return {std::move(cat), std::move(vuln)};
 }
 
+// Tight getpid loop whose sites promote to the Inline tier: the target the
+// promo-toctou class needs (it only fires at already-promoted sites).
+fault::GuestProgram loop_guest(os::Personality pers) {
+  using namespace asc::apps;
+  tasm::Assembler a("pidloop");
+  a.func("main");
+  a.subi(SP, 4);
+  a.movi(R11, 64);
+  a.store(SP, 0, R11);
+  a.label(".loop");
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 0);
+  a.jz(".done");
+  a.call("sys_getpid");
+  a.load(R11, SP, 0);
+  a.subi(R11, 1);
+  a.store(SP, 0, R11);
+  a.jmp(".loop");
+  a.label(".done");
+  a.addi(SP, 4);
+  a.movi(R0, 0);
+  a.ret();
+  emit_libc(a, pers);
+  fault::GuestProgram g;
+  g.name = "pidloop";
+  g.image = a.link();
+  g.prepare_fs = prepare_fs;
+  return g;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: asc-faultsim [--seed N] [--runs N] [--class NAME] [--jobs N]\n"
@@ -65,7 +99,7 @@ int usage() {
                "--spec R: replay exactly one reproducer line (repeatable); R is the\n"
                "          [repro ...] token a failing campaign printed\n"
                "classes:");
-  for (const auto c : fault::all_mutation_classes()) {
+  for (const auto c : fault::extended_mutation_classes()) {
     std::fprintf(stderr, " %s", fault::mutation_class_name(c).c_str());
   }
   std::fprintf(stderr, "\n");
@@ -122,7 +156,7 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage();
       bool found = false;
-      for (const auto c : fault::all_mutation_classes()) {
+      for (const auto c : fault::extended_mutation_classes()) {
         if (fault::mutation_class_name(c) == v) {
           cfg.classes.push_back(c);
           found = true;
@@ -135,9 +169,27 @@ int main(int argc, char** argv) {
   }
 
   const auto pers = os::Personality::LinuxSim;
+  // promo-toctou only fires at sites already promoted to the Inline tier, so
+  // when it is in play the campaign kernels get the tier enabled with a low
+  // threshold and the guest set gains a loop guest that actually promotes.
+  const bool wants_promo =
+      std::find(cfg.classes.begin(), cfg.classes.end(),
+                fault::MutationClass::PromoToctou) != cfg.classes.end() ||
+      std::any_of(cfg.explicit_specs.begin(), cfg.explicit_specs.end(),
+                  [](const fault::FaultSpec& s) {
+                    return s.cls == fault::MutationClass::PromoToctou;
+                  });
+  if (wants_promo) {
+    cfg.configure_kernel = [](os::Kernel& k) {
+      k.set_inline_tier(true);
+      k.set_inline_promote_threshold(2);
+    };
+  }
+  std::vector<fault::GuestProgram> guests = default_guests(pers);
+  if (wants_promo) guests.push_back(loop_guest(pers));
   fault::Campaign campaign(cfg);
   fault::CampaignResult total;
-  for (const auto& guest : default_guests(pers)) {
+  for (const auto& guest : guests) {
     std::printf("== %s (seed=%llu, %d runs/class, mode=%s) ==\n", guest.name.c_str(),
                 static_cast<unsigned long long>(cfg.seed), cfg.runs_per_class,
                 os::failure_mode_name(cfg.mode).c_str());

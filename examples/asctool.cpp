@@ -5,11 +5,14 @@
 //   asctool inspect <img.txe>            dump header, sections, symbols
 //   asctool install <in.txe> <out.txe>   analyze + rewrite (prints policies)
 //   asctool run [flags] <img.txe> [args...]     execute under enforcement
-//     --stats                    print the kernel fast-path counters
-//                                (verified-call cache + policy-state shadow)
-//                                as one aligned table
+//     --stats                    print the kernel's tier-lattice counters
+//                                (eager / cached / shadowed / inline hits,
+//                                promotions, demotions by cause) as one
+//                                aligned table
 //     --no-shadow                disable the policy-state shadow; every call
 //                                runs the eager §3.2 state-MAC protocol
+//     --no-inline                disable the trap-less Inline tier (on by
+//                                default); every call traps into the monitor
 //     --jobs N                   (any command) worker threads for the
 //                                installer's parallel analysis/signing
 //                                phases; defaults to the ASC_JOBS
@@ -35,6 +38,7 @@
 
 #include "core/asc.h"
 #include "monitor/ktable.h"
+#include "os/tiertable.h"
 #include "monitor/training.h"
 #include "util/executor.h"
 
@@ -112,6 +116,10 @@ int cmd_install(const std::string& in, const std::string& out) {
 struct RunConfig {
   bool stats = false;
   bool shadow = true;
+  /// Trap-less Inline tier (os/tiertable.h). On by default for asctool runs
+  /// so --stats shows the full lattice; --no-inline pins every call onto the
+  /// trapping tiers, mirroring --no-shadow.
+  bool inline_tier = true;
   os::Enforcement monitor = os::Enforcement::Asc;
   os::FailureMode failure = os::FailureMode::FailStop;
   std::uint32_t budget = 0;
@@ -154,6 +162,7 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
   const binary::Image img = binary::Image::deserialize(read_file(path));
   System sys(os::Personality::LinuxSim, test_key(), cfg.monitor);
   sys.kernel().set_policy_shadow(cfg.shadow);
+  sys.kernel().set_inline_tier(cfg.inline_tier);
   sys.kernel().set_failure_mode(cfg.failure);
   sys.kernel().set_violation_budget(cfg.budget);
   seed_demo_fs(sys.kernel().fs());
@@ -192,20 +201,33 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
               static_cast<unsigned long long>(r.syscalls),
               static_cast<unsigned long long>(r.cycles));
   if (cfg.stats) {
-    // One aligned table for both kernel fast paths. The cache skips the
-    // per-call MAC verification; the shadow skips the per-call state MACs.
-    const auto& cs = sys.kernel().cache_stats();
-    const auto& ss = sys.kernel().shadow_stats();
+    // One aligned table for the whole verification lattice: every verified
+    // call lands in exactly one tier row, so the hit column sums to the
+    // syscall count. Eager and inline have no miss concept (a failed inline
+    // probe demotes the site and the call re-enters as a lower tier).
+    const os::TierStats ts = sys.kernel().tier_stats();
     auto u = [](std::uint64_t v) { return static_cast<unsigned long long>(v); };
-    std::printf("[kernel fast-path stats]\n");
-    std::printf("  %-20s %10s %10s %9s %10s %10s %12s\n", "", "hits", "misses", "hit-rate",
-                "installs", "evictions", "write-backs");
-    std::printf("  %-20s %10llu %10llu %8.1f%% %10llu %10llu %12s\n", "verified-call cache",
-                u(cs.hits), u(cs.misses), cs.hit_rate() * 100.0, u(cs.inserts),
-                u(cs.evictions), "-");
-    std::printf("  %-20s %10llu %10llu %8.1f%% %10llu %10llu %12llu\n", "policy-state shadow",
-                u(ss.hits), u(ss.misses), ss.hit_rate() * 100.0, u(ss.installs),
-                u(ss.invalidations), u(ss.write_backs));
+    auto rate = [](std::uint64_t hit, std::uint64_t miss) {
+      return hit + miss == 0 ? 0.0 : 100.0 * static_cast<double>(hit) /
+                                         static_cast<double>(hit + miss);
+    };
+    std::printf("[kernel tier stats]\n");
+    std::printf("  %-10s %10s %10s %9s\n", "tier", "hits", "misses", "hit-rate");
+    std::printf("  %-10s %10llu %10s %9s\n", "eager", u(ts.eager), "-", "-");
+    std::printf("  %-10s %10llu %10llu %8.1f%%\n", "cached", u(ts.cached),
+                u(ts.cache_misses), rate(ts.cached, ts.cache_misses));
+    std::printf("  %-10s %10llu %10llu %8.1f%%\n", "shadowed", u(ts.shadowed),
+                u(ts.shadow_misses), rate(ts.shadowed, ts.shadow_misses));
+    std::printf("  %-10s %10llu %10s %9s\n", "inline", u(ts.inline_hits), "-", "-");
+    std::printf("  promotions=%llu demotions=%llu", u(ts.promotions),
+                u(ts.demotions_total()));
+    for (std::size_t c = 0; c < os::kNumDemotionCauses; ++c) {
+      if (ts.demotions[c] == 0) continue;
+      std::printf(" %s=%llu",
+                  os::demotion_cause_name(static_cast<os::DemotionCause>(c)).c_str(),
+                  u(ts.demotions[c]));
+    }
+    std::printf("\n");
     // Kernel bookkeeping soundness: at teardown every hooked watch range
     // must have been released, and the health machine must have no residue.
     const auto& w = r.final_watch;
@@ -264,6 +286,8 @@ int main(int argc, char** argv) {
           cfg.stats = true;
         } else if (a == "--no-shadow") {
           cfg.shadow = false;
+        } else if (a == "--no-inline") {
+          cfg.inline_tier = false;
         } else if (a == "--monitor" && i + 1 < ac) {
           if (!parse_monitor_flag(av[++i], &cfg.monitor)) {
             std::fprintf(stderr, "asctool: bad --monitor %s (off|asc|daemon|ktable)\n",
@@ -294,7 +318,8 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: asctool [--jobs N] build <name> <out.txe> | inspect <img.txe> |\n"
                "       install <in.txe> <out.txe> |\n"
-               "       run [--stats] [--no-shadow] [--monitor off|asc|daemon|ktable]\n"
+               "       run [--stats] [--no-shadow] [--no-inline]\n"
+               "           [--monitor off|asc|daemon|ktable]\n"
                "           [--failure-mode fail-stop|budgeted:N|audit-only] <img.txe> [args...]\n"
                "       --jobs N: worker threads for the installer's parallel phases\n"
                "                 (default: ASC_JOBS, else hardware concurrency)\n");

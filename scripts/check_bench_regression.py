@@ -16,8 +16,13 @@ Checks, per row matched by "name":
     never make a call more expensive than the cache alone). Baselines that
     predate the auth_shadow column are tolerated with a note -- only rows
     that carry the column are gated;
+  * auth_inline may never exceed auth_shadow (the trap-less Inline tier must
+    never make a call more expensive than the Shadowed tier it promotes
+    from). Baselines that predate the column are tolerated with a note;
   * table4 rows must keep overhead_reduction_pct >= 30 (the acceptance bar
-    for the verified-call cache);
+    for the verified-call cache), and the getpid() row must keep
+    overhead_inline_pct <= 5 (the Inline tier's acceptance bar: near-zero
+    residual overhead on the paper's worst-case microbenchmark);
   * table5 rows (parallel install/campaign throughput) must stay
     deterministic and keep modeled_speedup_j8 >= 2.0. Wall-clock columns
     (wall_j*) are host-dependent -- a single-core runner shows no speedup --
@@ -35,8 +40,9 @@ Exit status: 0 = within bounds, 1 = regression, 2 = usage/parse error.
 import json
 import sys
 
-COST_FIELDS = ("orig", "auth", "auth_cached", "auth_shadow")
+COST_FIELDS = ("orig", "auth", "auth_cached", "auth_shadow", "auth_inline")
 MIN_TABLE4_REDUCTION_PCT = 30.0
+MAX_TABLE4_GETPID_INLINE_OVERHEAD_PCT = 5.0
 MIN_TABLE5_MODELED_SPEEDUP_J8 = 2.0
 
 
@@ -97,12 +103,35 @@ def main():
                     f"  note: {name}/auth_shadow has no baseline yet "
                     f"(baseline predates the column -- growth not gated)"
                 )
+        if "auth_inline" in cur and "auth_shadow" in cur:
+            if cur["auth_inline"] > cur["auth_shadow"]:
+                failures.append(
+                    f"{table}/{name}: auth_inline ({cur['auth_inline']:.1f}) exceeds "
+                    f"auth_shadow ({cur['auth_shadow']:.1f}) -- the Inline tier made "
+                    f"calls slower than the tier it promotes from"
+                )
+            if "auth_inline" not in base:
+                print(
+                    f"  note: {name}/auth_inline has no baseline yet "
+                    f"(baseline predates the column -- growth not gated)"
+                )
         if table == "table4":
             redu = cur.get("overhead_reduction_pct")
             if redu is not None and redu < MIN_TABLE4_REDUCTION_PCT:
                 failures.append(
                     f"{table}/{name}: overhead reduction {redu:.1f}% fell below "
                     f"the {MIN_TABLE4_REDUCTION_PCT:.0f}% acceptance bar"
+                )
+            inline_ovh = cur.get("overhead_inline_pct")
+            if (
+                name == "getpid()"
+                and inline_ovh is not None
+                and inline_ovh > MAX_TABLE4_GETPID_INLINE_OVERHEAD_PCT
+            ):
+                failures.append(
+                    f"{table}/{name}: inline overhead {inline_ovh:.2f}% exceeds "
+                    f"the {MAX_TABLE4_GETPID_INLINE_OVERHEAD_PCT:.0f}% acceptance "
+                    f"bar for the trap-less tier"
                 )
         if table == "table5":
             if cur.get("deterministic") is not True:

@@ -123,6 +123,7 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
     if (prog.prepare_fs) prog.prepare_fs(sys->kernel().fs());
     for (const auto& [path, img] : helpers) sys->machine().register_program(path, img);
     if (cfg_.cycle_limit != 0) sys->machine().set_cycle_limit(cfg_.cycle_limit);
+    if (cfg_.configure_kernel) cfg_.configure_kernel(sys->kernel());
     return sys;
   };
 

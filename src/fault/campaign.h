@@ -74,6 +74,11 @@ struct CampaignConfig {
   /// serially from the seeded RNG and verdicts are recorded in spec order,
   /// so tallies, matrix, and verdict order are identical at any job count.
   util::Executor* executor = nullptr;
+  /// Applied to every freshly built kernel (clean AND mutated runs) before
+  /// any execution -- e.g. enabling the inline tier with a low promotion
+  /// threshold for the promo-toctou class. Null leaves every run on the
+  /// stock configuration, so legacy campaigns stay byte-identical.
+  std::function<void(os::Kernel&)> configure_kernel;
 };
 
 enum class Outcome : std::uint8_t {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "apps/libtoy.h"
 #include "core/asc.h"
 #include "isa/isa.h"
 #include "policy/descriptor.h"
@@ -62,6 +63,37 @@ struct GuestArtifacts {
   std::vector<std::pair<std::string, binary::Image>> helpers;
   CleanRef clean;
 };
+
+/// Tight getpid loop: the only default guest whose sites actually promote to
+/// the Inline tier, so promo-toctou tampers land inside the trap-less
+/// window. Joined to the pool only when ChaosConfig::inline_tier is set.
+GuestProgram inline_loop_guest(os::Personality p) {
+  using namespace asc::apps;
+  tasm::Assembler a("pidloop");
+  a.func("main");
+  a.subi(SP, 4);
+  a.movi(R11, 48);
+  a.store(SP, 0, R11);
+  a.label(".loop");
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 0);
+  a.jz(".done");
+  a.call("sys_getpid");
+  a.load(R11, SP, 0);
+  a.subi(R11, 1);
+  a.store(SP, 0, R11);
+  a.jmp(".loop");
+  a.label(".done");
+  a.addi(SP, 4);
+  a.movi(R0, 0);
+  a.ret();
+  emit_libc(a, p);
+  GuestProgram g;
+  g.name = "pidloop";
+  g.image = a.link();
+  g.prepare_fs = chaos_fs;
+  return g;
+}
 
 }  // namespace
 
@@ -141,8 +173,11 @@ std::string ChaosResult::summary() const {
 }
 
 ChaosResult ChaosEngine::run() {
-  const std::vector<GuestProgram> pool =
+  std::vector<GuestProgram> pool =
       cfg_.guests.empty() ? default_chaos_guests(cfg_.personality) : cfg_.guests;
+  if (cfg_.inline_tier && cfg_.guests.empty()) {
+    pool.push_back(inline_loop_guest(cfg_.personality));
+  }
   if (pool.empty()) throw Error("chaos: empty guest pool");
 
   // ---- install every guest once, harvest clean references serially ----
@@ -188,7 +223,12 @@ ChaosResult ChaosEngine::run() {
     if (calls == 0) throw Error("chaos: " + pool[g].name + " makes no system calls");
   }
 
-  const auto classes = cfg_.classes.empty() ? all_mutation_classes() : cfg_.classes;
+  // With the inline tier on, the default Tamper pool widens to the extended
+  // class list (promo-toctou included); the legacy default stays byte-stable.
+  const auto classes = !cfg_.classes.empty()
+                           ? cfg_.classes
+                           : (cfg_.inline_tier ? extended_mutation_classes()
+                                               : all_mutation_classes());
   const auto stage_pool = cfg_.stages.empty() ? all_trap_stages() : cfg_.stages;
   const util::Rng root(cfg_.seed);
 
@@ -224,6 +264,10 @@ ChaosResult ChaosEngine::run() {
     if (mode == os::FailureMode::Budgeted) sys.kernel().set_violation_budget(2);
     sys.kernel().set_health_promote_threshold(cfg_.promote_threshold);
     sys.kernel().set_health_backoff_cap(cfg_.backoff_cap);
+    if (cfg_.inline_tier) {
+      sys.kernel().set_inline_tier(true);
+      sys.kernel().set_inline_promote_threshold(2);
+    }
     for (const auto& [path, img] : art.helpers) sys.machine().register_program(path, img);
     sys.machine().set_cycle_limit(cfg_.cycle_limit);
 
@@ -270,6 +314,9 @@ ChaosResult ChaosEngine::run() {
       }
       if (sys.kernel().tracked_health() != 0) {
         trip(std::string(where) + ": health records for dead pids");
+      }
+      if (sys.kernel().inline_sites() != 0) {
+        trip(std::string(where) + ": inline sites for dead pids");
       }
     };
 

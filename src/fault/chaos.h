@@ -74,6 +74,12 @@ struct ChaosConfig {
   std::vector<GuestProgram> guests;
   /// Executor the lifecycles fan out over (nullptr = process-global pool).
   util::Executor* executor = nullptr;
+  /// Enable the trap-less Inline tier (os/tiertable.h) on every tenant
+  /// kernel, with a low promotion threshold so sites promote within a run.
+  /// Widens the default Tamper class pool with promo-toctou and adds a
+  /// getpid-loop guest to the default pool (the workload that actually
+  /// promotes). Off by default: legacy chaos streams stay byte-identical.
+  bool inline_tier = false;
 };
 
 /// One tenant lifecycle, classified.

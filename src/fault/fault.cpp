@@ -25,6 +25,7 @@ std::string mutation_class_name(MutationClass c) {
     case MutationClass::RotationDuringTrap: return "rotation-during-trap";
     case MutationClass::TeardownMidVerify: return "teardown-mid-verify";
     case MutationClass::DoubleInvalidation: return "double-invalidation";
+    case MutationClass::PromoToctou: return "promo-toctou";
     case MutationClass::kCount: break;
   }
   return "?";
@@ -33,13 +34,22 @@ std::string mutation_class_name(MutationClass c) {
 std::vector<MutationClass> all_mutation_classes() {
   std::vector<MutationClass> out;
   for (std::size_t i = 0; i < kNumMutationClasses; ++i) {
+    const auto c = static_cast<MutationClass>(i);
+    if (c != MutationClass::PromoToctou) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<MutationClass> extended_mutation_classes() {
+  std::vector<MutationClass> out;
+  for (std::size_t i = 0; i < kNumMutationClasses; ++i) {
     out.push_back(static_cast<MutationClass>(i));
   }
   return out;
 }
 
 std::optional<MutationClass> mutation_class_from_name(const std::string& name) {
-  for (const auto c : all_mutation_classes()) {
+  for (const auto c : extended_mutation_classes()) {
     if (mutation_class_name(c) == name) return c;
   }
   return std::nullopt;
@@ -158,10 +168,17 @@ const std::vector<os::Violation>& expected_violations(MutationClass c) {
   // verification resumes over coherently materialized records, so ANY
   // audited violation is a wrong verdict.
   static const std::vector<os::Violation> benign{};
+  // PromoToctou strikes only at a site already promoted to the Inline tier;
+  // the write watch demotes it, so the flip is detected by the full pipeline
+  // at whichever structure it hit (call MAC or policy-state record).
+  static const std::vector<os::Violation> promo{os::Violation::BadCallMac,
+                                                os::Violation::BadPolicyState};
   switch (c) {
     case MutationClass::AsBodyCorrupt:
     case MutationClass::PredSetCorrupt:
       return string_arg;
+    case MutationClass::PromoToctou:
+      return promo;
     case MutationClass::CacheToctou:
       return toctou;
     case MutationClass::PolicyStateCorrupt:
@@ -477,6 +494,34 @@ bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site, std::uint
       // only bytes 1.. are guaranteed to hold the materialized trusted
       // record a flip is guaranteed to diverge from.
       flip_bit(lb, policy::kPolicyStateSize, "shadow-toctou", 1);
+      return true;
+    }
+
+    case MutationClass::PromoToctou: {
+      // Time-of-check-to-time-of-use against the Inline tier: strike ONLY at
+      // a (pid, site) the lattice has already promoted to trap-less
+      // execution -- the exact window where a naive implementation would
+      // skip verification outright. The site's own write watch must demote
+      // it BEFORE the tamper lands, so the very next call at the site
+      // re-enters the full pipeline and fail-stops there.
+      if (machine_ == nullptr ||
+          !machine_->kernel().inline_site_promoted(p.pid, call_site)) {
+        return false;
+      }
+      if (seed % 2 == 0) {
+        const std::uint32_t mac_ptr = regs[isa::kRegCallMac];
+        if (!p.mem.in_range(mac_ptr, 16)) return false;
+        flip_bit(mac_ptr, 16, "promo-toctou(call-mac)");
+        return true;
+      }
+      if (!des.control_flow_constrained()) return false;
+      const std::uint32_t lb = regs[isa::kRegStatePtr];
+      if (!p.mem.in_range(lb, policy::kPolicyStateSize)) return false;
+      // Same discipline as ShadowToctou: the touch write materializes the
+      // shadowed record (and demotes the site), then the flip past byte 0
+      // diverges from the trusted bytes for certain.
+      p.mem.w8(lb, p.mem.r8(lb));
+      flip_bit(lb, policy::kPolicyStateSize, "promo-toctou(policy-state)", 1);
       return true;
     }
 

@@ -55,6 +55,12 @@ enum class MutationClass : std::uint8_t {
   DoubleInvalidation,  // evict the pid's shadow entry and cache entries
                        // TWICE back-to-back (lifecycle: double-free-shaped
                        // bookkeeping bug; must be benign)
+  PromoToctou,         // tamper with the call bytes or the policy-state
+                       // record of a (pid, site) ALREADY promoted to the
+                       // trap-less Inline tier (attacks the tier lattice's
+                       // promotion window: the write watch must demote the
+                       // site before the tamper lands, so the next call
+                       // re-enters the full pipeline and fail-stops)
   kCount,
 };
 
@@ -62,7 +68,13 @@ inline constexpr std::size_t kNumMutationClasses =
     static_cast<std::size_t>(MutationClass::kCount);
 
 std::string mutation_class_name(MutationClass c);
+/// The default campaign/chaos pool: every class that applies to a stock
+/// kernel. PromoToctou is excluded -- it needs the inline tier enabled and a
+/// promoted site, so campaigns opt in via `classes` -- which also keeps the
+/// per-class RNG substreams of every legacy campaign byte-stable.
 std::vector<MutationClass> all_mutation_classes();
+/// Every class including the opt-in ones (CLI listings, name parsing).
+std::vector<MutationClass> extended_mutation_classes();
 /// Inverse of mutation_class_name (nullopt for an unknown name).
 std::optional<MutationClass> mutation_class_from_name(const std::string& name);
 

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "apps/libtoy.h"
 #include "core/asc.h"
 #include "fault/fault.h"
+#include "tasm/assembler.h"
 #include "util/error.h"
 #include "util/executor.h"
 #include "util/rng.h"
@@ -42,6 +44,37 @@ struct GuestArtifacts {
   std::vector<std::pair<std::string, binary::Image>> helpers;
   CleanRef clean;
 };
+
+/// Tight getpid loop: the only fleet guest whose sites actually promote to
+/// the Inline tier. Joined to the default pool when FleetConfig::inline_tier
+/// is set, so respawn churn exercises tier-state teardown at fleet scale.
+fault::GuestProgram fleet_loop_guest(os::Personality p) {
+  using namespace asc::apps;
+  tasm::Assembler a("pidloop");
+  a.func("main");
+  a.subi(SP, 4);
+  a.movi(R11, 48);
+  a.store(SP, 0, R11);
+  a.label(".loop");
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 0);
+  a.jz(".done");
+  a.call("sys_getpid");
+  a.load(R11, SP, 0);
+  a.subi(R11, 1);
+  a.store(SP, 0, R11);
+  a.jmp(".loop");
+  a.label(".done");
+  a.addi(SP, 4);
+  a.movi(R0, 0);
+  a.ret();
+  emit_libc(a, p);
+  fault::GuestProgram g;
+  g.name = "pidloop";
+  g.image = a.link();
+  g.prepare_fs = fleet_fs;
+  return g;
+}
 
 std::uint64_t fnv1a(std::uint64_t h, const std::string& s) {
   for (const char c : s) {
@@ -148,8 +181,11 @@ std::string FleetResult::summary() const {
 }
 
 FleetResult Driver::run() {
-  const std::vector<fault::GuestProgram> pool =
+  std::vector<fault::GuestProgram> pool =
       cfg_.guests.empty() ? default_fleet_guests(cfg_.personality) : cfg_.guests;
+  if (cfg_.inline_tier && cfg_.guests.empty()) {
+    pool.push_back(fleet_loop_guest(cfg_.personality));
+  }
   if (pool.empty()) throw Error("fleet: empty guest pool");
   if (cfg_.tenants <= 0) throw Error("fleet: tenants must be positive");
 
@@ -213,6 +249,10 @@ FleetResult Driver::run() {
     System sys(cfg_.personality);
     for (const auto& [path, img] : art.helpers) sys.machine().register_program(path, img);
     sys.machine().set_cycle_limit(cfg_.cycle_limit);
+    if (cfg_.inline_tier) {
+      sys.kernel().set_inline_tier(true);
+      sys.kernel().set_inline_promote_threshold(2);
+    }
 
     auto trip = [&](const std::string& what) {
       tv.trips.push_back("tenant " + std::to_string(tenant) + " (" + tv.guest + ", " +
@@ -258,6 +298,9 @@ FleetResult Driver::run() {
       }
       if (sys.kernel().tracked_health() != 0) {
         trip(std::string(where) + ": health records for dead pids");
+      }
+      if (sys.kernel().inline_sites() != 0) {
+        trip(std::string(where) + ": inline sites for dead pids");
       }
     };
 

@@ -67,6 +67,14 @@ struct FleetConfig {
   std::vector<fault::GuestProgram> guests;
   /// Executor the lifecycles fan out over (nullptr = process-global pool).
   util::Executor* executor = nullptr;
+  /// Enable the trap-less Inline tier (os/tiertable.h) on every tenant
+  /// kernel, with a low promotion threshold so sites promote within a run,
+  /// and add a getpid-loop guest to the default pool (the workload that
+  /// actually promotes). The post-run oracles then also assert every
+  /// tenant's tier table holds zero inline sites between runs -- respawn
+  /// churn must tear tier state all the way down. Off by default: legacy
+  /// fleet streams stay byte-identical.
+  bool inline_tier = false;
 };
 
 /// One tenant lifecycle, classified. The per-tenant row of the fleet.

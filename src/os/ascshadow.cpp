@@ -24,6 +24,11 @@ const AscShadow::Entry* AscShadow::peek(int pid) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
+AscShadow::Entry* AscShadow::peek_mut(int pid) {
+  const auto it = entries_.find(pid);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
 void AscShadow::drop_entry(std::map<int, Entry>::iterator it) {
   // Take the entry out of the map FIRST: the write-back stores into guest
   // memory, and any watch callback that fires during them must find the

@@ -123,6 +123,10 @@ class AscShadow {
   bool has(int pid) const { return entries_.count(pid) != 0; }
   /// The entry for `pid` regardless of state_ptr (inspection; no stats).
   const Entry* peek(int pid) const;
+  /// Mutable no-stats access for the inline tier's pre-authorized probe,
+  /// which advances {last_block, counter} exactly like a hit but must not
+  /// perturb the hit/miss counters the stats table reports per tier.
+  Entry* peek_mut(int pid);
 
   const AscShadowStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }

@@ -36,25 +36,20 @@ crypto::Mac read_mac(const vm::Memory& mem, std::uint32_t addr) {
   return m;
 }
 
-/// Install the shared write-watch callback on first use: one callback per
-/// Memory, dispatching to BOTH fast-path invalidators (each scans only its
-/// own ranges). The shadow goes first so its write-back lands before the
-/// cache eviction scan runs over the final bytes.
-void ensure_write_watch(Process& p, AscCache* cache, AscShadow* shadow) {
-  if (p.mem.has_write_watch()) return;
-  p.mem.set_write_watch(
-      [cache, shadow, pid = p.pid](std::uint32_t addr, std::uint32_t len) {
-        if (shadow != nullptr) shadow->invalidate_write(pid, addr, len);
-        if (cache != nullptr) cache->invalidate_write(pid, addr, len);
-      });
-}
-
 }  // namespace
 
 CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::uint16_t sysno,
-                                     const SyscallSig& sig, const crypto::MacKey& key,
-                                     const CostModel& cost, bool capability_checking,
-                                     AscCache* cache, AscShadow* shadow) {
+                                     SysId id, const SyscallSig& sig,
+                                     const crypto::MacKey& key, const CostModel& cost,
+                                     bool capability_checking, TierTable* tiers,
+                                     bool use_cache, bool use_shadow) {
+  // The lattice's write-watch invalidation spine (os/tiertable.h) replaced
+  // the checker-local callback: every fast path shares ONE per-process
+  // watch, so the gating below decides only what each tier SERVES.
+  AscCache* cache =
+      (tiers != nullptr && use_cache && tiers->cache_enabled()) ? &tiers->cache() : nullptr;
+  AscShadow* shadow =
+      (tiers != nullptr && use_shadow && tiers->shadow_enabled()) ? &tiers->shadow() : nullptr;
   CheckResult res;
   res.cycles = cost.check_fixed;
   auto fail = [&](Violation v, std::string detail) {
@@ -130,6 +125,7 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
     std::vector<policy::PatternRef> patterns;
     const AscCache::Key ckey{p.pid, call_site, des.bits(), block_id};
     std::vector<std::uint8_t> material;
+    const AscCache::Entry* cache_entry = nullptr;  // the entry a hit reused
     if (cache != nullptr) {
       auto append = [&material](std::span<const std::uint8_t> bytes) {
         const auto n = static_cast<std::uint32_t>(bytes.size());
@@ -156,6 +152,7 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
         preds = e->preds;
         fd_sources = e->fd_sources;
         patterns = e->patterns;
+        cache_entry = e;
       }
     }
 
@@ -217,7 +214,7 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
           entry.ranges.emplace_back(pred_as.addr - policy::kAsHeaderSize,
                                     pred_as.len + policy::kAsHeaderSize);
         }
-        ensure_write_watch(p, cache, shadow);
+        tiers->ensure_write_watch(p);
         if (!cache->has_range_hooks(p.pid)) {
           // Range hooks let the cache return an evicted entry's watch ranges
           // to this Memory; dropped again at teardown (Kernel::end_process),
@@ -285,7 +282,7 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
         // From the next trap on, 3.1-3.5 run against the kernel copy and the
         // guest record goes stale until an invalidation writes it back.
         if (shadow != nullptr) {
-          ensure_write_watch(p, cache, shadow);
+          tiers->ensure_write_watch(p);
           if (!shadow->has_hooks(p.pid)) {
             shadow->set_hooks(
                 p.pid,
@@ -363,6 +360,44 @@ CheckResult check_authenticated_call(Process& p, std::uint32_t call_site, std::u
         if (!policy::verify_match(pattern, actual, hint)) {
           return fail(Violation::BadPattern, std::string(sig.name) + "(" + actual +
                                                  ") fails pattern \"" + pattern + "\"");
+        }
+      }
+    }
+
+    // ---- lattice bookkeeping: a fully clean verification completed ----
+    if (tiers != nullptr) {
+      if (!res.cache_hit && !res.shadow_hit) tiers->count_eager();
+      // Promotion evidence for the trap-less Inline tier: both fast paths
+      // served an eligible side-effect-light call whose every verified
+      // input the probe can re-check from registers and the shadow. Sites
+      // with authenticated-string, capability, or pattern obligations never
+      // qualify -- those checks must run on every call.
+      if (res.cache_hit && res.shadow_hit && tiers->inline_enabled() &&
+          inline_eligible(id) && patterns.empty() && fd_sources.empty() &&
+          cache_entry != nullptr) {
+        bool plain_args = true;
+        for (int i = 0; i < sig.arity; ++i) {
+          plain_args = plain_args && !des.arg_is_authenticated_string(i);
+        }
+        if (plain_args) {
+          TierTable::InlineCandidate cand;
+          cand.sysno = sysno;
+          cand.id = id;
+          cand.descriptor = des.bits();
+          cand.block_id = block_id;
+          cand.pred_body = pred_body;
+          cand.state_ptr = lb_ptr;
+          cand.mac_ptr = mac_ptr;
+          for (int i = 0; i < sig.arity; ++i) {
+            if (des.arg_constrained(i)) {
+              cand.const_args.emplace_back(static_cast<std::uint8_t>(1 + i),
+                                           regs[1 + static_cast<std::size_t>(i)]);
+            }
+          }
+          cand.preds = preds;
+          cand.ranges = cache_entry->ranges;
+          cand.ranges.emplace_back(lb_ptr, policy::kPolicyStateSize);
+          tiers->note_clean_site(p, call_site, std::move(cand));
         }
       }
     }

@@ -83,6 +83,16 @@ struct CostModel {
   // charged as a full mac_cost at write-back time instead (os/ascshadow.h).
   std::uint64_t shadow_hit_fixed = 40;
 
+  // ---- inline tier (trap-less pre-authorized fast path) ----
+  // A promoted (pid, site) skips the whole enforce->audit pipeline behind a
+  // register/shadow snapshot compare: no monitor dispatch, no checker entry,
+  // no audit hand-off. What remains per call is the probe itself -- a map
+  // lookup plus a handful of register equality tests. The trap cost is
+  // STILL charged (the simulated CPU has no trampoline to patch over the
+  // SYSCALL instruction), so the Table 4 `auth_inline` column reports the
+  // honest residual overhead of the probe, not a free lunch.
+  std::uint64_t inline_hit_fixed = 25;
+
   // ---- baseline monitors (ablations) ----
   // User-space policy daemon (Systrace/Ostia style): two extra context
   // switches plus a policy table lookup in the daemon.
@@ -142,6 +152,10 @@ struct CostModel {
   /// Modeled cost of a policy-state shadow hit (replaces both state
   /// mac_costs of the §3.2 online memory checker on the hit path).
   std::uint64_t shadow_hit_cost() const { return shadow_hit_fixed; }
+
+  /// Modeled cost of an inline-tier hit: the pre-authorized probe standing
+  /// in for the entire enforcement pipeline (charged on top of `trap`).
+  std::uint64_t inline_hit_cost() const { return inline_hit_fixed; }
 
   std::uint64_t handler_base_cost(SysId id) const {
     switch (id) {

@@ -12,35 +12,41 @@ Kernel::Kernel(Personality personality, CostModel cost)
     : personality_(personality), cost_(cost), monitor_(std::make_unique<NullMonitor>()) {}
 
 void Kernel::set_enforcement(Enforcement e) {
+  // Any monitor swap revokes every inline promotion: the new monitor has
+  // inspected none of the promoted sites' traps.
+  tenant_.tiers.on_monitor_swap();
   enforcement_ = e;
   monitor_ = make_monitor(e, *this);
+  asc_monitor_ = (e == Enforcement::Asc);
 }
 
 void Kernel::install_monitor(std::unique_ptr<SyscallMonitor> monitor) {
   if (monitor == nullptr) throw Error("kernel: install_monitor(nullptr)");
+  tenant_.tiers.on_monitor_swap();
   monitor_ = std::move(monitor);
+  // A custom monitor (even a chain containing AscMonitor) must see every
+  // trap, so the trap-less probe stands down until set_enforcement(Asc).
+  asc_monitor_ = false;
 }
 
 void Kernel::set_key(const crypto::Key128& key) {
-  // Rotation order matters: dirty shadowed records must be written back
-  // under the OLD key first (the write-back hooks read the tenant's key
-  // through the reference the checker captured), leaving guest memory
-  // exactly as the eager protocol would have -- then no prior verification
-  // survives.
-  tenant_.shadow.flush_all();
+  // Rotation order matters: the lattice demotes every inline site and
+  // writes dirty shadowed records back under the OLD key first (the
+  // write-back hooks read the tenant's key through the reference the
+  // checker captured), leaving guest memory exactly as the eager protocol
+  // would have -- then no prior verification survives.
+  tenant_.tiers.on_key_rotation();
   tenant_.key.emplace(key);
-  // Key rotation invalidates every cached verification: no prior MAC match
-  // says anything under the new key. (Charging note: the AES-CMAC subkey
-  // derivation -- cost_.mac_subkey_setup -- is paid here, once per key,
-  // which is what lets mac_cost() omit it on the per-call hot path.)
-  tenant_.cache.clear();
+  // (Charging note: the AES-CMAC subkey derivation -- cost_.mac_subkey_setup
+  // -- is paid here, once per key, which is what lets mac_cost() omit it on
+  // the per-call hot path.)
 }
 
 void Kernel::set_policy_shadow(bool on) {
   // Turning the fast path off mid-run materializes every live record, so
-  // the next trap's slow path verifies a fresh, coherent guest record.
-  if (!on) tenant_.shadow.flush_all();
-  tenant_.shadow_enabled = on;
+  // the next trap's slow path verifies a fresh, coherent guest record. The
+  // inline tier rides on the shadow, so its sites demote too.
+  tenant_.tiers.set_shadow_enabled(on);
 }
 
 void Kernel::set_monitor_policy(const std::string& program, MonitorPolicy policy) {
@@ -94,6 +100,48 @@ bool Kernel::resolve_indirect(TrapContext& ctx) {
 }
 
 void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
+  // ---- (0) Inline tier: the trap-less pre-authorized path ----
+  // A promoted (pid, site) whose live registers and shadowed control-flow
+  // state still match its verified snapshot skips the whole
+  // enforce->audit pipeline: just the trap cost, the pre-authorized probe,
+  // and the handler. Any mismatch demoted the site inside try_inline and we
+  // fall through to the full pipeline, which re-verifies every MAC --
+  // tamper fail-stops there, never here.
+  if (asc_monitor_ && tenant_.tiers.inline_enabled()) {
+    if (const TierTable::InlineSite* site = tenant_.tiers.try_inline(p, call_site)) {
+      TrapContext ctx;
+      ctx.charge(p, cost_.trap + cost_.inline_hit_cost());
+      ++p.syscall_count;
+      const auto& regs = p.cpu.regs;
+      ctx.pid = p.pid;
+      ctx.call_site = call_site;
+      ctx.sysno = site->sysno;
+      ctx.args = {regs[1], regs[2], regs[3], regs[4], regs[5]};
+      ctx.id = site->id;
+      ctx.effective_id = site->id;
+      ctx.effective_sysno = site->sysno;
+      ctx.effective_args = ctx.args;
+      std::int64_t ret;
+      try {
+        ret = dispatch(p, ctx);
+      } catch (const GuestFault&) {
+        ret = SimFs::kErrInval;
+      }
+      ctx.charge(p, cost_.handler_base_cost(ctx.effective_id));
+      if (p.running) p.cpu.regs[0] = static_cast<std::uint32_t>(ret);
+      if (tracing_) {
+        TraceEntry t;
+        t.id = ctx.effective_id;
+        t.sysno = ctx.effective_sysno;
+        t.call_site = ctx.call_site;
+        t.args = ctx.effective_args;
+        t.ret = ret;
+        trace_.push_back(std::move(t));
+      }
+      return;
+    }
+  }
+
   // ---- (1) trap layer: capture this call's context ----
   TrapContext ctx = capture_trap(p, call_site);
   if (stage_hook_) stage_hook_(p, ctx, TrapStage::Trap);
@@ -159,13 +207,13 @@ void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
 // ---- per-pid health machine (see os/health.h) ----
 
 HealthState Kernel::health(int pid) const {
-  const auto it = tenant_.health.find(pid);
-  return it == tenant_.health.end() ? HealthState::Healthy : it->second.state;
+  const auto it = tenant_.tiers.health().find(pid);
+  return it == tenant_.tiers.health().end() ? HealthState::Healthy : it->second.state;
 }
 
 const HealthRecord* Kernel::health_record(int pid) const {
-  const auto it = tenant_.health.find(pid);
-  return it == tenant_.health.end() ? nullptr : &it->second;
+  const auto it = tenant_.tiers.health().find(pid);
+  return it == tenant_.tiers.health().end() ? nullptr : &it->second;
 }
 
 void Kernel::report_internal_fault(Process& p, const std::string& detail) {
@@ -180,7 +228,7 @@ void Kernel::health_self_check(Process& p, const TrapContext& ctx) {
   // Shadow coherence: the kernel copy's nonce must equal the process's
   // authoritative counter (the checker updates both in lockstep), and the
   // shadowed record must still lie inside the address space.
-  if (const AscShadow::Entry* sh = tenant_.shadow.peek(p.pid); sh != nullptr) {
+  if (const AscShadow::Entry* sh = tenant_.tiers.shadow().peek(p.pid); sh != nullptr) {
     if (sh->counter != p.asc_counter) {
       internal_fault(p, &ctx,
                      "shadow nonce " + std::to_string(sh->counter) +
@@ -195,14 +243,17 @@ void Kernel::health_self_check(Process& p, const TrapContext& ctx) {
 
   // Cache/watch pairing: live entries without range hooks can never be
   // evicted by a guest write -- their trusted bytes are unguarded.
-  if (tenant_.cache.size(p.pid) > 0 && !tenant_.cache.has_range_hooks(p.pid)) {
+  if (tenant_.tiers.cache().size(p.pid) > 0 && !tenant_.tiers.cache().has_range_hooks(p.pid)) {
     internal_fault(p, &ctx, "verified-call cache entries without range hooks");
   }
 }
 
 void Kernel::note_verification(Process& p, const TrapContext& ctx, bool clean, bool eager) {
-  const auto it = tenant_.health.find(p.pid);
-  if (it == tenant_.health.end()) return;  // untracked == Healthy: nothing to earn
+  // A violation verdict resets the pid's inline-promotion streaks: the
+  // Inline tier is re-earned with consecutive CLEAN verifications only.
+  if (!clean) tenant_.tiers.note_unclean(p.pid);
+  const auto it = tenant_.tiers.health().find(p.pid);
+  if (it == tenant_.tiers.health().end()) return;  // untracked == Healthy: nothing to earn
   HealthRecord& h = it->second;
   if (h.state == HealthState::Healthy) return;
   if (!clean) {
@@ -217,7 +268,7 @@ void Kernel::note_verification(Process& p, const TrapContext& ctx, bool clean, b
     if (h.clean_streak >= h.promote_after) {
       h.state = HealthState::Degraded;
       h.clean_streak = 0;
-      ++tenant_.health_stats.repromotions;
+      ++tenant_.tiers.health_stats().repromotions;
       health_event(p, &ctx, AuditKind::Health,
                    "quarantined -> degraded after " + std::to_string(h.promote_after) +
                        " clean eager verifications");
@@ -226,20 +277,20 @@ void Kernel::note_verification(Process& p, const TrapContext& ctx, bool clean, b
   }
   // Degraded: the cache may serve hits, but the control-flow check is eager.
   ++h.clean_streak;
-  if (h.clean_streak >= tenant_.promote_threshold) {
+  if (h.clean_streak >= tenant_.tiers.promote_threshold) {
     h.state = HealthState::Healthy;
     h.clean_streak = 0;
-    ++tenant_.health_stats.recoveries;
+    ++tenant_.tiers.health_stats().recoveries;
     health_event(p, &ctx, AuditKind::Health,
-                 "degraded -> healthy after " + std::to_string(tenant_.promote_threshold) +
+                 "degraded -> healthy after " + std::to_string(tenant_.tiers.promote_threshold) +
                      " clean verifications");
   }
 }
 
 void Kernel::internal_fault(Process& p, const TrapContext* ctx, const std::string& detail) {
-  HealthRecord& h = tenant_.health[p.pid];
+  HealthRecord& h = tenant_.tiers.health()[p.pid];
   ++h.internal_faults;
-  ++tenant_.health_stats.internal_faults;
+  ++tenant_.tiers.health_stats().internal_faults;
   health_event(p, ctx, AuditKind::InternalFault, detail);
 
   // The suspect state must go regardless of the resulting level: even a
@@ -252,7 +303,7 @@ void Kernel::internal_fault(Process& p, const TrapContext* ctx, const std::strin
   switch (before) {
     case HealthState::Healthy:
       h.state = HealthState::Degraded;
-      ++tenant_.health_stats.degradations;
+      ++tenant_.tiers.health_stats().degradations;
       break;
     case HealthState::Degraded:
       h.state = HealthState::Quarantined;
@@ -271,16 +322,20 @@ void Kernel::internal_fault(Process& p, const TrapContext* ctx, const std::strin
 
 void Kernel::enter_quarantine(HealthRecord& h) {
   ++h.quarantines;
-  ++tenant_.health_stats.quarantines;
+  ++tenant_.tiers.health_stats().quarantines;
   // Exponential backoff: K, 2K, 4K, ... clean eager verifications required,
   // capped so a long-lived flapping pid can still eventually re-promote.
-  std::uint64_t k = tenant_.promote_threshold;
-  for (std::uint32_t i = 1; i < h.quarantines && k < tenant_.backoff_cap; ++i) k *= 2;
+  std::uint64_t k = tenant_.tiers.promote_threshold;
+  for (std::uint32_t i = 1; i < h.quarantines && k < tenant_.tiers.backoff_cap; ++i) k *= 2;
   h.promote_after = static_cast<std::uint32_t>(
-      k > tenant_.backoff_cap ? tenant_.backoff_cap : k);
+      k > tenant_.tiers.backoff_cap ? tenant_.tiers.backoff_cap : k);
 }
 
 void Kernel::evict_fast_paths(Process& p) {
+  // Health demotion floors the whole lattice for this pid: inline sites go
+  // first (their watches unregister while the address space is live), then
+  // the shadow and cache below.
+  tenant_.tiers.demote_pid(p.pid, DemotionCause::HealthDemotion);
   // A live shadow entry holds the ONLY trusted {lastBlock, counter}: the
   // guest record went stale the moment the entry was installed. Write-back
   // under the entry's own counter is exactly the state we no longer trust,
@@ -288,7 +343,7 @@ void Kernel::evict_fast_paths(Process& p) {
   // instead -- the next trap's eager 3.1 check then verifies a coherent
   // record. take_pid() has already unwatched the range, so these stores do
   // not re-enter the invalidation path.
-  if (const auto e = tenant_.shadow.take_pid(p.pid)) {
+  if (const auto e = tenant_.tiers.shadow().take_pid(p.pid)) {
     if (tenant_.key && p.mem.in_range(e->state_ptr, policy::kPolicyStateSize)) {
       const auto msg = policy::encode_policy_state(e->last_block, p.asc_counter);
       p.cycles += cost_.mac_cost(msg.size());
@@ -296,7 +351,7 @@ void Kernel::evict_fast_paths(Process& p) {
       p.mem.write_bytes(e->state_ptr + 4, tenant_.key->mac(msg));
     }
   }
-  tenant_.cache.evict_pid(p.pid);
+  tenant_.tiers.cache().evict_pid(p.pid);
 }
 
 void Kernel::health_event(Process& p, const TrapContext* ctx, AuditKind kind,

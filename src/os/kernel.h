@@ -92,47 +92,74 @@ class Kernel {
   void set_normalize_paths(bool on) { normalize_paths_ = on; }
   bool normalize_paths() const { return normalize_paths_; }
 
-  // ---- verified-call cache ----
+  // ---- verified-call cache (the Cached tier of the lattice) ----
   /// The MAC-verification fast path (os/asccache.h), on by default. When
   /// disabled, every trap performs the full §3.4 verification (the paper's
-  /// uncached behavior; benchmarks compare both).
-  void set_verified_call_cache(bool on) { tenant_.cache_enabled = on; }
-  bool verified_call_cache() const { return tenant_.cache_enabled; }
-  AscCache& call_cache() { return tenant_.cache; }
-  const AscCache& call_cache() const { return tenant_.cache; }
+  /// uncached behavior; benchmarks compare both). Gating a fast path off
+  /// demotes every promoted inline site (see os/tiertable.h).
+  void set_verified_call_cache(bool on) { tenant_.tiers.set_cache_enabled(on); }
+  bool verified_call_cache() const { return tenant_.tiers.cache_enabled(); }
+  AscCache& call_cache() { return tenant_.tiers.cache(); }
+  const AscCache& call_cache() const { return tenant_.tiers.cache(); }
   /// Hit/miss/eviction counters of the fast path (stats audit surface).
-  const AscCacheStats& cache_stats() const { return tenant_.cache.stats(); }
+  const AscCacheStats& cache_stats() const { return tenant_.tiers.cache().stats(); }
 
-  // ---- policy-state shadow ----
+  // ---- policy-state shadow (the Shadowed tier of the lattice) ----
   /// The control-flow fast path (os/ascshadow.h), on by default: the kernel
   /// keeps the trusted {lastBlock, counter} copy and skips both per-call
   /// state MACs while the guest record stays unwritten. Disabling flushes
   /// (writes back) every live record first, so the eager §3.2 protocol
   /// resumes coherently mid-run.
   void set_policy_shadow(bool on);
-  bool policy_shadow() const { return tenant_.shadow_enabled; }
-  AscShadow& shadow() { return tenant_.shadow; }
-  const AscShadow& shadow() const { return tenant_.shadow; }
+  bool policy_shadow() const { return tenant_.tiers.shadow_enabled(); }
+  AscShadow& shadow() { return tenant_.tiers.shadow(); }
+  const AscShadow& shadow() const { return tenant_.tiers.shadow(); }
   /// Hit/invalidation/write-back counters of the shadow, beside cache_stats.
-  const AscShadowStats& shadow_stats() const { return tenant_.shadow.stats(); }
+  const AscShadowStats& shadow_stats() const { return tenant_.tiers.shadow().stats(); }
+
+  // ---- the Inline tier (trap-less pre-authorized fast path) ----
+  /// Off by default: with the gate off the kernel is byte-identical to the
+  /// pre-lattice trap pipeline (golden oracle). When on, a (pid, site) that
+  /// earns N consecutive clean Shadowed-tier verifications of a
+  /// side-effect-light syscall is promoted: the trap skips the
+  /// enforce->audit pipeline behind a pre-authorized register/shadow probe,
+  /// demoted by exactly the events that invalidate the cache and shadow
+  /// (guest write, key rotation, teardown, health demotion, monitor swap).
+  void set_inline_tier(bool on) { tenant_.tiers.set_inline_enabled(on); }
+  bool inline_tier() const { return tenant_.tiers.inline_enabled(); }
+  /// N: clean Shadowed verifications a site re-earns after every demotion.
+  void set_inline_promote_threshold(std::uint32_t n) {
+    tenant_.tiers.set_inline_threshold(n);
+  }
+  std::uint32_t inline_promote_threshold() const {
+    return tenant_.tiers.inline_threshold();
+  }
+  /// The whole lattice (inspection + fault-injection surface).
+  TierTable& tier_table() { return tenant_.tiers; }
+  const TierTable& tier_table() const { return tenant_.tiers; }
+  /// Aligned per-tier counters (eager/cached/shadowed/inline hits,
+  /// promotions, demotions by cause) -- the `asctool run --stats` table.
+  TierStats tier_stats() const { return tenant_.tiers.stats(); }
+  bool inline_site_promoted(int pid, std::uint32_t call_site) const {
+    return tenant_.tiers.inline_site_promoted(pid, call_site);
+  }
+  std::size_t inline_sites() const { return tenant_.tiers.inline_sites(); }
 
   // ---- the tenant shard ----
   /// The whole per-tenant slice of this kernel's state (os/tenant.h): key,
-  /// fast paths, health, audit. One kernel == one tenant; the fleet layer
-  /// holds many kernels and therefore many disjoint shards.
+  /// tier lattice, audit. One kernel == one tenant; the fleet layer holds
+  /// many kernels and therefore many disjoint shards.
   TenantState& tenant_state() { return tenant_; }
   const TenantState& tenant_state() const { return tenant_; }
 
-  /// Process teardown/exec hook: write back and drop the pid's shadowed
-  /// policy state (its Memory is still alive here), then drop every cached
-  /// verification, so recycled pids or re-execed images can never inherit
-  /// stale trust. Idempotent: a second call for the same pid is a no-op,
-  /// which the teardown-mid-verify chaos class relies on.
-  void end_process(int pid) {
-    tenant_.shadow.flush_pid(pid);
-    tenant_.cache.evict_pid(pid);
-    tenant_.health.erase(pid);
-  }
+  /// Process teardown/exec hook: one lattice-wide demotion (os/tiertable.h)
+  /// -- demote the pid's inline sites (its Memory is still alive here),
+  /// write back and drop its shadowed policy state, drop every cached
+  /// verification, erase its health record -- so recycled pids or re-execed
+  /// images can never inherit stale trust. Idempotent: a second call for
+  /// the same pid is a no-op, which the teardown-mid-verify chaos class
+  /// relies on.
+  void end_process(int pid) { tenant_.tiers.end_process(pid); }
 
   // ---- per-pid health (self-healing fast-path quarantine) ----
   // See os/health.h for the state machine and the degradation lattice.
@@ -141,20 +168,22 @@ class Kernel {
   /// The pid's full record, or nullptr when untracked (inspection surface).
   const HealthRecord* health_record(int pid) const;
   /// Kernel-wide transition counters (survive process teardown).
-  const HealthStats& health_stats() const { return tenant_.health_stats; }
+  const HealthStats& health_stats() const { return tenant_.tiers.health_stats(); }
   /// Pids with a live health record (must be zero after all processes end).
-  std::size_t tracked_health() const { return tenant_.health.size(); }
+  std::size_t tracked_health() const { return tenant_.tiers.health().size(); }
   /// Clean eager verifications required to leave Quarantined (K; doubles on
   /// every re-entry, capped by the backoff cap). Also the Degraded->Healthy
   /// probation length.
   void set_health_promote_threshold(std::uint32_t k) {
-    tenant_.promote_threshold = k == 0 ? 1 : k;
+    tenant_.tiers.promote_threshold = k == 0 ? 1 : k;
   }
-  std::uint32_t health_promote_threshold() const { return tenant_.promote_threshold; }
+  std::uint32_t health_promote_threshold() const {
+    return tenant_.tiers.promote_threshold;
+  }
   void set_health_backoff_cap(std::uint32_t cap) {
-    tenant_.backoff_cap = cap == 0 ? 1 : cap;
+    tenant_.tiers.backoff_cap = cap == 0 ? 1 : cap;
   }
-  std::uint32_t health_backoff_cap() const { return tenant_.backoff_cap; }
+  std::uint32_t health_backoff_cap() const { return tenant_.tiers.backoff_cap; }
   /// Fast-path gates the enforcement layer consults per trap: the cache
   /// survives until Quarantined, the shadow only while Healthy.
   bool fast_path_cache_allowed(int pid) const {
@@ -274,7 +303,12 @@ class Kernel {
   SimFs fs_;
   Enforcement enforcement_ = Enforcement::Off;
   std::unique_ptr<SyscallMonitor> monitor_;
-  /// The per-tenant shard: key, fast paths, health, audit (os/tenant.h).
+  /// True iff the active monitor is the built-in ASC pipeline -- the only
+  /// monitor whose verifications can promote a site, so the only one the
+  /// inline probe may stand in for. Custom monitors (install_monitor)
+  /// conservatively clear it.
+  bool asc_monitor_ = false;
+  /// The per-tenant shard: key, tier lattice, audit (os/tenant.h).
   TenantState tenant_;
   std::map<std::string, MonitorPolicy> monitor_policies_;
   bool capability_checking_ = false;

@@ -2,9 +2,10 @@
 //
 // Everything the kernel tracks on behalf of ONE tenant's guest processes
 // lives here, in a single value type with no hidden global state behind it:
-// the MAC key, the verified-call cache and its enable flag, the policy-state
-// shadow and its enable flag, the per-pid health map with its kernel-wide
-// counters and promotion knobs, and the structured audit log. os::Kernel
+// the MAC key, the tiered verification lattice (os/tiertable.h -- the
+// verified-call cache, the policy-state shadow, the per-pid health map, and
+// the trap-less inline tier, behind ONE promotion/demotion lattice and one
+// write-watch invalidation spine), and the structured audit log. os::Kernel
 // owns exactly one TenantState and delegates to it, so the single-tenant
 // API is unchanged -- but a fleet of kernels is now, by construction, a
 // fleet of disjoint shards: thousands of tenants can verify system calls
@@ -12,7 +13,7 @@
 // CMAC schedule memo, which is itself sharded and per-shard locked
 // (crypto/cmac.h). fleet::Driver builds on exactly this property.
 //
-// Sharding rationale (why these five and nothing else): each member is
+// Sharding rationale (why these three and nothing else): each member is
 // keyed by pid or by the tenant's key, never by anything another tenant can
 // name. The pieces of Kernel that stay outside -- personality, cost model,
 // the simulated filesystem, the monitor, trace/tracing, the virtual clock --
@@ -21,14 +22,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 
 #include "crypto/cmac.h"
-#include "os/asccache.h"
-#include "os/ascshadow.h"
 #include "os/auditlog.h"
-#include "os/health.h"
+#include "os/tiertable.h"
 
 namespace asc::os {
 
@@ -38,34 +36,20 @@ struct TenantState {
   /// in one tenant can never invalidate another tenant's verifications.
   std::optional<crypto::MacKey> key;
 
-  /// MAC-verification fast path (os/asccache.h) and its gate.
-  AscCache cache;
-  bool cache_enabled = true;
-
-  /// Control-flow fast path (os/ascshadow.h) and its gate.
-  AscShadow shadow;
-  bool shadow_enabled = true;
+  /// The tiered verification lattice: Eager -> Cached -> Shadowed -> Inline
+  /// per (pid, site), with the per-pid health machine as its demotion floor
+  /// and one write-watch spine invalidating every tier (os/tiertable.h).
+  TierTable tiers;
 
   /// Structured security/audit log; the fleet's aggregated audit pipeline
   /// drains records() per tenant and merges them in tenant order.
   AuditLog audit;
 
-  /// Per-pid health lattice (os/health.h) plus tenant-wide counters.
-  std::map<int, HealthRecord> health;
-  HealthStats health_stats;
-  std::uint32_t promote_threshold = 8;
-  std::uint32_t backoff_cap = 1024;
-
   /// Approximate retained bytes of this shard (capacity-planning surface for
   /// the Table 7 fleet bench: deterministic, counts the dynamic containers,
   /// not allocator overhead).
   std::size_t approx_bytes() const {
-    std::size_t n = sizeof(TenantState);
-    n += cache.approx_bytes();
-    n += shadow.size() * (sizeof(int) + sizeof(AscShadow::Entry));
-    n += audit.approx_bytes();
-    n += health.size() * (sizeof(int) + sizeof(HealthRecord));
-    return n;
+    return sizeof(TenantState) + tiers.approx_bytes() + audit.approx_bytes();
   }
 };
 

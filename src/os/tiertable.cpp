@@ -1,0 +1,303 @@
+#include "os/tiertable.h"
+
+#include <algorithm>
+
+#include "isa/isa.h"
+
+namespace asc::os {
+
+namespace {
+
+bool overlaps(std::uint32_t a1, std::uint32_t l1, std::uint32_t a2,
+              std::uint32_t l2) {
+  const std::uint64_t e1 = static_cast<std::uint64_t>(a1) + l1;
+  const std::uint64_t e2 = static_cast<std::uint64_t>(a2) + l2;
+  return a1 < e2 && a2 < e1;
+}
+
+}  // namespace
+
+std::string tier_name(Tier t) {
+  switch (t) {
+    case Tier::Inline: return "inline";
+    case Tier::Shadowed: return "shadowed";
+    case Tier::Cached: return "cached";
+    case Tier::Eager: return "eager";
+  }
+  return "?";
+}
+
+std::string demotion_cause_name(DemotionCause c) {
+  switch (c) {
+    case DemotionCause::GuestWrite: return "guest-write";
+    case DemotionCause::KeyRotation: return "key-rotation";
+    case DemotionCause::Teardown: return "teardown";
+    case DemotionCause::HealthDemotion: return "health";
+    case DemotionCause::MonitorSwap: return "monitor-swap";
+    case DemotionCause::ProbeMismatch: return "probe-mismatch";
+    case DemotionCause::Disabled: return "disabled";
+    case DemotionCause::kCount: break;
+  }
+  return "?";
+}
+
+bool inline_eligible(SysId id) {
+  switch (id) {
+    case SysId::Getpid:
+    case SysId::Getuid:
+    case SysId::Sysconf:
+    case SysId::Time:
+    case SysId::Gettimeofday:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void TierTable::set_cache_enabled(bool on) {
+  if (!on) demote_all(DemotionCause::Disabled);
+  cache_enabled_ = on;
+}
+
+void TierTable::set_shadow_enabled(bool on) {
+  // The inline probe advances control-flow state through the shadow, so the
+  // Inline tier cannot outlive the Shadowed one.
+  if (!on) {
+    demote_all(DemotionCause::Disabled);
+    shadow_.flush_all();
+  }
+  shadow_enabled_ = on;
+}
+
+void TierTable::set_inline_enabled(bool on) {
+  if (!on) demote_all(DemotionCause::Disabled);
+  inline_enabled_ = on;
+}
+
+const TierTable::InlineSite* TierTable::try_inline(Process& p,
+                                                   std::uint32_t call_site) {
+  if (!inline_enabled_) return nullptr;
+  auto it = inline_sites_.find({p.pid, call_site});
+  if (it == inline_sites_.end()) return nullptr;
+  // A pid below Healthy must never serve from the Inline tier. Health
+  // demotion already drops its sites; this gate is belt-and-braces against
+  // any ordering where a record survives the transition.
+  if (auto h = health_.find(p.pid);
+      h != health_.end() && h->second.state != HealthState::Healthy) {
+    demote(it, DemotionCause::HealthDemotion);
+    return nullptr;
+  }
+  InlineSite& s = it->second;
+  const auto& regs = p.cpu.regs;
+  bool match = regs[0] == s.sysno &&
+               regs[isa::kRegPolicyDescriptor] == s.descriptor &&
+               regs[isa::kRegBlockId] == s.block_id &&
+               regs[isa::kRegPredSet] == s.pred_body &&
+               regs[isa::kRegStatePtr] == s.state_ptr &&
+               regs[isa::kRegCallMac] == s.mac_ptr;
+  for (const auto& [idx, val] : s.const_args)
+    match = match && regs[idx] == val;
+  AscShadow::Entry* sh =
+      (match && shadow_enabled_) ? shadow_.peek_mut(p.pid) : nullptr;
+  match = match && sh != nullptr && sh->state_ptr == s.state_ptr &&
+          sh->counter == p.asc_counter &&
+          std::find(s.preds.begin(), s.preds.end(), sh->last_block) !=
+              s.preds.end();
+  if (!match) {
+    // Anything diverging from the promoted snapshot falls back to the full
+    // pipeline, which re-verifies every MAC: tamper fail-stops there.
+    demote(it, DemotionCause::ProbeMismatch);
+    return nullptr;
+  }
+  // Advance the control-flow state exactly as a Shadowed-tier hit would.
+  ++p.asc_counter;
+  sh->last_block = s.block_id;
+  sh->counter = p.asc_counter;
+  sh->dirty = true;
+  ++s.hits;
+  ++inline_hits_;
+  return &s;
+}
+
+void TierTable::note_clean_site(Process& p, std::uint32_t call_site,
+                                InlineCandidate cand) {
+  if (!inline_enabled_ || !inline_eligible(cand.id)) return;
+  const SiteKey key{p.pid, call_site};
+  if (inline_sites_.count(key)) return;
+  // Promotion is reserved for Healthy pids; anything below re-earns its
+  // streak only after the health machine re-promotes the pid.
+  if (auto h = health_.find(p.pid);
+      h != health_.end() && h->second.state != HealthState::Healthy)
+    return;
+  std::uint32_t& streak = streaks_[key];
+  if (++streak < inline_threshold_) return;
+
+  InlineSite site;
+  site.sysno = cand.sysno;
+  site.id = cand.id;
+  site.descriptor = cand.descriptor;
+  site.block_id = cand.block_id;
+  site.pred_body = cand.pred_body;
+  site.state_ptr = cand.state_ptr;
+  site.mac_ptr = cand.mac_ptr;
+  site.const_args = std::move(cand.const_args);
+  site.preds = std::move(cand.preds);
+  site.ranges = std::move(cand.ranges);
+
+  // The site holds its OWN refcounted watches on every trusted byte range:
+  // cache capacity eviction may unwatch the cache entry's ranges at any
+  // time, and the inline tier must not depend on another tier's refs.
+  auto [hit, inserted] = hooks_.try_emplace(p.pid);
+  if (inserted) {
+    hit->second.watch = [&mem = p.mem](std::uint32_t a, std::uint32_t l) {
+      mem.watch(a, l);
+    };
+    hit->second.unwatch = [&mem = p.mem](std::uint32_t a, std::uint32_t l) {
+      mem.unwatch(a, l);
+    };
+  }
+  for (const auto& [addr, len] : site.ranges) hit->second.watch(addr, len);
+  ensure_write_watch(p);
+  inline_sites_.emplace(key, std::move(site));
+  streaks_.erase(key);
+  ++promotions_;
+}
+
+void TierTable::note_unclean(int pid) {
+  for (auto it = streaks_.begin(); it != streaks_.end();) {
+    if (it->first.first == pid)
+      it = streaks_.erase(it);
+    else
+      ++it;
+  }
+}
+
+std::map<TierTable::SiteKey, TierTable::InlineSite>::iterator
+TierTable::demote(std::map<SiteKey, InlineSite>::iterator it,
+                  DemotionCause cause) {
+  const int pid = it->first.first;
+  if (auto h = hooks_.find(pid); h != hooks_.end() && h->second.unwatch)
+    for (const auto& [addr, len] : it->second.ranges)
+      h->second.unwatch(addr, len);
+  ++demotions_[static_cast<std::size_t>(cause)];
+  streaks_.erase(it->first);  // re-promotion is re-earned from zero
+  return inline_sites_.erase(it);
+}
+
+void TierTable::demote_site(int pid, std::uint32_t call_site,
+                            DemotionCause cause) {
+  if (auto it = inline_sites_.find({pid, call_site}); it != inline_sites_.end())
+    demote(it, cause);
+}
+
+void TierTable::demote_pid(int pid, DemotionCause cause) {
+  auto it = inline_sites_.lower_bound({pid, 0});
+  while (it != inline_sites_.end() && it->first.first == pid)
+    it = demote(it, cause);
+  note_unclean(pid);
+  if (cause == DemotionCause::Teardown) hooks_.erase(pid);
+}
+
+void TierTable::demote_all(DemotionCause cause) {
+  auto it = inline_sites_.begin();
+  while (it != inline_sites_.end()) it = demote(it, cause);
+  streaks_.clear();
+}
+
+void TierTable::ensure_write_watch(Process& p) {
+  if (p.mem.has_write_watch()) return;
+  // ONE callback per process, dispatched through the table: the shadow's
+  // lazy write-back must land before the cache eviction scan or the inline
+  // demotion observe the final bytes, hence the order. Dispatch is
+  // unconditional -- gating decides what each tier SERVES, never what it
+  // hears about, so enabling a fast path later can't leave it deaf to
+  // writes that predate the flip.
+  p.mem.set_write_watch([this, pid = p.pid](std::uint32_t addr,
+                                            std::uint32_t len) {
+    shadow_.invalidate_write(pid, addr, len);
+    cache_.invalidate_write(pid, addr, len);
+    inline_invalidate_write(pid, addr, len);
+  });
+}
+
+void TierTable::inline_invalidate_write(int pid, std::uint32_t addr,
+                                        std::uint32_t len) {
+  auto it = inline_sites_.lower_bound({pid, 0});
+  while (it != inline_sites_.end() && it->first.first == pid) {
+    bool hit = false;
+    for (const auto& [raddr, rlen] : it->second.ranges)
+      if (overlaps(raddr, rlen, addr, len)) {
+        hit = true;
+        break;
+      }
+    if (hit)
+      it = demote(it, DemotionCause::GuestWrite);
+    else
+      ++it;
+  }
+}
+
+void TierTable::end_process(int pid) {
+  demote_pid(pid, DemotionCause::Teardown);
+  shadow_.flush_pid(pid);
+  cache_.evict_pid(pid);
+  health_.erase(pid);
+}
+
+void TierTable::on_key_rotation() {
+  demote_all(DemotionCause::KeyRotation);
+  // Still under the OLD key here: dirty shadow records write back under the
+  // key that verified them, then nothing survives the rotation.
+  shadow_.flush_all();
+  cache_.clear();
+}
+
+std::size_t TierTable::inline_sites(int pid) const {
+  std::size_t n = 0;
+  for (auto it = inline_sites_.lower_bound({pid, 0});
+       it != inline_sites_.end() && it->first.first == pid; ++it)
+    ++n;
+  return n;
+}
+
+const TierTable::InlineSite* TierTable::peek_inline(
+    int pid, std::uint32_t call_site) const {
+  auto it = inline_sites_.find({pid, call_site});
+  return it == inline_sites_.end() ? nullptr : &it->second;
+}
+
+TierStats TierTable::stats() const {
+  TierStats s;
+  s.eager = eager_;
+  s.cached = cache_.stats().hits;
+  s.shadowed = shadow_.stats().hits;
+  s.inline_hits = inline_hits_;
+  s.cache_misses = cache_.stats().misses;
+  s.shadow_misses = shadow_.stats().misses;
+  s.promotions = promotions_;
+  s.demotions = demotions_;
+  return s;
+}
+
+void TierTable::reset_stats() {
+  eager_ = 0;
+  inline_hits_ = 0;
+  promotions_ = 0;
+  demotions_.fill(0);
+}
+
+std::size_t TierTable::approx_bytes() const {
+  std::size_t n = cache_.approx_bytes() +
+                  shadow_.size() * (sizeof(int) + sizeof(AscShadow::Entry)) +
+                  health_.size() * (sizeof(int) + sizeof(HealthRecord));
+  for (const auto& [key, site] : inline_sites_) {
+    n += sizeof(key) + sizeof(site);
+    n += site.const_args.size() * sizeof(site.const_args[0]);
+    n += site.preds.size() * sizeof(std::uint32_t);
+    n += site.ranges.size() * sizeof(site.ranges[0]);
+  }
+  n += streaks_.size() * (sizeof(SiteKey) + sizeof(std::uint32_t));
+  return n;
+}
+
+}  // namespace asc::os

@@ -1,0 +1,297 @@
+// The tiered verification lattice: one table unifying every per-(pid, site)
+// fast-path mechanism of the kernel.
+//
+// Before this table the kernel grew three parallel per-(pid, site)
+// mechanisms, each with its own eviction paths and write-watch wiring: the
+// verified-call cache (os/asccache.h), the policy-state shadow
+// (os/ascshadow.h), and the per-pid health quarantine (os/health.h). The
+// TierTable folds them into ONE promotion/demotion lattice over four tiers,
+// fast to slow:
+//
+//   Inline    -> pre-authorized trap-less check: the whole
+//                trap->enforce->dispatch->audit pipeline is skipped for a
+//                site that earned promotion (see below)
+//   Shadowed  -> verified-call cache + policy-state shadow (both fast paths)
+//   Cached    -> verified-call cache only (eager §3.2 control-flow protocol)
+//   Eager     -> full verification, every MAC on every call
+//
+// A (pid, site) starts Eager, climbs as the cache and shadow warm up, and --
+// when the inline tier is enabled -- earns Inline after N consecutive clean
+// Shadowed verifications of a side-effect-light syscall
+// (getpid/gettimeofday-class: no authenticated-string arguments, no
+// patterns, no fd capabilities, a control-flow-constrained descriptor). The
+// per-pid health machine is the demotion half of the same lattice: an
+// internal fault demotes every site of the pid one tier floor down
+// (Healthy = all tiers, Degraded = at most Cached, Quarantined = Eager).
+//
+// One invalidation spine. All three mechanisms are invalidated by the SAME
+// event set, so the table installs exactly ONE vm::Memory write-watch
+// callback per process and dispatches it to every tier: the shadow first
+// (its lazy write-back must land before anything else scans the final
+// bytes), then the cache, then the inline sites. The previous design
+// installed the callback with the cache/shadow pointers frozen at the first
+// verification -- a fast path enabled later could be left without
+// invalidation; the spine dispatches through the table itself, so gating
+// changes can never orphan a mechanism.
+//
+// Why inline execution cannot outlive a tamper (the trust argument, in
+// full in DESIGN.md): a promoted site snapshots every input the full
+// pipeline would verify -- the policy operand registers, constrained
+// argument values, the decoded predecessor set, and the guest byte ranges
+// backing the call MAC, the predecessor-set blob, and the policy-state
+// record. The byte ranges are registered with the site's OWN refcounted
+// write watches, so any guest write into them demotes the site BEFORE the
+// write lands; the probe additionally requires the kernel-resident shadow
+// nonce to equal the process's authoritative counter and the shadow's
+// lastBlock to be in the snapshotted predecessor set. Key rotation,
+// teardown/exec, health demotion, monitor swap, and fast-path gate-off all
+// demote through the same table methods the cache and shadow already use.
+// Any probe mismatch demotes and falls back to the full pipeline, which
+// re-verifies everything -- so the inline tier can buy cycles, never
+// soundness.
+//
+// "Trap-less" means the enforcement pipeline is bypassed; the modeled trap
+// cost is still charged (the simulated CPU has no trampoline to patch), so
+// the Table 4 inline column reports the honest residual overhead of the
+// pre-authorized check itself.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "os/asccache.h"
+#include "os/ascshadow.h"
+#include "os/health.h"
+#include "os/process.h"
+#include "os/syscalls.h"
+
+namespace asc::os {
+
+/// The verification tiers, fastest first (display/ordering surface; a site's
+/// effective tier is derived from which mechanisms currently hold it).
+enum class Tier : std::uint8_t { Inline, Shadowed, Cached, Eager };
+
+std::string tier_name(Tier t);
+
+/// Why an inline site (or a whole pid / the whole table) was demoted. The
+/// spine guarantees these are the ONLY events that can revoke a promotion.
+enum class DemotionCause : std::uint8_t {
+  GuestWrite,      // guest wrote into the call bytes or the state record
+  KeyRotation,     // Kernel::set_key: no prior verification survives
+  Teardown,        // process teardown / exec (Kernel::end_process)
+  HealthDemotion,  // per-pid health machine left Healthy
+  MonitorSwap,     // enforcement monitor replaced mid-run
+  ProbeMismatch,   // inline probe saw registers/shadow diverge from snapshot
+  Disabled,        // a fast-path gate was switched off at runtime
+  kCount,
+};
+
+inline constexpr std::size_t kNumDemotionCauses =
+    static_cast<std::size_t>(DemotionCause::kCount);
+
+std::string demotion_cause_name(DemotionCause c);
+
+/// The aligned per-tier counters `asctool run --stats` renders: one row per
+/// tier plus the promotion/demotion flow between them.
+struct TierStats {
+  std::uint64_t eager = 0;     // completed full verifications (no fast path)
+  std::uint64_t cached = 0;    // verified-call cache hits
+  std::uint64_t shadowed = 0;  // policy-state shadow hits
+  std::uint64_t inline_hits = 0;  // trap-less pre-authorized executions
+  std::uint64_t cache_misses = 0;
+  std::uint64_t shadow_misses = 0;
+  std::uint64_t promotions = 0;  // sites that earned the Inline tier
+  std::array<std::uint64_t, kNumDemotionCauses> demotions{};
+
+  std::uint64_t demotions_total() const {
+    std::uint64_t n = 0;
+    for (const auto d : demotions) n += d;
+    return n;
+  }
+};
+
+/// One kernel's tier lattice: owns the verified-call cache, the policy-state
+/// shadow, the per-pid health map, and the inline-site table, plus the ONE
+/// write-watch spine that invalidates all of them. os::TenantState holds
+/// exactly one TierTable per tenant.
+class TierTable {
+ public:
+  /// Everything the inline probe re-checks against live trap state. The
+  /// snapshot is taken at promotion time from a fully verified Shadowed-tier
+  /// trap; `ranges` are the guest byte ranges backing the trusted inputs,
+  /// registered as this site's own refcounted write watches.
+  struct InlineSite {
+    std::uint16_t sysno = 0;
+    SysId id = SysId::Getpid;
+    std::uint32_t descriptor = 0;
+    std::uint32_t block_id = 0;
+    std::uint32_t pred_body = 0;
+    std::uint32_t state_ptr = 0;
+    std::uint32_t mac_ptr = 0;
+    /// {argument register index (1-based), expected value} for every
+    /// descriptor-constrained argument.
+    std::vector<std::pair<std::uint8_t, std::uint32_t>> const_args;
+    std::vector<std::uint32_t> preds;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;  // {addr, len}
+    std::uint64_t hits = 0;
+  };
+
+  using SiteKey = std::pair<int, std::uint32_t>;  // {pid, call_site}
+
+  /// Promotion evidence the checker hands over after a fully clean
+  /// Shadowed-tier verification of an inline-eligible call.
+  struct InlineCandidate {
+    std::uint16_t sysno = 0;
+    SysId id = SysId::Getpid;
+    std::uint32_t descriptor = 0;
+    std::uint32_t block_id = 0;
+    std::uint32_t pred_body = 0;
+    std::uint32_t state_ptr = 0;
+    std::uint32_t mac_ptr = 0;
+    std::vector<std::pair<std::uint8_t, std::uint32_t>> const_args;
+    std::vector<std::uint32_t> preds;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> ranges;
+  };
+
+  // ---- the Cached tier ----
+  AscCache& cache() { return cache_; }
+  const AscCache& cache() const { return cache_; }
+  void set_cache_enabled(bool on);
+  bool cache_enabled() const { return cache_enabled_; }
+
+  // ---- the Shadowed tier ----
+  AscShadow& shadow() { return shadow_; }
+  const AscShadow& shadow() const { return shadow_; }
+  void set_shadow_enabled(bool on);
+  bool shadow_enabled() const { return shadow_enabled_; }
+
+  // ---- the health half of the lattice (per-pid demotion floor) ----
+  std::map<int, HealthRecord>& health() { return health_; }
+  const std::map<int, HealthRecord>& health() const { return health_; }
+  HealthStats& health_stats() { return health_stats_; }
+  const HealthStats& health_stats() const { return health_stats_; }
+  std::uint32_t promote_threshold = 8;
+  std::uint32_t backoff_cap = 1024;
+
+  // ---- the Inline tier ----
+  /// Gate for the trap-less tier. Off by default: with the gate off the
+  /// kernel's behavior (verdicts, cycles, audit stream) is byte-identical to
+  /// the pre-lattice tree -- the golden oracle pins this.
+  void set_inline_enabled(bool on);
+  bool inline_enabled() const { return inline_enabled_; }
+  /// Consecutive clean Shadowed-tier verifications a site must earn before
+  /// promotion (N of the ROADMAP item).
+  void set_inline_threshold(std::uint32_t n) { inline_threshold_ = n == 0 ? 1 : n; }
+  std::uint32_t inline_threshold() const { return inline_threshold_; }
+
+  /// The trap-less probe. Non-null iff (pid, call_site) holds a promoted
+  /// site AND every snapshot input matches the live trap state AND the
+  /// shadow nonce equals the process's authoritative counter AND the
+  /// shadow's lastBlock is an allowed predecessor -- in which case the
+  /// shadow is advanced exactly as a Shadowed-tier hit would advance it and
+  /// the caller may dispatch without the enforcement pipeline. Any mismatch
+  /// demotes the site (ProbeMismatch) and returns nullptr: the full
+  /// pipeline re-verifies, so genuine tamper fail-stops there.
+  const InlineSite* try_inline(Process& p, std::uint32_t call_site);
+
+  /// The checker's promotion note: a fully clean cache-hit + shadow-hit
+  /// verification of an inline-eligible call at (p.pid, call_site). Counts
+  /// the site's clean streak and promotes at the threshold (Healthy pids
+  /// only -- a Quarantined or Degraded pid can never hold an Inline site).
+  void note_clean_site(Process& p, std::uint32_t call_site, InlineCandidate cand);
+  /// A verification of the pid ended in a violation verdict: every inline
+  /// streak of the pid resets (promotion is re-earned from zero).
+  void note_unclean(int pid);
+
+  /// Demotion entry points -- the SAME event set that invalidates the cache
+  /// and the shadow, which is the whole trust argument.
+  void demote_site(int pid, std::uint32_t call_site, DemotionCause cause);
+  void demote_pid(int pid, DemotionCause cause);
+  void demote_all(DemotionCause cause);
+
+  // ---- the unified write-watch spine ----
+  /// Install the ONE per-process write-watch callback (idempotent). Fires
+  /// BEFORE the bytes change and dispatches shadow -> cache -> inline, so a
+  /// dirty shadow record is materialized before the cache eviction scan and
+  /// the inline demotion see the final bytes.
+  void ensure_write_watch(Process& p);
+
+  /// Unified teardown/exec path (Kernel::end_process): demote the pid's
+  /// inline sites (their Memory is still alive here), write back and drop
+  /// its shadowed state, evict its cached verifications, erase its health
+  /// record. Idempotent.
+  void end_process(int pid);
+  /// Unified key-rotation path (Kernel::set_key), under the OLD key: demote
+  /// every inline site, flush every shadowed record (lazy write-backs land
+  /// under the key that shadowed them), clear the cache.
+  void on_key_rotation();
+  /// Unified monitor-swap path (set_enforcement / install_monitor): the new
+  /// monitor has not authorized anything, so every promotion is revoked.
+  void on_monitor_swap() { demote_all(DemotionCause::MonitorSwap); }
+
+  std::size_t inline_sites() const { return inline_sites_.size(); }
+  std::size_t inline_sites(int pid) const;
+  bool inline_site_promoted(int pid, std::uint32_t call_site) const {
+    return inline_sites_.count({pid, call_site}) != 0;
+  }
+  const InlineSite* peek_inline(int pid, std::uint32_t call_site) const;
+
+  /// Completed full verification (neither fast path served it) -- the Eager
+  /// row of the stats table. Counted by the checker.
+  void count_eager() { ++eager_; }
+
+  /// Aligned per-tier snapshot combining the sub-path counters with the
+  /// lattice's own promotion/demotion flow.
+  TierStats stats() const;
+  void reset_stats();
+
+  /// Retained bytes across every tier (fleet capacity planning; counts the
+  /// dynamic containers, not allocator overhead).
+  std::size_t approx_bytes() const;
+
+ private:
+  struct Hooks {
+    std::function<void(std::uint32_t, std::uint32_t)> watch;
+    std::function<void(std::uint32_t, std::uint32_t)> unwatch;
+  };
+
+  /// Spine leg three: demote every inline site of `pid` whose watched
+  /// ranges overlap the write.
+  void inline_invalidate_write(int pid, std::uint32_t addr, std::uint32_t len);
+  /// Drop one site: unwatch its ranges, count the demotion, reset its
+  /// streak so re-promotion is re-earned.
+  std::map<SiteKey, InlineSite>::iterator demote(
+      std::map<SiteKey, InlineSite>::iterator it, DemotionCause cause);
+
+  AscCache cache_;
+  bool cache_enabled_ = true;
+  AscShadow shadow_;
+  bool shadow_enabled_ = true;
+  std::map<int, HealthRecord> health_;
+  HealthStats health_stats_;
+
+  bool inline_enabled_ = false;
+  std::uint32_t inline_threshold_ = 8;
+  std::map<SiteKey, InlineSite> inline_sites_;
+  std::map<SiteKey, std::uint32_t> streaks_;  // consecutive clean Shadowed hits
+  std::map<int, Hooks> hooks_;                // per-pid inline range hooks
+
+  std::uint64_t eager_ = 0;
+  std::uint64_t inline_hits_ = 0;
+  std::uint64_t promotions_ = 0;
+  std::array<std::uint64_t, kNumDemotionCauses> demotions_{};
+};
+
+/// Side-effect-light syscalls the inline tier may pre-authorize: dispatch
+/// reads kernel state (or the virtual clock) and at most writes through an
+/// argument pointer the full pipeline would not have constrained either.
+/// Anything that mutates kernel bookkeeping (fds, memory map, filesystem,
+/// signals, spawn) stays on the full pipeline forever.
+bool inline_eligible(SysId id);
+
+}  // namespace asc::os

@@ -383,6 +383,35 @@ TEST(ChaosEngineRun, SmallStormIsSoundAndDeterministic) {
   if (a.internal_plans > 0) EXPECT_GT(a.health.internal_faults, 0u);
 }
 
+TEST(ChaosEngineRun, InlineTierStormIsSoundAndStreamsStayLegacyCompatible) {
+  // With the Inline tier on, every tenant kernel promotes eligible sites,
+  // the Tamper pool includes promo-toctou, and the pool gains the pidloop
+  // guest -- and the run must still be sound: the post-run oracles assert
+  // zero inline sites survive between runs, so teardown demotion works
+  // under churn.
+  fault::ChaosConfig cfg;
+  cfg.seed = 424242;
+  cfg.tenants = 16;
+  cfg.inline_tier = true;
+  const fault::ChaosResult a = fault::ChaosEngine(cfg).run();
+  const fault::ChaosResult b = fault::ChaosEngine(cfg).run();
+  EXPECT_TRUE(a.ok()) << a.summary();
+  ASSERT_EQ(a.lifecycles.size(), 16u);
+  EXPECT_EQ(a.verdict_trace, b.verdict_trace) << "inline chaos run is not deterministic";
+
+  // The flag is additive: the legacy config's verdict trace is bit-for-bit
+  // what it was before the tier existed (same seed, inline off).
+  fault::ChaosConfig legacy;
+  legacy.seed = 424242;
+  legacy.tenants = 10;
+  const fault::ChaosResult off = fault::ChaosEngine(legacy).run();
+  EXPECT_TRUE(off.ok()) << off.summary();
+  for (const auto& lc : off.lifecycles) {
+    EXPECT_EQ(lc.plan_repr.find("promo-toctou"), std::string::npos)
+        << "legacy stream drew promo-toctou: " << lc.plan_repr;
+  }
+}
+
 TEST(ChaosEngineRun, WatchStatsBalanceAcrossLifecycles) {
   // Direct probe of the satellite: a full run's final_watch must balance.
   const GuestProgram g = cat_guest();

@@ -4,7 +4,9 @@
 // predicts -- under fail-stop, budgeted, and audit-only enforcement alike.
 #include <gtest/gtest.h>
 
+#include "apps/libtoy.h"
 #include "fault/campaign.h"
+#include "tasm/assembler.h"
 #include "workloads.h"
 
 namespace asc {
@@ -128,6 +130,74 @@ TEST(FaultCampaign, ShadowToctouMutationsFailStop) {
   // The touch-then-tamper sequence guarantees divergence from the trusted
   // record: no applied mutation may blend into a benign run.
   EXPECT_EQ(r.benign, 0) << r.summary();
+}
+
+// ---- the Inline tier under attack ----
+// TOCTOU against the promotion window of the tier lattice: the mutation
+// strikes ONLY at a (pid, site) already promoted to trap-less execution,
+// flipping either the call MAC or the policy-state record the probe's
+// snapshot trusts. The site's own write watch must demote it BEFORE the
+// tamper lands, so the next call re-enters the full pipeline and fail-stops
+// with the structure's verdict -- inline execution may never outlive a
+// tamper. 2 loop guests x 60 = 120 mutated executions.
+
+GuestProgram loop_guest(const std::string& name, const char* wrapper) {
+  using namespace asc::apps;
+  tasm::Assembler a(name);
+  a.func("main");
+  a.subi(SP, 4);
+  a.movi(R11, 64);
+  a.store(SP, 0, R11);
+  a.label(".loop");
+  a.load(R11, SP, 0);
+  a.cmpi(R11, 0);
+  a.jz(".done");
+  a.call(wrapper);
+  a.load(R11, SP, 0);
+  a.subi(R11, 1);
+  a.store(SP, 0, R11);
+  a.jmp(".loop");
+  a.label(".done");
+  a.addi(SP, 4);
+  a.movi(R0, 0);
+  a.ret();
+  emit_libc(a, kPers);
+  GuestProgram g;
+  g.name = name;
+  g.image = a.link();
+  return g;
+}
+
+TEST(FaultCampaign, PromoToctouMutationsFailStop) {
+  CampaignConfig cfg;
+  cfg.seed = 80808;
+  cfg.runs_per_class = 60;
+  cfg.classes = {MutationClass::PromoToctou};
+  cfg.cycle_limit = 200'000'000;
+  // Inline tier on with a low promotion threshold, so sites promote early
+  // and most triggers land inside the trap-less window. The clean run pins
+  // the shadow off, so its behavior snapshots see no promotion at all.
+  cfg.configure_kernel = [](os::Kernel& k) {
+    k.set_inline_tier(true);
+    k.set_inline_promote_threshold(2);
+  };
+  const CampaignResult r = Campaign(cfg).run_all(
+      {loop_guest("pidloop", "sys_getpid"), loop_guest("uidloop", "sys_getuid")});
+
+  EXPECT_EQ(static_cast<int>(r.verdicts.size()), 120);
+  EXPECT_TRUE(r.invariant_holds()) << r.summary();
+  EXPECT_EQ(r.host_crash, 0) << r.summary();
+  EXPECT_EQ(r.silent_bypass, 0) << r.summary();
+  EXPECT_EQ(r.wrong_verdict, 0) << r.summary();
+  EXPECT_GE(r.detected, 100) << "promo-toctou coverage too thin:\n" << r.summary();
+  // The strike point guarantees a promoted site and the flip guarantees
+  // divergence from the verified bytes: nothing may blend into benign.
+  EXPECT_EQ(r.benign, 0) << r.summary();
+  // Both attack shapes surfaced: the MAC flip as BadCallMac, the state
+  // record flip as BadPolicyState.
+  const auto& row = r.matrix.at(MutationClass::PromoToctou);
+  EXPECT_GT(row.count(os::Violation::BadCallMac), 0u) << r.summary();
+  EXPECT_GT(row.count(os::Violation::BadPolicyState), 0u) << r.summary();
 }
 
 TEST(FaultCampaign, IsDeterministicUnderASeed) {

@@ -163,6 +163,38 @@ TEST(FleetDriver, HeavyChurnKeepsShardBookkeepingBalanced) {
   EXPECT_GT(r.total_cycles, 0u);
 }
 
+// ---- the Inline tier at fleet scale: respawn churn must tear tier state
+// all the way down (the fleet.cpp oracle trips on any surviving site) ----
+
+TEST(FleetDriver, InlineTierStateIsTornDownBetweenTenantRespawns) {
+  fleet::FleetConfig cfg;
+  cfg.seed = 13;
+  cfg.tenants = 24;
+  cfg.respawn_every = 1;  // EVERY tenant runs twice on the same kernel
+  cfg.inline_tier = true;
+
+  const fleet::FleetResult r = run_fleet(cfg, 4);
+  // Zero trips = after every run (including the first of each respawn pair)
+  // the tenant kernel held zero inline sites AND the watch accounting
+  // balanced -- the inline tier's own write-watches were all released.
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.respawns, 24);
+  for (const auto& tv : r.tenants) {
+    EXPECT_EQ(tv.runs, 2) << "tenant " << tv.tenant;
+  }
+  // The pidloop guest joined the pool and at least one tenant drew it (24
+  // tenants over a 5-guest pool): the run exercised actual promotion.
+  const bool saw_pidloop =
+      std::any_of(r.tenants.begin(), r.tenants.end(),
+                  [](const fleet::TenantVerdict& tv) { return tv.guest == "pidloop"; });
+  EXPECT_TRUE(saw_pidloop) << "no tenant drew the promoting guest";
+
+  // Determinism holds with the tier on.
+  const fleet::FleetResult r2 = run_fleet(cfg, 1);
+  EXPECT_EQ(r.verdict_trace, r2.verdict_trace);
+  EXPECT_EQ(r.audit.digest, r2.audit.digest);
+}
+
 // ---- the sharded CMAC schedule memo under concurrent construction ----
 
 // Regression test for the fleet's only cross-tenant shared state: many
