@@ -27,6 +27,16 @@
 //     --failure-mode MODE        fail-stop (default) | budgeted:N |
 //                                audit-only; graceful-degradation reaction
 //                                to an established violation
+//     --dispatch MODE            threaded (default; predecoded threaded-code
+//                                engine) | switch (reference decode-and-
+//                                switch interpreter). Architecturally
+//                                byte-identical; only host wall-clock
+//                                differs. ASC_DISPATCH=switch flips the
+//                                default.
+//     --aes MODE                 auto (default; AES-NI when the host has
+//                                it) | scratch (the FIPS-197 reference
+//                                oracle). Identical MACs either way.
+//                                ASC_AES=scratch flips the default.
 //
 // Demo session:
 //   ./example_asctool build gzip /tmp/gzip.txe
@@ -123,7 +133,26 @@ struct RunConfig {
   os::Enforcement monitor = os::Enforcement::Asc;
   os::FailureMode failure = os::FailureMode::FailStop;
   std::uint32_t budget = 0;
+  vm::DispatchMode dispatch = vm::default_dispatch_mode();
 };
+
+bool parse_dispatch_flag(const std::string& s, vm::DispatchMode* out) {
+  if (s == "switch") *out = vm::DispatchMode::Switch;
+  else if (s == "threaded") *out = vm::DispatchMode::Threaded;
+  else return false;
+  return true;
+}
+
+bool parse_aes_flag(const std::string& s) {
+  if (s == "scratch") {
+    crypto::Aes128::set_backend_policy(crypto::Aes128::BackendPolicy::ForceScratch);
+  } else if (s == "auto") {
+    crypto::Aes128::set_backend_policy(crypto::Aes128::BackendPolicy::Auto);
+  } else {
+    return false;
+  }
+  return true;
+}
 
 bool parse_monitor_flag(const std::string& s, os::Enforcement* out) {
   if (s == "off") *out = os::Enforcement::Off;
@@ -161,6 +190,7 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
             const RunConfig& cfg) {
   const binary::Image img = binary::Image::deserialize(read_file(path));
   System sys(os::Personality::LinuxSim, test_key(), cfg.monitor);
+  sys.machine().set_dispatch(cfg.dispatch);
   sys.kernel().set_policy_shadow(cfg.shadow);
   sys.kernel().set_inline_tier(cfg.inline_tier);
   sys.kernel().set_failure_mode(cfg.failure);
@@ -228,6 +258,22 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
                   u(ts.demotions[c]));
     }
     std::printf("\n");
+    // Execution-engine counters: which dispatch ran, which AES core signed,
+    // and (threaded only) what the predecoder did.
+    std::printf("[execution engine]\n");
+    std::printf("  dispatch=%s aes=%s\n",
+                cfg.dispatch == vm::DispatchMode::Threaded ? "threaded" : "switch",
+                crypto::Aes128::backend_policy() == crypto::Aes128::BackendPolicy::Auto &&
+                        crypto::Aes128::aesni_supported()
+                    ? "aesni"
+                    : "scratch");
+    if (cfg.dispatch == vm::DispatchMode::Threaded) {
+      const vm::PredecodeStats& ps = r.predecode;
+      std::printf("  blocks=%llu uops=%llu superinstructions=%llu invalidations=%llu "
+                  "exec-writes=%llu flushes=%llu\n",
+                  u(ps.blocks), u(ps.uops), u(ps.superinstructions), u(ps.invalidations),
+                  u(ps.exec_writes), u(ps.flushes));
+    }
     // Kernel bookkeeping soundness: at teardown every hooked watch range
     // must have been released, and the health machine must have no residue.
     const auto& w = r.final_watch;
@@ -294,6 +340,16 @@ int main(int argc, char** argv) {
                          av[i].c_str());
             return 1;
           }
+        } else if (a == "--dispatch" && i + 1 < ac) {
+          if (!parse_dispatch_flag(av[++i], &cfg.dispatch)) {
+            std::fprintf(stderr, "asctool: bad --dispatch %s (switch|threaded)\n", av[i].c_str());
+            return 1;
+          }
+        } else if (a == "--aes" && i + 1 < ac) {
+          if (!parse_aes_flag(av[++i])) {
+            std::fprintf(stderr, "asctool: bad --aes %s (scratch|auto)\n", av[i].c_str());
+            return 1;
+          }
         } else if (a == "--failure-mode" && i + 1 < ac) {
           if (!parse_failure_mode_flag(av[++i], &cfg.failure, &cfg.budget)) {
             std::fprintf(stderr,
@@ -320,7 +376,8 @@ int main(int argc, char** argv) {
                "       install <in.txe> <out.txe> |\n"
                "       run [--stats] [--no-shadow] [--no-inline]\n"
                "           [--monitor off|asc|daemon|ktable]\n"
-               "           [--failure-mode fail-stop|budgeted:N|audit-only] <img.txe> [args...]\n"
+               "           [--failure-mode fail-stop|budgeted:N|audit-only]\n"
+               "           [--dispatch switch|threaded] [--aes scratch|auto] <img.txe> [args...]\n"
                "       --jobs N: worker threads for the installer's parallel phases\n"
                "                 (default: ASC_JOBS, else hardware concurrency)\n");
   return 1;

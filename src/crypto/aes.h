@@ -7,9 +7,14 @@
 // first use (multiplicative inverse in GF(2^8) + affine map), which avoids
 // transcription errors and keeps the code auditable.
 //
-// This implementation favors clarity over speed; MAC computation cost in the
-// experiments is accounted by the deterministic cycle model (see
-// os/costmodel.h), not by host wall-clock, so a bitsliced AES is unnecessary.
+// The scratch implementation favors clarity over speed and remains the
+// REFERENCE ORACLE: MAC computation cost in the experiments is accounted by
+// the deterministic cycle model (see os/costmodel.h), never by host
+// wall-clock. For wall-clock (fault campaigns, macro benches) an AES-NI
+// backend (crypto/aesni.h) is selected per engine at construction via
+// runtime CPUID -- byte-identical output, asserted against the scratch
+// oracle by the crypto tests. ASC_AES=scratch in the environment (or
+// set_backend_policy) forces the scratch path everywhere.
 #pragma once
 
 #include <array>
@@ -27,6 +32,11 @@ using Block = std::array<std::uint8_t, 16>;
 /// AES-128 with a fixed key schedule, usable for repeated block encryption.
 class Aes128 {
  public:
+  /// Which encryption core an engine instance uses.
+  enum class Backend : std::uint8_t { Scratch, Aesni };
+  /// Process-wide selection rule applied at engine construction.
+  enum class BackendPolicy : std::uint8_t { Auto, ForceScratch };
+
   explicit Aes128(const Key128& key);
 
   /// Encrypt one 16-byte block in place.
@@ -35,9 +45,28 @@ class Aes128 {
   /// Encrypt `in` into `out` (may alias).
   Block encrypt(const Block& in) const;
 
+  /// Encrypt four independent blocks in place. Under AES-NI the four round
+  /// chains are interleaved (the CMAC batch path's core); under Scratch
+  /// this is four sequential encrypt_block calls. Identical results.
+  void encrypt4(Block& b0, Block& b1, Block& b2, Block& b3) const;
+
+  /// The backend this instance selected at construction.
+  Backend backend() const { return backend_; }
+
+  /// True when the host CPU supports AES-NI.
+  static bool aesni_supported();
+
+  /// Process-wide backend policy. Defaults to Auto (AES-NI when the host
+  /// has it); initialized from ASC_AES in the environment ("scratch"
+  /// forces the reference path). Affects engines constructed afterwards.
+  static void set_backend_policy(BackendPolicy policy);
+  static BackendPolicy backend_policy();
+
  private:
-  // 11 round keys of 16 bytes each (AES-128 = 10 rounds).
+  // 11 round keys of 16 bytes each (AES-128 = 10 rounds), in the FIPS-197
+  // byte layout both backends consume.
   std::array<std::uint8_t, 176> round_keys_{};
+  Backend backend_ = Backend::Scratch;
 };
 
 }  // namespace asc::crypto

@@ -1,0 +1,80 @@
+#include "crypto/aesni.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && defined(__GNUC__)
+#define ASC_HAVE_AESNI 1
+#include <cpuid.h>
+#include <wmmintrin.h>
+#else
+#define ASC_HAVE_AESNI 0
+#endif
+
+namespace asc::crypto::aesni {
+
+#if ASC_HAVE_AESNI
+
+bool supported() {
+  static const bool ok = [] {
+    unsigned eax = 0;
+    unsigned ebx = 0;
+    unsigned ecx = 0;
+    unsigned edx = 0;
+    if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+    return (ecx & bit_AES) != 0;
+  }();
+  return ok;
+}
+
+namespace {
+
+__attribute__((target("aes,sse2"))) inline __m128i load(const std::uint8_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+
+}  // namespace
+
+__attribute__((target("aes,sse2"))) void encrypt_block(const std::uint8_t* round_keys,
+                                                       std::uint8_t* block) {
+  __m128i b = load(block);
+  b = _mm_xor_si128(b, load(round_keys));
+  for (int r = 1; r <= 9; ++r) b = _mm_aesenc_si128(b, load(round_keys + 16 * r));
+  b = _mm_aesenclast_si128(b, load(round_keys + 160));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(block), b);
+}
+
+__attribute__((target("aes,sse2"))) void encrypt4(const std::uint8_t* round_keys,
+                                                  std::uint8_t* b0, std::uint8_t* b1,
+                                                  std::uint8_t* b2, std::uint8_t* b3) {
+  const __m128i k0 = load(round_keys);
+  __m128i x0 = _mm_xor_si128(load(b0), k0);
+  __m128i x1 = _mm_xor_si128(load(b1), k0);
+  __m128i x2 = _mm_xor_si128(load(b2), k0);
+  __m128i x3 = _mm_xor_si128(load(b3), k0);
+  for (int r = 1; r <= 9; ++r) {
+    const __m128i k = load(round_keys + 16 * r);
+    x0 = _mm_aesenc_si128(x0, k);
+    x1 = _mm_aesenc_si128(x1, k);
+    x2 = _mm_aesenc_si128(x2, k);
+    x3 = _mm_aesenc_si128(x3, k);
+  }
+  const __m128i kl = load(round_keys + 160);
+  x0 = _mm_aesenclast_si128(x0, kl);
+  x1 = _mm_aesenclast_si128(x1, kl);
+  x2 = _mm_aesenclast_si128(x2, kl);
+  x3 = _mm_aesenclast_si128(x3, kl);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(b0), x0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(b1), x1);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(b2), x2);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(b3), x3);
+}
+
+#else  // !ASC_HAVE_AESNI
+
+bool supported() { return false; }
+
+// Never reached: Aes128 only routes here when supported() is true.
+void encrypt_block(const std::uint8_t*, std::uint8_t*) {}
+void encrypt4(const std::uint8_t*, std::uint8_t*, std::uint8_t*, std::uint8_t*, std::uint8_t*) {}
+
+#endif  // ASC_HAVE_AESNI
+
+}  // namespace asc::crypto::aesni

@@ -1,0 +1,31 @@
+// Hardware AES-128 encryption via the x86 AES-NI instructions.
+//
+// Free functions over the FIPS-197 round-key byte layout that Aes128
+// already stores (round_keys_ is 11 x 16 bytes, directly loadable with
+// unaligned 128-bit loads), so the hardware path and the scratch path share
+// one key schedule. Compiled with a per-function target("aes") attribute --
+// no global -maes -- and selected at runtime via CPUID, so the same binary
+// runs on hosts without the extension. On non-x86 builds `supported()` is
+// false and the encrypt functions are never called.
+//
+// Oracle contract: byte-identical output to Aes128's scratch
+// implementation for every key/block (asserted by the crypto tests); the
+// scratch code remains the reference.
+#pragma once
+
+#include <cstdint>
+
+namespace asc::crypto::aesni {
+
+/// True when the host CPU executes AES-NI (cached CPUID probe).
+bool supported();
+
+/// Encrypt one 16-byte block in place with the 176-byte expanded key.
+void encrypt_block(const std::uint8_t* round_keys, std::uint8_t* block);
+
+/// Encrypt four independent 16-byte blocks in place, round-interleaved so
+/// the four aesenc dependency chains overlap (the CMAC batch path's core).
+void encrypt4(const std::uint8_t* round_keys, std::uint8_t* b0, std::uint8_t* b1,
+              std::uint8_t* b2, std::uint8_t* b3);
+
+}  // namespace asc::crypto::aesni

@@ -1,6 +1,8 @@
 #include "crypto/cmac.h"
 
+#include <algorithm>
 #include <array>
+#include <atomic>
 #include <map>
 #include <mutex>
 
@@ -40,6 +42,9 @@ void xor_into(Block& dst, const Block& src) {
   for (int i = 0; i < 16; ++i) dst[static_cast<std::size_t>(i)] ^= src[static_cast<std::size_t>(i)];
 }
 
+// Sweep-probe counter across all shards (test hook; see memo_sweep_visited).
+std::atomic<std::uint64_t> g_sweep_visited{0};
+
 }  // namespace
 
 /// One shard of the schedule memo. Sharding by key hash keeps concurrent
@@ -48,6 +53,8 @@ void xor_into(Block& dst, const Block& src) {
 struct Cmac::MemoShard {
   std::mutex mu;
   std::map<Key128, std::weak_ptr<const Schedule>> map;
+  // Where the amortized expired-node sweep resumes (all-zero key = start).
+  Key128 sweep_cursor{};
 };
 
 std::array<Cmac::MemoShard, Cmac::kMemoShards>& Cmac::shards() {
@@ -77,11 +84,21 @@ Cmac::Cmac(const Key128& key) {
     }
     memo.erase(it);
   }
-  // Sweep nodes whose schedule died before inserting a new one: a workload
-  // rotating through many distinct keys then keeps the shard bounded by the
-  // number of LIVE keys, not by every key ever seen.
-  for (auto it = memo.begin(); it != memo.end();) {
-    it = it->second.expired() ? memo.erase(it) : std::next(it);
+  // Amortized expired-node sweep before inserting: advance a per-shard
+  // cursor by at most kSweepPerInsert nodes, erasing the dead ones. A
+  // workload rotating through many distinct keys adds at most one dead
+  // node per construction and each construction retires up to four, so the
+  // shard stays bounded by the LIVE keys while construction cost stays
+  // flat no matter how many dead keys accumulate (previously this was a
+  // full O(shard) scan on every construction).
+  if (!memo.empty()) {
+    auto it = memo.lower_bound(shard.sweep_cursor);
+    for (int v = 0; v < kSweepPerInsert && !memo.empty(); ++v) {
+      if (it == memo.end()) it = memo.begin();
+      g_sweep_visited.fetch_add(1, std::memory_order_relaxed);
+      it = it->second.expired() ? memo.erase(it) : std::next(it);
+    }
+    shard.sweep_cursor = it == memo.end() ? Key128{} : it->first;
   }
   auto sched = std::make_shared<Schedule>(key);
   Block l{};
@@ -99,6 +116,10 @@ std::size_t Cmac::schedule_memo_size() {
     n += shard.map.size();
   }
   return n;
+}
+
+std::uint64_t Cmac::memo_sweep_visited() {
+  return g_sweep_visited.load(std::memory_order_relaxed);
 }
 
 Mac Cmac::compute(std::span<const std::uint8_t> message) const {
@@ -129,6 +150,73 @@ Mac Cmac::compute(std::span<const std::uint8_t> message) const {
   xor_into(x, last);
   s.aes.encrypt_block(x);
   return x;
+}
+
+std::vector<Mac> Cmac::compute_batch(
+    std::span<const std::span<const std::uint8_t>> messages) const {
+  const Schedule& s = *sched_;
+  const std::size_t count = messages.size();
+  std::vector<Mac> out(count);
+
+  // Per-lane shape, derived exactly as compute() does: block count (empty
+  // message = one padded block) and the prepared final block (complete
+  // last block XOR K1, or 0x80-padded partial XOR K2).
+  struct Lane {
+    std::span<const std::uint8_t> msg;
+    std::size_t nblocks = 0;
+    Block last{};
+    Block x{};  // running CBC value
+    std::size_t out_index = 0;
+  };
+
+  std::array<Lane, 4> lanes;
+  for (std::size_t base = 0; base < count; base += 4) {
+    const std::size_t group = std::min<std::size_t>(4, count - base);
+    std::size_t rounds = 0;
+    for (std::size_t l = 0; l < group; ++l) {
+      Lane& lane = lanes[l];
+      lane.msg = messages[base + l];
+      lane.out_index = base + l;
+      const std::size_t n = lane.msg.size();
+      lane.nblocks = n == 0 ? 1 : (n + 15) / 16;
+      lane.x = Block{};
+      lane.last = Block{};
+      if (n != 0 && n % 16 == 0) {
+        for (std::size_t j = 0; j < 16; ++j) lane.last[j] = lane.msg[16 * (lane.nblocks - 1) + j];
+        xor_into(lane.last, s.k1);
+      } else {
+        const std::size_t rem = n - 16 * (lane.nblocks - 1);
+        for (std::size_t j = 0; j < rem; ++j) lane.last[j] = lane.msg[16 * (lane.nblocks - 1) + j];
+        lane.last[rem] = 0x80;
+        xor_into(lane.last, s.k2);
+      }
+      rounds = std::max(rounds, lane.nblocks);
+    }
+
+    // Lockstep CBC: each round XORs the next message block into every lane
+    // still running, then encrypts all four lanes through one interleaved
+    // encrypt4 (finished/absent lanes carry a dummy). Per lane this is the
+    // exact chain compute() performs, so results are byte-identical.
+    Block dummy{};
+    for (std::size_t r = 0; r < rounds; ++r) {
+      std::array<Block*, 4> slot{&dummy, &dummy, &dummy, &dummy};
+      for (std::size_t l = 0; l < group; ++l) {
+        Lane& lane = lanes[l];
+        if (r >= lane.nblocks) continue;
+        if (r + 1 == lane.nblocks) {
+          xor_into(lane.x, lane.last);
+        } else {
+          Block m{};
+          for (std::size_t j = 0; j < 16; ++j) m[j] = lane.msg[16 * r + j];
+          xor_into(lane.x, m);
+        }
+        slot[l] = &lane.x;
+      }
+      s.aes.encrypt4(*slot[0], *slot[1], *slot[2], *slot[3]);
+    }
+    for (std::size_t l = 0; l < group; ++l) out[lanes[l].out_index] = lanes[l].x;
+  }
+  return out;
 }
 
 bool Cmac::equal(const Mac& a, const Mac& b) {

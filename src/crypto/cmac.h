@@ -43,6 +43,13 @@ class Cmac {
   /// MAC over an arbitrary-length message (including the empty message).
   Mac compute(std::span<const std::uint8_t> message) const;
 
+  /// MACs over several independent messages, processed in lockstep groups
+  /// of four CBC chains through Aes128::encrypt4 -- under the AES-NI
+  /// backend the four aesenc dependency chains overlap, which is where the
+  /// checker's multi-MAC trap verification gets its throughput. Results
+  /// are byte-identical to calling compute() per message on any backend.
+  std::vector<Mac> compute_batch(std::span<const std::span<const std::uint8_t>> messages) const;
+
   /// Constant-time-ish comparison (not strictly required in a simulation,
   /// but cheap to do right).
   static bool equal(const Mac& a, const Mac& b);
@@ -52,8 +59,19 @@ class Cmac {
   /// the live keys.
   static std::size_t schedule_memo_size();
 
+  /// Total expired-node-sweep probe count across all constructions (test
+  /// hook: proves construction visits O(kSweepPerInsert) nodes, not the
+  /// whole shard, as dead keys accumulate).
+  static std::uint64_t memo_sweep_visited();
+
   /// Memo shard count (fixed; test/inspection surface).
   static constexpr std::size_t kMemoShards = 16;
+
+  /// Expired-node sweep budget per construction (amortized: each insert
+  /// advances a per-shard cursor by at most this many nodes, so a shard is
+  /// fully swept every size/kSweepPerInsert constructions while each one
+  /// stays O(1)).
+  static constexpr int kSweepPerInsert = 4;
 
  private:
   struct Schedule;   // {Aes128, K1, K2}, immutable once derived
@@ -73,6 +91,18 @@ class MacKey {
   Mac mac(std::span<const std::uint8_t> message) const { return cmac_.compute(message); }
   bool verify(std::span<const std::uint8_t> message, const Mac& expected) const {
     return Cmac::equal(cmac_.compute(message), expected);
+  }
+  /// Verify several {message, expected} pairs through the batched CMAC
+  /// core; ok[i] is the verdict for pair i. Equivalent to verify() per
+  /// pair -- callers that must preserve a fail-fast order walk the results
+  /// in their own order (extra MACs computed on a failing batch are wasted
+  /// wall-clock on a path that terminates the process anyway).
+  std::vector<bool> verify_batch(std::span<const std::span<const std::uint8_t>> messages,
+                                 std::span<const Mac> expected) const {
+    const std::vector<Mac> macs = cmac_.compute_batch(messages);
+    std::vector<bool> ok(macs.size());
+    for (std::size_t i = 0; i < macs.size(); ++i) ok[i] = Cmac::equal(macs[i], expected[i]);
+    return ok;
   }
 
  private:

@@ -10,6 +10,7 @@
 #include "binary/image.h"
 #include "isa/isa.h"
 #include "vm/memory.h"
+#include "vm/predecode.h"
 
 namespace asc::os {
 
@@ -68,6 +69,9 @@ struct Process {
 
   CpuState cpu;
   vm::Memory mem;
+  // Predecoded-code mirror of `mem` for the threaded engine (vm/engine.cpp);
+  // unused (empty) when the Machine runs the switch interpreter.
+  vm::PredecodeCache predecode;
 
   // Run status.
   bool running = true;

@@ -28,7 +28,7 @@ void Cpu::step(os::Process& p, os::Kernel& kernel) {
       break;
     case Op::Halt:
       p.running = false;
-      p.exit_code = 134;  // abort-like
+      p.exit_code = Cpu::kHaltExitCode;
       p.violation_detail = "halt instruction";
       return;
     case Op::Syscall:

@@ -16,6 +16,11 @@ namespace asc::vm {
 
 class Cpu {
  public:
+  /// Exit code of a process stopped by Op::Halt: 128 + SIGABRT, the shell
+  /// convention for "killed by abort". Halt is the guest-bug stop (normal
+  /// termination is the Exit syscall), so it reports like an abort().
+  static constexpr int kHaltExitCode = 128 + 6;
+
   /// Execute one instruction of `p`. Traps into `kernel` on SYSCALL.
   /// Throws asc::GuestFault on illegal operations (the Machine converts
   /// this into an abnormal termination).

@@ -1,0 +1,32 @@
+// Threaded-code execution engine.
+//
+// Runs a process over the predecoded micro-op streams of its
+// vm::PredecodeCache (see vm/predecode.h for the invalidation and
+// byte-identity contract). Dispatch is computed-goto where the compiler
+// supports GNU label-values, with a portable switch fallback sharing the
+// same handler bodies; build with -DASC_NO_COMPUTED_GOTO to force the
+// fallback (the differential tests exercise both against the switch
+// interpreter).
+#pragma once
+
+#include <cstdint>
+
+namespace asc::os {
+class Kernel;
+struct Process;
+}  // namespace asc::os
+
+namespace asc::vm {
+
+enum class EngineExit : std::uint8_t {
+  Stopped,     // p.running went false (exit/halt/violation fail-stop)
+  CycleLimit,  // p.cycles exceeded the limit; cpu.pc is the next instruction
+};
+
+/// Execute `p` until it stops or exceeds `cycle_limit`, equivalently to
+/// `while (p.running) { if (p.cycles > cycle_limit) break; Cpu::step(p, k); }`
+/// but over predecoded blocks. Throws exactly what that loop would throw
+/// (GuestFault, DecodeError) with identical Process state at the throw.
+EngineExit run_predecoded(os::Process& p, os::Kernel& kernel, std::uint64_t cycle_limit);
+
+}  // namespace asc::vm

@@ -1,15 +1,25 @@
 #include "vm/machine.h"
 
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 #include "isa/isa.h"
 #include "util/error.h"
 #include "vm/cpu.h"
+#include "vm/engine.h"
 
 namespace asc::vm {
 
+DispatchMode default_dispatch_mode() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) -- read once before threads start
+  const char* env = std::getenv("ASC_DISPATCH");
+  if (env != nullptr && std::strcmp(env, "switch") == 0) return DispatchMode::Switch;
+  return DispatchMode::Threaded;
+}
+
 Machine::Machine(os::Personality personality, os::CostModel cost)
-    : kernel_(personality, cost) {
+    : kernel_(personality, cost), dispatch_(default_dispatch_mode()) {
   // Wire spawn once: the child shares the kernel (and thus the filesystem
   // and the event log) but gets its own address space and process state.
   // The parent's accounting absorbs the child's, so end-to-end workload
@@ -106,18 +116,30 @@ RunResult Machine::run_internal(const binary::Image& image, const std::vector<st
   setup_initial_stack(p, argv);
 
   RunResult res;
+  // The hooks' contract is per-instruction observation, which the threaded
+  // engine deliberately does not provide -- hooked runs (attack tests) take
+  // the reference interpreter regardless of the dispatch setting.
+  const bool threaded = dispatch_ == DispatchMode::Threaded && !pre_instr_hook &&
+                        !pre_syscall_hook;
   try {
-    while (p.running) {
-      if (p.cycles > cycle_limit_) {
+    if (threaded) {
+      p.predecode.set_fusion(superinstructions_);
+      if (run_predecoded(p, kernel_, cycle_limit_) == EngineExit::CycleLimit) {
         res.cycle_limit_hit = true;
-        break;
       }
-      if (pre_instr_hook) pre_instr_hook(p);
-      if (pre_syscall_hook && p.mem.in_range(p.cpu.pc) &&
-          p.mem.r8(p.cpu.pc) == static_cast<std::uint8_t>(isa::Op::Syscall)) {
-        pre_syscall_hook(p, p.cpu.pc);
+    } else {
+      while (p.running) {
+        if (p.cycles > cycle_limit_) {
+          res.cycle_limit_hit = true;
+          break;
+        }
+        if (pre_instr_hook) pre_instr_hook(p);
+        if (pre_syscall_hook && p.mem.in_range(p.cpu.pc) &&
+            p.mem.r8(p.cpu.pc) == static_cast<std::uint8_t>(isa::Op::Syscall)) {
+          pre_syscall_hook(p, p.cpu.pc);
+        }
+        Cpu::step(p, kernel_);
       }
-      Cpu::step(p, kernel_);
     }
     if (!res.cycle_limit_hit && p.violation == os::Violation::None &&
         p.violation_detail.empty()) {
@@ -134,6 +156,7 @@ RunResult Machine::run_internal(const binary::Image& image, const std::vector<st
   kernel_.end_process(p.pid);
 
   res.final_watch = p.mem.watch_stats();
+  res.predecode = p.predecode.stats();
   // Teardown must leave zero watched ranges: a leak means an eviction path
   // (cache, shadow, or quarantine) kept a registration past the process.
   assert(res.final_watch.live_ranges == 0 &&

@@ -17,8 +17,17 @@
 #include "os/kernel.h"
 #include "os/process.h"
 #include "vm/memory.h"
+#include "vm/predecode.h"
 
 namespace asc::vm {
+
+/// How the Machine executes guest instructions. Both produce byte-identical
+/// architectural results (modeled cycles, audit traces, final state); they
+/// differ only in host wall-clock. See vm/engine.cpp.
+enum class DispatchMode : std::uint8_t {
+  Switch,    // reference decode-and-switch interpreter (vm/cpu.cpp)
+  Threaded,  // predecoded threaded-code engine (vm/engine.cpp)
+};
 
 struct RunResult {
   bool completed = false;  // ran to exit() (even nonzero); false on kill/fault/limit
@@ -35,6 +44,8 @@ struct RunResult {
   /// teardown: live_ranges/live_refs must be zero (every cache/shadow
   /// registration returned), which the chaos invariant oracles assert.
   vm::Memory::WatchStats final_watch;
+  /// Predecode counters of the threaded engine (all zeros under Switch).
+  vm::PredecodeStats predecode;
 
   bool killed_by_monitor() const { return violation != os::Violation::None; }
 };
@@ -64,6 +75,18 @@ class Machine {
 
   void set_cycle_limit(std::uint64_t limit) { cycle_limit_ = limit; }
 
+  /// Select the execution engine. Defaults to Threaded (override with
+  /// ASC_DISPATCH=switch in the environment). Runs with pre_instr_hook or
+  /// pre_syscall_hook installed always take the switch interpreter: the
+  /// hooks' contract is per-instruction observation, which the threaded
+  /// engine deliberately does not provide.
+  void set_dispatch(DispatchMode mode) { dispatch_ = mode; }
+  DispatchMode dispatch() const { return dispatch_; }
+  /// Superinstruction fusion toggle for the threaded engine (differential
+  /// tests pit fused and unfused streams against the reference).
+  void set_superinstructions(bool on) { superinstructions_ = on; }
+  bool superinstructions() const { return superinstructions_; }
+
   /// Test hooks. `pre_syscall_hook` fires just before the kernel sees each
   /// SYSCALL (after the trap, before checking) -- attack tests use it to
   /// tamper with registers/memory at precise moments. `pre_instr_hook`
@@ -80,7 +103,12 @@ class Machine {
   std::uint64_t cycle_limit_ = 4'000'000'000ull;
   int next_pid_ = 1;
   int spawn_depth_ = 0;
+  DispatchMode dispatch_;
+  bool superinstructions_ = true;
 };
+
+/// Process-wide default dispatch mode: Threaded, unless ASC_DISPATCH=switch.
+DispatchMode default_dispatch_mode();
 
 /// Set up the initial stack: argv strings + pointer array; returns
 /// {argc in r1, argv pointer in r2} by mutating the process.

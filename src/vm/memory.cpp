@@ -129,6 +129,10 @@ void Memory::recompute_watch_envelope() {
 }
 
 void Memory::notify_write(std::uint32_t addr, std::uint32_t n) {
+  // Exec channel first: predecoded spans must be invalidated before any
+  // data-watch eviction logic runs (and, like the data watch, before the
+  // bytes themselves change).
+  if (on_exec_write_ && addr < exec_max_ && addr + n > exec_min_) on_exec_write_(addr, n);
   if (watch_max_ == 0 || !on_watched_write_) return;
   if (addr >= watch_max_ || addr + n <= watch_min_) return;  // outside the envelope
   for (const auto& w : watches_) {

@@ -84,6 +84,22 @@ class Memory {
   };
   WatchStats watch_stats() const;
 
+  // ---- exec-watch (predecoded-code invalidation) ----
+  // Separate channel from the refcounted data watches above: the threaded
+  // engine (vm/engine.cpp) must hear about writes into predecoded code spans
+  // without perturbing the WatchStats ledger the chaos oracles audit. The
+  // engine maintains its own page index; Memory keeps only a grow-only
+  // [min,max) envelope so the common data store is a two-compare rejection.
+  // The callback fires BEFORE the bytes change, like the data watch.
+  using ExecWatchFn = std::function<void(std::uint32_t addr, std::uint32_t len)>;
+  void set_exec_watch(ExecWatchFn fn) { on_exec_write_ = std::move(fn); }
+  /// Grow the exec envelope to cover [lo, hi). Never shrinks; a stale
+  /// envelope only costs spurious callbacks, which the engine filters.
+  void expand_exec_envelope(std::uint32_t lo, std::uint32_t hi) {
+    if (lo < exec_min_) exec_min_ = lo;
+    if (hi > exec_max_) exec_max_ = hi;
+  }
+
  private:
   struct WatchRange {
     std::uint32_t addr;
@@ -95,6 +111,9 @@ class Memory {
   void recompute_watch_envelope();
   std::vector<std::uint8_t> bytes_;
   WriteWatchFn on_watched_write_;
+  ExecWatchFn on_exec_write_;
+  std::uint32_t exec_min_ = 0xffffffffu;
+  std::uint32_t exec_max_ = 0;  // exclusive; 0 = no exec watch
   std::vector<WatchRange> watches_;
   std::uint64_t watch_peak_ = 0;
   std::uint64_t watch_registered_ = 0;

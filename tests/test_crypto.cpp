@@ -125,6 +125,153 @@ TEST(Cmac, ScheduleMemoStaysBoundedUnderKeyRotation) {
   EXPECT_EQ(Cmac::schedule_memo_size(), with_live);
 }
 
+// Construction cost must stay FLAT as dead keys accumulate: the expired-node
+// sweep is amortized (at most kSweepPerInsert probes per construction), not
+// a full-shard scan. Pile up hundreds of dead nodes, then check the probe
+// counter's per-construction delta never exceeds the budget.
+TEST(Cmac, AmortizedSweepKeepsConstructionCostFlat) {
+  auto make_key = [](std::uint32_t i) {
+    Key128 k{};
+    k[0] = static_cast<std::uint8_t>(i);
+    k[1] = static_cast<std::uint8_t>(i >> 8);
+    k[2] = 0xd5;  // namespace the test's keys away from other tests'
+    return k;
+  };
+  // Phase 1: rotate through many keys, every engine dying immediately.
+  for (std::uint32_t i = 0; i < 400; ++i) {
+    Cmac engine(make_key(i));
+    (void)engine;
+  }
+  // Phase 2: each further construction probes at most kSweepPerInsert
+  // memo nodes, no matter how much garbage phase 1 left behind.
+  for (std::uint32_t i = 400; i < 432; ++i) {
+    const std::uint64_t before = Cmac::memo_sweep_visited();
+    Cmac engine(make_key(i));
+    (void)engine;
+    const std::uint64_t probes = Cmac::memo_sweep_visited() - before;
+    EXPECT_LE(probes, static_cast<std::uint64_t>(Cmac::kSweepPerInsert)) << "construction " << i;
+  }
+  // A memo hit (live schedule reuse) must not probe at all.
+  Cmac live(make_key(9999));
+  const std::uint64_t before = Cmac::memo_sweep_visited();
+  Cmac again(make_key(9999));
+  EXPECT_EQ(Cmac::memo_sweep_visited() - before, 0u);
+}
+
+class BackendGuard {
+ public:
+  explicit BackendGuard(Aes128::BackendPolicy p) : saved_(Aes128::backend_policy()) {
+    Aes128::set_backend_policy(p);
+  }
+  ~BackendGuard() { Aes128::set_backend_policy(saved_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  Aes128::BackendPolicy saved_;
+};
+
+// The scratch implementation is the reference oracle for the AES-NI
+// backend: identical ciphertext for random keys and blocks, through both
+// the single-block and the 4-wide interleaved entry points.
+TEST(Aes, AesniMatchesScratchOracle) {
+  if (!Aes128::aesni_supported()) GTEST_SKIP() << "host has no AES-NI";
+  util::Rng rng(7);
+  for (int trial = 0; trial < 64; ++trial) {
+    Key128 key{};
+    for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_below(256));
+    BackendGuard force(Aes128::BackendPolicy::ForceScratch);
+    Aes128 scratch(key);
+    ASSERT_EQ(scratch.backend(), Aes128::Backend::Scratch);
+    Aes128::set_backend_policy(Aes128::BackendPolicy::Auto);
+    Aes128 hw(key);
+    ASSERT_EQ(hw.backend(), Aes128::Backend::Aesni);
+
+    std::array<Block, 4> blocks{};
+    for (auto& blk : blocks) {
+      for (auto& b : blk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    for (const auto& blk : blocks) EXPECT_EQ(scratch.encrypt(blk), hw.encrypt(blk));
+
+    std::array<Block, 4> a = blocks;
+    std::array<Block, 4> b = blocks;
+    scratch.encrypt4(a[0], a[1], a[2], a[3]);
+    hw.encrypt4(b[0], b[1], b[2], b[3]);
+    EXPECT_EQ(a, b);
+  }
+}
+
+// encrypt4 must equal four independent encrypt_block calls on EVERY
+// backend (the batch CMAC path builds on this).
+TEST(Aes, Encrypt4MatchesFourSingles) {
+  util::Rng rng(11);
+  Key128 key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_below(256));
+  Aes128 aes(key);
+  for (int trial = 0; trial < 16; ++trial) {
+    std::array<Block, 4> blocks{};
+    for (auto& blk : blocks) {
+      for (auto& b : blk) b = static_cast<std::uint8_t>(rng.next_below(256));
+    }
+    std::array<Block, 4> batch = blocks;
+    aes.encrypt4(batch[0], batch[1], batch[2], batch[3]);
+    for (int i = 0; i < 4; ++i) {
+      Block single = blocks[static_cast<std::size_t>(i)];
+      aes.encrypt_block(single);
+      EXPECT_EQ(batch[static_cast<std::size_t>(i)], single);
+    }
+  }
+}
+
+// compute_batch must be byte-identical to per-message compute() for every
+// length class (empty, partial, exact multiple, multi-block) and every
+// batch size (off-by-one around the 4-lane group boundary), on whichever
+// backend the host selects and on the scratch oracle.
+TEST(Cmac, BatchMatchesSequentialCompute) {
+  const std::vector<std::size_t> lengths = {0, 1, 15, 16, 17, 31, 32, 33, 48, 64, 65, 100, 256};
+  util::Rng rng(23);
+  std::vector<std::vector<std::uint8_t>> messages;
+  for (const std::size_t len : lengths) messages.push_back(rng.next_bytes(len));
+
+  for (const auto policy :
+       {Aes128::BackendPolicy::ForceScratch, Aes128::BackendPolicy::Auto}) {
+    BackendGuard guard(policy);
+    const Cmac cmac(key_of("2b7e151628aed2a6abf7158809cf4f3c"));
+    for (std::size_t count = 0; count <= messages.size(); ++count) {
+      std::vector<std::span<const std::uint8_t>> spans;
+      for (std::size_t i = 0; i < count; ++i) spans.emplace_back(messages[i]);
+      const std::vector<Mac> batch = cmac.compute_batch(spans);
+      ASSERT_EQ(batch.size(), count);
+      for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(util::to_hex(batch[i]), util::to_hex(cmac.compute(spans[i])))
+            << "count " << count << " message " << i;
+      }
+    }
+  }
+}
+
+// The batched verifier agrees with verify() per pair, including mixed
+// pass/fail batches.
+TEST(MacKey, VerifyBatchMatchesVerify) {
+  MacKey key(key_of("00112233445566778899aabbccddeeff"));
+  util::Rng rng(31);
+  std::vector<std::vector<std::uint8_t>> messages;
+  std::vector<Mac> expected;
+  for (int i = 0; i < 9; ++i) {
+    messages.push_back(rng.next_bytes(rng.next_below(80)));
+    Mac m = key.mac(messages.back());
+    if (i % 3 == 1) m[5] ^= 1;  // corrupt every third expectation
+    expected.push_back(m);
+  }
+  std::vector<std::span<const std::uint8_t>> spans(messages.begin(), messages.end());
+  const std::vector<bool> ok = key.verify_batch(spans, expected);
+  ASSERT_EQ(ok.size(), messages.size());
+  for (std::size_t i = 0; i < messages.size(); ++i) {
+    EXPECT_EQ(ok[i], key.verify(spans[i], expected[i])) << "pair " << i;
+    EXPECT_EQ(ok[i], i % 3 != 1) << "pair " << i;
+  }
+}
+
 TEST(MacKey, VerifyRoundTrip) {
   MacKey key(key_of("00112233445566778899aabbccddeeff"));
   const auto msg = util::bytes_of("encoded policy bytes");
