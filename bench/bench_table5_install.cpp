@@ -1,10 +1,17 @@
 // Table 5 companion: host-side installer & fault-campaign throughput under
 // the work-stealing executor (util/executor.h), at jobs = 1, 2, 8.
 //
-// Two workloads:
+// Three workloads:
 //   install_fleet   -- analyze+rewrite every bundled app (explicit program
 //                      ids, one shared pool), the paper's Fig. 2 installer
 //                      run over a whole machine image;
+//   rekey_fleet     -- re-sign every installed app under a new key via the
+//                      differential installer::Rekeyer: O(MAC surface)
+//                      instead of O(re-analysis), output byte-identical to
+//                      a fresh install under the new key. Its extra
+//                      modeled_rekey_speedup column (reinstall cycles /
+//                      rekey cycles, priced per-byte from the runtime cost
+//                      model -- see the rekey_fleet block) is gated >= 10x;
 //   fault_campaign  -- the seeded mutation sweep of fault::Campaign (each
 //                      mutated replay is an independent System).
 //
@@ -33,6 +40,8 @@
 
 #include "core/asc.h"
 #include "fault/campaign.h"
+#include "installer/rekeyer.h"
+#include "os/costmodel.h"
 #include "util/executor.h"
 
 namespace {
@@ -93,6 +102,41 @@ FleetRun install_fleet(int jobs) {
   return fr;
 }
 
+/// Install every app once, keeping images AND manifests (the rekey inputs).
+std::vector<installer::InstallResult> install_all_keep_manifests() {
+  const auto apps = apps::build_all(kPers);
+  installer::Installer inst(test_key(), kPers);
+  std::vector<installer::InstallResult> out;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    installer::InstallOptions opt;
+    opt.program_id = static_cast<std::uint16_t>(i + 1);
+    out.push_back(inst.install(apps[i].second, opt));
+  }
+  return out;
+}
+
+struct RekeyRun {
+  double wall = 0;
+  std::vector<std::vector<std::uint8_t>> images;  // serialized, app order
+  std::size_t surface_bytes = 0;                  // MAC surface actually re-signed
+};
+
+/// Re-sign every installed app under a new key on a `jobs`-wide pool.
+RekeyRun rekey_fleet(const std::vector<installer::InstallResult>& installed, int jobs) {
+  util::Executor ex(jobs);
+  const crypto::Key128 nk = derived_key(5);
+  RekeyRun rr;
+  rr.wall = now_seconds();
+  for (const auto& inst : installed) {
+    installer::RekeyResult r =
+        installer::Rekeyer::rekey(inst.image, inst.manifest, test_key(), nk, &ex);
+    rr.surface_bytes += r.stats.surface_bytes;
+    rr.images.push_back(r.image.serialize());
+  }
+  rr.wall = now_seconds() - rr.wall;
+  return rr;
+}
+
 struct CampaignRun {
   double wall = 0;
   fault::CampaignResult result;
@@ -122,6 +166,10 @@ struct Row {
   bool deterministic = true;
   double wall[3] = {0, 0, 0};      // indexed like kJobs
   double modeled[3] = {1, 1, 1};
+  /// Differential-rekey advantage over a full reinstall: modeled reinstall
+  /// cycles / modeled rekey cycles (see the rekey_fleet block for pricing).
+  /// 0 = not a rekey row (column omitted from the JSON).
+  double rekey_speedup = 0;
 };
 
 void run_table() {
@@ -156,6 +204,68 @@ void run_table() {
 
   {
     Row r;
+    r.name = "rekey_fleet";
+    const std::vector<installer::InstallResult> installed = install_all_keep_manifests();
+    RekeyRun ref;
+    for (int j = 0; j < 3; ++j) {
+      RekeyRun rr = rekey_fleet(installed, kJobs[j]);
+      r.wall[j] = rr.wall;
+      if (j == 0) {
+        ref = std::move(rr);
+      } else if (rr.images != ref.images) {
+        r.deterministic = false;
+      }
+    }
+    // The differential oracle, checked in the bench too: the rekeyed fleet
+    // must be byte-identical to a fresh install of every app under the new
+    // key (same explicit program ids).
+    {
+      installer::Installer fresh(derived_key(5), kPers);
+      const auto apps = apps::build_all(kPers);
+      for (std::size_t i = 0; i < apps.size(); ++i) {
+        installer::InstallOptions opt;
+        opt.program_id = static_cast<std::uint16_t>(i + 1);
+        if (fresh.install(apps[i].second, opt).image.serialize() != ref.images[i]) {
+          r.deterministic = false;
+        }
+      }
+    }
+    r.tasks = ref.images.size();
+    // Weights: each app's MAC-surface bytes -- what the Rekeyer touches.
+    std::vector<double> weights;
+    double input_bytes = 0;
+    for (const auto& inst : installed) {
+      weights.push_back(static_cast<double>(inst.manifest.mac_surface_bytes()));
+      const auto* text = inst.image.find_section(binary::SectionKind::Text);
+      input_bytes += text != nullptr ? static_cast<double>(text->size()) : 1.0;
+    }
+    for (int j = 0; j < 3; ++j) r.modeled[j] = modeled_speedup(weights, kJobs[j]);
+    // Modeled differential advantage, priced in cycles on both sides so the
+    // column is deterministic and host-independent:
+    //   reinstall = kAnalysisCyclesPerByte * text  +  cmac * surface (sign)
+    //   rekey     = 2 * cmac * surface   (verify old key + sign new key)
+    // The CMAC rate is the runtime cost model's own price for the same
+    // primitive (CostModel::mac_per_block over a 16-byte block -- the
+    // paper's software CMAC). kAnalysisCyclesPerByte prices the installer's
+    // decode + CFG + supergraph + policy-derivation + layout passes per
+    // .text byte: back-solving this bench's measured walls (install_fleet
+    // j1 runs ~50x rekey_fleet j1 on an AES-NI dev host, where real CMAC
+    // is ~2.6x faster than the modeled software rate) gives ~1300
+    // cycles/byte; rounded DOWN to 1024 so the modeled ratio understates
+    // the measured one.
+    constexpr double kCmacCyclesPerByte =
+        static_cast<double>(os::CostModel{}.mac_per_block) / 16.0;
+    constexpr double kAnalysisCyclesPerByte = 1024.0;
+    const double surface_bytes = static_cast<double>(ref.surface_bytes);
+    const double rekey_cycles = 2.0 * kCmacCyclesPerByte * surface_bytes;
+    const double reinstall_cycles =
+        kAnalysisCyclesPerByte * input_bytes + kCmacCyclesPerByte * surface_bytes;
+    r.rekey_speedup = rekey_cycles > 0 ? reinstall_cycles / rekey_cycles : 0;
+    rows.push_back(std::move(r));
+  }
+
+  {
+    Row r;
     r.name = "fault_campaign";
     CampaignRun ref;
     for (int j = 0; j < 3; ++j) {
@@ -178,8 +288,8 @@ void run_table() {
     rows.push_back(std::move(r));
   }
 
-  std::printf("%-16s %6s %6s %9s %9s %9s %9s %9s\n", "Workload", "tasks", "det",
-              "wall_j1", "wall_j2", "wall_j8", "model_j2", "model_j8");
+  std::printf("%-16s %6s %6s %9s %9s %9s %9s %9s %9s\n", "Workload", "tasks", "det",
+              "wall_j1", "wall_j2", "wall_j8", "model_j2", "model_j8", "rekey_x");
   FILE* json = std::fopen("BENCH_table5.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -190,17 +300,27 @@ void run_table() {
   }
   bool first = true;
   for (const Row& r : rows) {
-    std::printf("%-16s %6zu %6s %8.3fs %8.3fs %8.3fs %8.2fx %8.2fx\n", r.name.c_str(),
-                r.tasks, r.deterministic ? "yes" : "NO", r.wall[0], r.wall[1], r.wall[2],
-                r.modeled[1], r.modeled[2]);
+    if (r.rekey_speedup > 0) {
+      std::printf("%-16s %6zu %6s %8.3fs %8.3fs %8.3fs %8.2fx %8.2fx %8.1fx\n",
+                  r.name.c_str(), r.tasks, r.deterministic ? "yes" : "NO", r.wall[0],
+                  r.wall[1], r.wall[2], r.modeled[1], r.modeled[2], r.rekey_speedup);
+    } else {
+      std::printf("%-16s %6zu %6s %8.3fs %8.3fs %8.3fs %8.2fx %8.2fx %9s\n",
+                  r.name.c_str(), r.tasks, r.deterministic ? "yes" : "NO", r.wall[0],
+                  r.wall[1], r.wall[2], r.modeled[1], r.modeled[2], "-");
+    }
     if (json != nullptr) {
       std::fprintf(json,
                    "%s    {\"name\": \"%s\", \"tasks\": %zu, \"deterministic\": %s, "
                    "\"wall_j1\": %.4f, \"wall_j2\": %.4f, \"wall_j8\": %.4f, "
-                   "\"modeled_speedup_j2\": %.3f, \"modeled_speedup_j8\": %.3f}",
+                   "\"modeled_speedup_j2\": %.3f, \"modeled_speedup_j8\": %.3f",
                    first ? "" : ",\n", r.name.c_str(), r.tasks,
                    r.deterministic ? "true" : "false", r.wall[0], r.wall[1], r.wall[2],
                    r.modeled[1], r.modeled[2]);
+      if (r.rekey_speedup > 0) {
+        std::fprintf(json, ", \"modeled_rekey_speedup\": %.3f", r.rekey_speedup);
+      }
+      std::fprintf(json, "}");
       first = false;
     }
   }
@@ -221,6 +341,17 @@ void BM_InstallFleet(benchmark::State& state) {
   state.SetLabel("jobs=" + std::to_string(jobs));
 }
 BENCHMARK(BM_InstallFleet)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_RekeyFleet(benchmark::State& state) {
+  const int jobs = static_cast<int>(state.range(0));
+  const std::vector<installer::InstallResult> installed = install_all_keep_manifests();
+  for (auto _ : state) {
+    const RekeyRun rr = rekey_fleet(installed, jobs);
+    benchmark::DoNotOptimize(rr.images.size());
+  }
+  state.SetLabel("jobs=" + std::to_string(jobs));
+}
+BENCHMARK(BM_RekeyFleet)->Arg(1)->Arg(2)->Arg(8)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 void BM_FaultCampaign(benchmark::State& state) {
   const int jobs = static_cast<int>(state.range(0));

@@ -3,12 +3,30 @@
 //
 //   asctool build <name> <out.txe>       write a relocatable guest program
 //   asctool inspect <img.txe>            dump header, sections, symbols
-//   asctool install <in.txe> <out.txe>   analyze + rewrite (prints policies)
+//   asctool install <in.txe> <out.txe>   analyze + rewrite (prints policies);
+//                                also writes <out.txe>.manifest, the compact
+//                                SignManifest the differential Rekeyer needs
+//   asctool rekey <in.txe> <out.txe> --key-seed N [--old-key-seed M]
+//                                re-sign an installed image under
+//                                derived_key(N) without re-analysis: only
+//                                the MAC surface recorded in
+//                                <in.txe>.manifest is recomputed. The old
+//                                key defaults to the install key; pass
+//                                --old-key-seed for an already-rekeyed
+//                                input. Run the result with
+//                                `run --key-seed N`.
 //   asctool run [flags] <img.txe> [args...]     execute under enforcement
 //     --stats                    print the kernel's tier-lattice counters
 //                                (eager / cached / shadowed / inline hits,
-//                                promotions, demotions by cause) as one
-//                                aligned table
+//                                promotions, demotions by cause, live-rekey
+//                                counters) as one aligned table
+//     --key-seed N               verify under derived_key(N) instead of the
+//                                default install key (images produced by
+//                                `rekey --key-seed N`)
+//     --rekey-at M               live-rotate the kernel to a new key after
+//                                the M-th syscall via Kernel::rekey (needs
+//                                <img.txe>.manifest); --rekey-seed S picks
+//                                the new key's seed (default 1)
 //     --no-shadow                disable the policy-state shadow; every call
 //                                runs the eager §3.2 state-MAC protocol
 //     --no-inline                disable the trap-less Inline tier (on by
@@ -45,8 +63,10 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 
 #include "core/asc.h"
+#include "installer/rekeyer.h"
 #include "monitor/ktable.h"
 #include "os/tiertable.h"
 #include "monitor/training.h"
@@ -109,8 +129,14 @@ int cmd_install(const std::string& in, const std::string& out) {
   installer::Installer inst(test_key(), os::Personality::LinuxSim);
   auto result = inst.install(img);
   write_file(out, result.image.serialize());
-  std::printf("installed %s -> %s: %zu authenticated call sites\n", in.c_str(), out.c_str(),
-              result.policies.size());
+  // The manifest makes the image rekeyable without re-analysis: it records
+  // every MAC slot and the exact bytes each MAC covers, key-independently.
+  write_file(out + ".manifest", result.manifest.serialize());
+  std::printf("installed %s -> %s: %zu authenticated call sites "
+              "(+%s.manifest: %llu MACs over %llu surface bytes)\n",
+              in.c_str(), out.c_str(), result.policies.size(), out.c_str(),
+              static_cast<unsigned long long>(result.manifest.mac_count()),
+              static_cast<unsigned long long>(result.manifest.mac_surface_bytes()));
   for (const auto& w : result.warnings) std::printf("REPORT: %s\n", w.c_str());
   for (std::size_t i = 0; i < result.policies.size() && i < 3; ++i) {
     std::printf("%s\n", result.policies[i].to_string().c_str());
@@ -118,6 +144,25 @@ int cmd_install(const std::string& in, const std::string& out) {
   if (result.policies.size() > 3) {
     std::printf("... (%zu more policies)\n", result.policies.size() - 3);
   }
+  return 0;
+}
+
+int cmd_rekey(const std::string& in, const std::string& out, std::uint64_t key_seed,
+              std::optional<std::uint64_t> old_key_seed) {
+  const binary::Image img = binary::Image::deserialize(read_file(in));
+  const installer::SignManifest man =
+      installer::SignManifest::deserialize(read_file(in + ".manifest"));
+  const crypto::Key128 old_key =
+      old_key_seed.has_value() ? derived_key(*old_key_seed) : test_key();
+  installer::RekeyResult r = installer::Rekeyer::rekey(img, man, old_key, derived_key(key_seed));
+  write_file(out, r.image.serialize());
+  // The manifest is key-independent; copy it so the output is rekeyable too.
+  write_file(out + ".manifest", man.serialize());
+  std::printf("rekeyed %s -> %s under key seed %llu: %llu MACs recomputed over "
+              "%llu surface bytes (no re-analysis)\n",
+              in.c_str(), out.c_str(), static_cast<unsigned long long>(key_seed),
+              static_cast<unsigned long long>(r.stats.macs_recomputed),
+              static_cast<unsigned long long>(r.stats.surface_bytes));
   return 0;
 }
 
@@ -134,7 +179,21 @@ struct RunConfig {
   os::FailureMode failure = os::FailureMode::FailStop;
   std::uint32_t budget = 0;
   vm::DispatchMode dispatch = vm::default_dispatch_mode();
+  /// Verification key: derived_key(key_seed) when set (images produced by
+  /// `rekey --key-seed N`), else the default install key.
+  std::optional<std::uint64_t> key_seed;
+  /// Live rotation: after the rekey_at-th syscall, re-sign via the
+  /// differential Rekeyer and rotate the kernel to derived_key(rekey_seed)
+  /// mid-run (Kernel::rekey). 0 = no rotation.
+  std::uint64_t rekey_at = 0;
+  std::uint64_t rekey_seed = 1;
 };
+
+bool parse_u64_flag(const std::string& s, std::uint64_t* out) {
+  if (s.empty() || s.find_first_not_of("0123456789") != std::string::npos) return false;
+  *out = std::stoull(s);
+  return true;
+}
 
 bool parse_dispatch_flag(const std::string& s, vm::DispatchMode* out) {
   if (s == "switch") *out = vm::DispatchMode::Switch;
@@ -189,7 +248,9 @@ void seed_demo_fs(os::SimFs& fs) {
 int cmd_run(const std::string& path, const std::vector<std::string>& args,
             const RunConfig& cfg) {
   const binary::Image img = binary::Image::deserialize(read_file(path));
-  System sys(os::Personality::LinuxSim, test_key(), cfg.monitor);
+  const crypto::Key128 run_key =
+      cfg.key_seed.has_value() ? derived_key(*cfg.key_seed) : test_key();
+  System sys(os::Personality::LinuxSim, run_key, cfg.monitor);
   sys.machine().set_dispatch(cfg.dispatch);
   sys.kernel().set_policy_shadow(cfg.shadow);
   sys.kernel().set_inline_tier(cfg.inline_tier);
@@ -201,12 +262,29 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
     // Table-driven monitors need a per-program policy in the kernel. Train
     // one with an unmonitored run of the same command line in a scratch
     // system, so the monitored run starts with a clean audit log.
-    System trainer(os::Personality::LinuxSim, test_key(), os::Enforcement::Off);
+    System trainer(os::Personality::LinuxSim, run_key, os::Enforcement::Off);
     seed_demo_fs(trainer.kernel().fs());
     auto pol = monitor::train_policy(trainer.machine(), img, {{args, ""}});
     sys.kernel().set_monitor_policy(img.name, pol);
     std::printf("[%s monitor: trained policy with %zu allowed syscalls]\n",
                 os::enforcement_name(cfg.monitor).c_str(), pol.allowed.size());
+  }
+
+  // Live rotation demo: re-sign the image differentially up front, then
+  // rotate the kernel to the new key after the rekey_at-th syscall. The
+  // hook fires outside the trap (depth 0), so the rotation always applies
+  // immediately; counters land in --stats.
+  std::optional<installer::RekeyResult> live;
+  if (cfg.rekey_at > 0) {
+    const installer::SignManifest man =
+        installer::SignManifest::deserialize(read_file(path + ".manifest"));
+    live = installer::Rekeyer::rekey(img, man, run_key, derived_key(cfg.rekey_seed));
+    sys.machine().pre_syscall_hook = [&, calls = std::uint64_t{0}](
+                                         os::Process& p, std::uint32_t) mutable {
+      if (++calls == cfg.rekey_at) {
+        sys.kernel().rekey(p, derived_key(cfg.rekey_seed), live->view);
+      }
+    };
   }
 
   auto r = sys.machine().run(img, args);
@@ -258,6 +336,13 @@ int cmd_run(const std::string& path, const std::vector<std::string>& args,
                   u(ts.demotions[c]));
     }
     std::printf("\n");
+    // Live-rekey counters (Kernel::rekey): rotations applied to the running
+    // process, requests parked until a trap boundary, and MAC slots patched
+    // (including the policy-state re-MAC). Key-rotation demotions show up
+    // in the demotion-by-cause list above.
+    const os::RekeyCounters& rc = sys.kernel().rekey_counters();
+    std::printf("  rekeys=%llu deferred=%llu macs-applied=%llu\n", u(rc.rekeys),
+                u(rc.deferred), u(rc.macs_applied));
     // Execution-engine counters: which dispatch ran, which AES core signed,
     // and (threaded only) what the predecoder did.
     std::printf("[execution engine]\n");
@@ -322,6 +407,31 @@ int main(int argc, char** argv) {
     if (cmd == "build" && ac == 3) return cmd_build(av[1], av[2]);
     if (cmd == "inspect" && ac == 2) return cmd_inspect(av[1]);
     if (cmd == "install" && ac == 3) return cmd_install(av[1], av[2]);
+    if (cmd == "rekey" && ac >= 3) {
+      std::uint64_t key_seed = 1;
+      std::optional<std::uint64_t> old_key_seed;
+      std::vector<std::string> pos;
+      for (int i = 1; i < ac; ++i) {
+        const std::string a = av[i];
+        std::uint64_t v = 0;
+        if (a == "--key-seed" && i + 1 < ac) {
+          if (!parse_u64_flag(av[++i], &key_seed)) {
+            std::fprintf(stderr, "asctool: bad --key-seed %s (want an integer)\n", av[i].c_str());
+            return 1;
+          }
+        } else if (a == "--old-key-seed" && i + 1 < ac) {
+          if (!parse_u64_flag(av[++i], &v)) {
+            std::fprintf(stderr, "asctool: bad --old-key-seed %s (want an integer)\n",
+                         av[i].c_str());
+            return 1;
+          }
+          old_key_seed = v;
+        } else {
+          pos.push_back(a);
+        }
+      }
+      if (pos.size() == 2) return cmd_rekey(pos[0], pos[1], key_seed, old_key_seed);
+    }
     if (cmd == "run" && ac >= 2) {
       RunConfig cfg;
       std::vector<std::string> args;
@@ -350,6 +460,25 @@ int main(int argc, char** argv) {
             std::fprintf(stderr, "asctool: bad --aes %s (scratch|auto)\n", av[i].c_str());
             return 1;
           }
+        } else if (a == "--key-seed" && i + 1 < ac) {
+          std::uint64_t v = 0;
+          if (!parse_u64_flag(av[++i], &v)) {
+            std::fprintf(stderr, "asctool: bad --key-seed %s (want an integer)\n", av[i].c_str());
+            return 1;
+          }
+          cfg.key_seed = v;
+        } else if (a == "--rekey-at" && i + 1 < ac) {
+          if (!parse_u64_flag(av[++i], &cfg.rekey_at) || cfg.rekey_at == 0) {
+            std::fprintf(stderr, "asctool: bad --rekey-at %s (want a positive integer)\n",
+                         av[i].c_str());
+            return 1;
+          }
+        } else if (a == "--rekey-seed" && i + 1 < ac) {
+          if (!parse_u64_flag(av[++i], &cfg.rekey_seed)) {
+            std::fprintf(stderr, "asctool: bad --rekey-seed %s (want an integer)\n",
+                         av[i].c_str());
+            return 1;
+          }
         } else if (a == "--failure-mode" && i + 1 < ac) {
           if (!parse_failure_mode_flag(av[++i], &cfg.failure, &cfg.budget)) {
             std::fprintf(stderr,
@@ -374,11 +503,15 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "usage: asctool [--jobs N] build <name> <out.txe> | inspect <img.txe> |\n"
                "       install <in.txe> <out.txe> |\n"
-               "       run [--stats] [--no-shadow] [--no-inline]\n"
+               "       rekey <in.txe> <out.txe> --key-seed N [--old-key-seed M] |\n"
+               "       run [--stats] [--no-shadow] [--no-inline] [--key-seed N]\n"
+               "           [--rekey-at M] [--rekey-seed S]\n"
                "           [--monitor off|asc|daemon|ktable]\n"
                "           [--failure-mode fail-stop|budgeted:N|audit-only]\n"
                "           [--dispatch switch|threaded] [--aes scratch|auto] <img.txe> [args...]\n"
                "       --jobs N: worker threads for the installer's parallel phases\n"
-               "                 (default: ASC_JOBS, else hardware concurrency)\n");
+               "                 (default: ASC_JOBS, else hardware concurrency)\n"
+               "       rekey re-signs an installed image differentially (no re-analysis)\n"
+               "       using <in.txe>.manifest, written by install alongside its output\n");
   return 1;
 }

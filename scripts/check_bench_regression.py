@@ -24,9 +24,12 @@ Checks, per row matched by "name":
     overhead_inline_pct <= 5 (the Inline tier's acceptance bar: near-zero
     residual overhead on the paper's worst-case microbenchmark);
   * table5 rows (parallel install/campaign throughput) must stay
-    deterministic and keep modeled_speedup_j8 >= 2.0. Wall-clock columns
-    (wall_j*) are host-dependent -- a single-core runner shows no speedup --
-    so they are printed as notes, never gated;
+    deterministic and keep modeled_speedup_j8 >= 2.0. Rows carrying
+    modeled_rekey_speedup (the differential Rekeyer's modeled advantage over
+    a full reinstall, priced per-byte from the runtime cost model) must keep
+    it >= 10.0. Wall-clock columns (wall_j*) are host-dependent -- a
+    single-core runner shows no speedup -- so they are printed as notes,
+    never gated;
   * wall-clock engine columns are INFORMATIONAL and never gated:
     wall_ns_per_instr (tables 4/6, host ns per retired guest instruction),
     wall_ns_per_instr_switch / dispatch_speedup (table 6, threaded engine vs
@@ -34,7 +37,9 @@ Checks, per row matched by "name":
     cmac_blocks_per_sec / cmac_blocks_per_sec_scratch / aes_backend trio.
     They are printed as trend notes so a wall-clock regression is visible in
     the CI log without making the gate host-dependent;
-  * table7 rows (fleet-scale multi-tenant throughput) must stay
+  * table7 rows (fleet-scale multi-tenant throughput, including the
+    per-tenant-key fleet_1k_keys row: one install, N differential Rekeyer
+    passes) must stay
     deterministic across job counts, report zero invariant-oracle trips,
     keep modeled_vsps_j8 (verified syscalls per modeled second) from falling
     more than the tolerance below the baseline, and keep per_tenant_bytes
@@ -51,6 +56,7 @@ COST_FIELDS = ("orig", "auth", "auth_cached", "auth_shadow", "auth_inline")
 MIN_TABLE4_REDUCTION_PCT = 30.0
 MAX_TABLE4_GETPID_INLINE_OVERHEAD_PCT = 5.0
 MIN_TABLE5_MODELED_SPEEDUP_J8 = 2.0
+MIN_TABLE5_REKEY_SPEEDUP = 10.0
 
 
 def load(path):
@@ -166,6 +172,18 @@ def main():
                 failures.append(
                     f"{table}/{name}: modeled speedup at 8 jobs {speedup:.2f}x "
                     f"fell below the {MIN_TABLE5_MODELED_SPEEDUP_J8:.1f}x bar"
+                )
+            rekey = cur.get("modeled_rekey_speedup")
+            if rekey is not None and rekey < MIN_TABLE5_REKEY_SPEEDUP:
+                failures.append(
+                    f"{table}/{name}: modeled rekey speedup {rekey:.2f}x fell "
+                    f"below the {MIN_TABLE5_REKEY_SPEEDUP:.0f}x differential "
+                    f"re-signing bar"
+                )
+            if "modeled_rekey_speedup" in base and rekey is None:
+                failures.append(
+                    f"{table}/{name}: modeled_rekey_speedup column disappeared "
+                    f"(baseline has it)"
                 )
             for wall in ("wall_j1", "wall_j2", "wall_j8"):
                 if wall in cur:

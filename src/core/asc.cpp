@@ -1,11 +1,25 @@
 #include "core/asc.h"
 
+#include <algorithm>
+#include <array>
+
 namespace asc {
 
 crypto::Key128 test_key() {
   crypto::Key128 k{};
   const char* seed = "asc-repro-key-16";
   for (int i = 0; i < 16; ++i) k[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed[i]);
+  return k;
+}
+
+crypto::Key128 derived_key(std::uint64_t seed) {
+  std::array<std::uint8_t, 8> msg{};
+  for (int i = 0; i < 8; ++i) {
+    msg[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  const crypto::Mac m = crypto::MacKey(test_key()).mac(msg);
+  crypto::Key128 k{};
+  std::copy(m.begin(), m.end(), k.begin());
   return k;
 }
 

@@ -28,6 +28,12 @@ namespace asc {
 /// generate one per machine.
 crypto::Key128 test_key();
 
+/// Deterministic key family for rekey tests, the `asctool rekey` CLI, and
+/// per-tenant fleet keys: CMAC of the seed under test_key(), so any two
+/// distinct seeds give unrelated keys and seed 0 != test_key(). A real
+/// deployment would draw fresh keys from a CSPRNG / KMS instead.
+crypto::Key128 derived_key(std::uint64_t seed);
+
 class System {
  public:
   /// Creates an installer and a machine sharing `key`. `mode` selects which

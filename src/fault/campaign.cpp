@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "core/asc.h"
+#include "installer/rekeyer.h"
 #include "isa/isa.h"
 #include "policy/descriptor.h"
 #include "policy/policy.h"
@@ -111,8 +112,11 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
   System inst_sys(cfg_.personality);
   const installer::InstallResult inst = inst_sys.install(prog.image);
   std::vector<std::pair<std::string, binary::Image>> helpers;
+  std::vector<installer::SignManifest> helper_manifests;
   for (const auto& [path, img] : prog.helpers) {
-    helpers.emplace_back(path, inst_sys.install(img).image);
+    installer::InstallResult hi = inst_sys.install(img);
+    helpers.emplace_back(path, std::move(hi.image));
+    helper_manifests.push_back(std::move(hi.manifest));
   }
 
   auto fresh = [&](const crypto::Key128& kernel_key) {
@@ -163,6 +167,41 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
     throw Error("fault campaign: " + prog.name + " makes no system calls");
   }
 
+  // ---- RekeyToctou payload ----
+  // One coherent {new key, re-signed view, re-signed helpers} triple serves
+  // every run of the class: the manifests are key-independent, so a single
+  // Rekeyer pass per image yields everything the strike swaps in.
+  // Computed only when the campaign actually draws the class (it is opt-in).
+  struct RekeyPayload {
+    crypto::Key128 key{};
+    os::RekeyView view;
+    std::vector<std::pair<std::string, binary::Image>> programs;
+  };
+  std::optional<RekeyPayload> rekey_payload;
+  {
+    const bool wants_rekey =
+        std::any_of(cfg_.classes.begin(), cfg_.classes.end(),
+                    [](MutationClass c) { return c == MutationClass::RekeyToctou; }) ||
+        std::any_of(cfg_.explicit_specs.begin(), cfg_.explicit_specs.end(),
+                    [](const FaultSpec& s) { return s.cls == MutationClass::RekeyToctou; });
+    if (wants_rekey) {
+      crypto::Key128 nk = test_key();
+      for (auto& b : nk) b = static_cast<std::uint8_t>(b ^ 0xa5);
+      installer::RekeyResult rr =
+          installer::Rekeyer::rekey(inst.image, inst.manifest, test_key(), nk);
+      RekeyPayload pay;
+      pay.key = nk;
+      pay.view = std::move(rr.view);
+      for (std::size_t h = 0; h < helpers.size(); ++h) {
+        pay.programs.emplace_back(
+            helpers[h].first,
+            installer::Rekeyer::rekey(helpers[h].second, helper_manifests[h], test_key(), nk)
+                .image);
+      }
+      rekey_payload = std::move(pay);
+    }
+  }
+
   // ---- one mutated execution ----
   auto execute = [&](const FaultSpec& spec) -> RunVerdict {
     RunVerdict v;
@@ -176,6 +215,9 @@ CampaignResult Campaign::run(const GuestProgram& prog) {
       // Rotate to a genuinely different key: every MAC the guest carries
       // goes stale at the strike point.
       inj.set_rotation_key(mismatched_key());
+    }
+    if (spec.cls == MutationClass::RekeyToctou && rekey_payload.has_value()) {
+      inj.set_rekey(rekey_payload->key, rekey_payload->view, rekey_payload->programs);
     }
     if (spec.cls == MutationClass::CrossReplay) {
       // Donor from a different call index: its counter nonce (or foreign

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
+#include <utility>
 
 #include "apps/libtoy.h"
 #include "core/asc.h"
+#include "installer/rekeyer.h"
 #include "isa/isa.h"
 #include "policy/descriptor.h"
 #include "policy/policy.h"
@@ -31,6 +34,13 @@ crypto::Key128 chaos_mismatched_key() {
   return k;
 }
 
+/// Rotation-churn target: a genuinely different key the tenant rekeys its
+/// template to before the fault run.
+crypto::Key128 chaos_rotation_key() { return derived_key(0xC4A00001ULL); }
+
+/// RekeyToctou payload key: where a coherent mid-run Kernel::rekey lands.
+crypto::Key128 chaos_rekey_key() { return derived_key(0xC4A00002ULL); }
+
 void chaos_fs(os::SimFs& fs) {
   auto put = [&](const std::string& path, const std::string& content) {
     auto ino = fs.open("/", path, os::SimFs::kWrOnly | os::SimFs::kCreat | os::SimFs::kTrunc,
@@ -55,12 +65,20 @@ struct CleanRef {
   std::map<int, std::vector<std::uint8_t>> snapshots;
 };
 
-/// One guest, installed once (the image embeds MACs under the shared test
-/// key, so every tenant kernel keyed with test_key() verifies it).
+/// One guest, installed once under test_key(). The key-independent
+/// SignManifest kept with each image lets rotation churn and RekeyToctou
+/// payloads rekey the ONE template (installer::Rekeyer, O(MAC surface))
+/// instead of re-installing.
+struct InstalledHelper {
+  std::string path;
+  binary::Image image;
+  installer::SignManifest manifest;
+};
 struct GuestArtifacts {
   const GuestProgram* prog = nullptr;
   binary::Image installed;
-  std::vector<std::pair<std::string, binary::Image>> helpers;
+  installer::SignManifest manifest;
+  std::vector<InstalledHelper> helpers;
   CleanRef clean;
 };
 
@@ -186,9 +204,13 @@ ChaosResult ChaosEngine::run() {
     GuestArtifacts& art = arts[g];
     art.prog = &pool[g];
     System inst_sys(cfg_.personality);
-    art.installed = inst_sys.install(pool[g].image).image;
+    installer::InstallResult gi = inst_sys.install(pool[g].image);
+    art.installed = std::move(gi.image);
+    art.manifest = std::move(gi.manifest);
     for (const auto& [path, img] : pool[g].helpers) {
-      art.helpers.emplace_back(path, inst_sys.install(img).image);
+      installer::InstallResult hi = inst_sys.install(img);
+      art.helpers.push_back(
+          InstalledHelper{path, std::move(hi.image), std::move(hi.manifest)});
     }
     // Reference run with the shadow off: the eager protocol materializes a
     // distinct {lastBlock, MAC} record at every call, which is what the
@@ -197,7 +219,7 @@ ChaosResult ChaosEngine::run() {
     System sys(cfg_.personality);
     sys.kernel().set_policy_shadow(false);
     if (pool[g].prepare_fs) pool[g].prepare_fs(sys.kernel().fs());
-    for (const auto& [path, img] : art.helpers) sys.machine().register_program(path, img);
+    for (const auto& h : art.helpers) sys.machine().register_program(h.path, h.image);
     sys.machine().set_cycle_limit(cfg_.cycle_limit);
     int calls = 0;
     sys.machine().pre_syscall_hook = [&](os::Process& p, std::uint32_t) {
@@ -268,8 +290,15 @@ ChaosResult ChaosEngine::run() {
       sys.kernel().set_inline_tier(true);
       sys.kernel().set_inline_promote_threshold(2);
     }
-    for (const auto& [path, img] : art.helpers) sys.machine().register_program(path, img);
+    for (const auto& h : art.helpers) sys.machine().register_program(h.path, h.image);
     sys.machine().set_cycle_limit(cfg_.cycle_limit);
+
+    // The CURRENT template: rotation churn swaps in a rekeyed image, and
+    // the recovery run resets back to the test_key() original.
+    const binary::Image* run_image = &art.installed;
+    crypto::Key128 cur_key = test_key();
+    std::optional<installer::RekeyResult> rotated;
+    std::vector<std::pair<std::string, binary::Image>> rotated_helpers;
 
     auto trip = [&](const std::string& what) {
       lc.trips.push_back("tenant " + std::to_string(tenant) + " (" + lc.guest + ", " +
@@ -282,7 +311,7 @@ ChaosResult ChaosEngine::run() {
     auto run_once = [&](vm::RunResult& r) -> bool {
       if (art.prog->prepare_fs) art.prog->prepare_fs(sys.kernel().fs());
       try {
-        r = sys.machine().run(art.installed, art.prog->argv, art.prog->stdin_data);
+        r = sys.machine().run(*run_image, art.prog->argv, art.prog->stdin_data);
       } catch (const std::exception& e) {
         trip(std::string("host crash: ") + e.what());
         return false;
@@ -335,7 +364,26 @@ ChaosResult ChaosEngine::run() {
     };
 
     // ---- churn before the fault run ----
-    if (rotate_churn) sys.kernel().set_key(test_key());  // same-key rotation: pure flush
+    // Rotation churn is a GENUINE rotation: the tenant rekeys its template
+    // to a fresh key (O(MAC surface) via the Rekeyer) and the kernel moves
+    // to that key -- flushing the shard's fast paths exactly as set_key
+    // always did, but every subsequent trap now verifies new material.
+    if (rotate_churn) {
+      rotated = installer::Rekeyer::rekey(art.installed, art.manifest, test_key(),
+                                          chaos_rotation_key());
+      for (const auto& h : art.helpers) {
+        rotated_helpers.emplace_back(
+            h.path,
+            installer::Rekeyer::rekey(h.image, h.manifest, test_key(), chaos_rotation_key())
+                .image);
+      }
+      for (const auto& [path, img] : rotated_helpers) {
+        sys.machine().register_program(path, img);
+      }
+      sys.kernel().set_key(chaos_rotation_key());
+      run_image = &rotated->image;
+      cur_key = chaos_rotation_key();
+    }
     if (monitor_swap) sys.kernel().set_enforcement(os::Enforcement::Asc);  // fresh monitor
     if (shadow_toggle) {
       sys.kernel().set_policy_shadow(false);  // flushes every live record
@@ -366,6 +414,25 @@ ChaosResult ChaosEngine::run() {
         FaultInjector inj(s);
         if (s.cls == MutationClass::RotationDuringTrap) {
           inj.set_rotation_key(chaos_mismatched_key());
+        }
+        std::optional<installer::RekeyResult> rekey_rk;
+        if (s.cls == MutationClass::RekeyToctou) {
+          // Coherent payload for the CURRENT template/key: the strike must
+          // be benign, so the view (and any spawn helpers) have to match
+          // what actually runs under the new key.
+          rekey_rk = installer::Rekeyer::rekey(*run_image, art.manifest, cur_key,
+                                               chaos_rekey_key());
+          std::vector<std::pair<std::string, binary::Image>> rekeyed_helpers;
+          for (std::size_t h = 0; h < art.helpers.size(); ++h) {
+            const binary::Image& base =
+                rotated_helpers.empty() ? art.helpers[h].image : rotated_helpers[h].second;
+            rekeyed_helpers.emplace_back(
+                art.helpers[h].path,
+                installer::Rekeyer::rekey(base, art.helpers[h].manifest, cur_key,
+                                          chaos_rekey_key())
+                    .image);
+          }
+          inj.set_rekey(chaos_rekey_key(), rekey_rk->view, std::move(rekeyed_helpers));
         }
         if (s.cls == MutationClass::KeyMismatch) {
           sys.kernel().set_key(chaos_mismatched_key());
@@ -474,14 +541,20 @@ ChaosResult ChaosEngine::run() {
     }
 
     // ---- the recovery run ----
-    // Whatever the fault did -- kill, rotation, teardown, quarantine -- the
-    // SAME kernel must run the guest again, byte-identically to the clean
-    // reference. Hooks are cleared and the key restored first (KeyMismatch /
-    // RotationDuringTrap leave a foreign key installed; set_key is the
-    // documented rotation path and flushes coherently).
+    // Whatever the fault did -- kill, rotation, rekey, teardown, quarantine
+    // -- the SAME kernel must run the guest again, byte-identically to the
+    // clean reference. Hooks are cleared, the key restored, and the run
+    // template reset to the test_key() original first (KeyMismatch /
+    // RotationDuringTrap / RekeyToctou / rotation churn leave a foreign key
+    // or a rekeyed template installed; set_key is the documented rotation
+    // path and flushes coherently). A still-pending Kernel::rekey request
+    // is fine: it lands at the recovery run's first trap boundary, verifies
+    // the fresh guest under the restored key, and moves it coherently.
     sys.machine().pre_syscall_hook = nullptr;
     sys.kernel().set_stage_hook({});
     sys.kernel().set_key(test_key());
+    run_image = &art.installed;
+    for (const auto& h : art.helpers) sys.machine().register_program(h.path, h.image);
     audit_mark = sys.kernel().audit_log().size();
     vm::RunResult rr;
     if (run_once(rr)) {

@@ -26,6 +26,7 @@ std::string mutation_class_name(MutationClass c) {
     case MutationClass::TeardownMidVerify: return "teardown-mid-verify";
     case MutationClass::DoubleInvalidation: return "double-invalidation";
     case MutationClass::PromoToctou: return "promo-toctou";
+    case MutationClass::RekeyToctou: return "rekey-toctou";
     case MutationClass::kCount: break;
   }
   return "?";
@@ -35,7 +36,7 @@ std::vector<MutationClass> all_mutation_classes() {
   std::vector<MutationClass> out;
   for (std::size_t i = 0; i < kNumMutationClasses; ++i) {
     const auto c = static_cast<MutationClass>(i);
-    if (c != MutationClass::PromoToctou) out.push_back(c);
+    if (c != MutationClass::PromoToctou && c != MutationClass::RekeyToctou) out.push_back(c);
   }
   return out;
 }
@@ -57,7 +58,7 @@ std::optional<MutationClass> mutation_class_from_name(const std::string& name) {
 
 bool lifecycle_class(MutationClass c) {
   return c == MutationClass::RotationDuringTrap || c == MutationClass::TeardownMidVerify ||
-         c == MutationClass::DoubleInvalidation;
+         c == MutationClass::DoubleInvalidation || c == MutationClass::RekeyToctou;
 }
 
 bool stage_targetable(MutationClass c) {
@@ -76,6 +77,7 @@ bool stage_targetable(MutationClass c) {
     case MutationClass::RotationDuringTrap:
     case MutationClass::TeardownMidVerify:
     case MutationClass::DoubleInvalidation:
+    case MutationClass::RekeyToctou:
       return true;
     default:
       return false;
@@ -193,6 +195,11 @@ const std::vector<os::Violation>& expected_violations(MutationClass c) {
       return rotation;
     case MutationClass::TeardownMidVerify:
     case MutationClass::DoubleInvalidation:
+    // A COHERENT rekey (new key + matching re-signed bytes) at any boundary
+    // must also be pure lifecycle churn: a mid-trap request defers to the
+    // next trap boundary, so every trap verifies under wholly-old or
+    // wholly-new material and no verdict may ever surface.
+    case MutationClass::RekeyToctou:
       return benign;
     default:
       return call_mac;
@@ -217,6 +224,13 @@ void FaultInjector::arm(vm::Machine& machine) {
   personality_ = machine.kernel().personality();
   const bool staged = needs_stage_hook();
   machine.pre_syscall_hook = [this, staged](os::Process& p, std::uint32_t call_site) {
+    if (rekey_swap_pending_ && machine_->kernel().trap_depth() == 0) {
+      // The deferred rekey lands inside the upcoming trap; swap the helper
+      // registrations now so any spawn after the key swap hands the kernel
+      // a child signed under the new key.
+      for (const auto& [path, img] : rekey_programs_) machine_->register_program(path, img);
+      rekey_swap_pending_ = false;
+    }
     ++calls_seen_;
     // Trap-stage byte/register mutations keep striking from this hook (the
     // pre-trap strike point every legacy campaign stream was drawn for);
@@ -285,6 +299,27 @@ bool FaultInjector::apply_lifecycle(os::Process& p, std::uint32_t call_site) {
       std::snprintf(buf, sizeof buf,
                     "double-invalidation: pid %d evicted twice at %s of call %d (site 0x%x)",
                     p.pid, stage.c_str(), calls_seen_, call_site);
+      description_ = buf;
+      return true;
+    }
+    case MutationClass::RekeyToctou: {
+      if (!rekey_key_.has_value() || !rekey_view_.has_value()) return false;
+      // Coherent live rekey mid-trap: the kernel must defer the swap to the
+      // next trap boundary (the in-flight trap completes wholly under the
+      // old material), then every later trap verifies wholly under the new
+      // key. Any verdict -- or any divergence from the clean run -- means
+      // the quiesce protocol leaked mixed material.
+      const bool now = kernel.rekey(p, *rekey_key_, *rekey_view_);
+      if (now) {
+        for (const auto& [path, img] : rekey_programs_) {
+          machine_->register_program(path, img);
+        }
+      } else {
+        rekey_swap_pending_ = !rekey_programs_.empty();
+      }
+      std::snprintf(buf, sizeof buf,
+                    "rekey-toctou: live rekey %s at %s of call %d (site 0x%x)",
+                    now ? "applied" : "deferred", stage.c_str(), calls_seen_, call_site);
       description_ = buf;
       return true;
     }
@@ -528,6 +563,7 @@ bool FaultInjector::try_apply(os::Process& p, std::uint32_t call_site, std::uint
     case MutationClass::RotationDuringTrap:
     case MutationClass::TeardownMidVerify:
     case MutationClass::DoubleInvalidation:
+    case MutationClass::RekeyToctou:
       // Lifecycle classes strike via apply_lifecycle from the stage hook.
       break;
 

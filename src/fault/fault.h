@@ -19,10 +19,13 @@
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "binary/image.h"
 #include "crypto/aes.h"
 #include "os/process.h"
+#include "os/rekey.h"
 #include "os/syscalls.h"
 #include "os/trapcontext.h"
 #include "vm/machine.h"
@@ -61,6 +64,13 @@ enum class MutationClass : std::uint8_t {
                        // promotion window: the write watch must demote the
                        // site before the tamper lands, so the next call
                        // re-enters the full pipeline and fail-stops)
+  RekeyToctou,         // fire Kernel::rekey (a COHERENT new-key + re-signed
+                       // view pair from the Rekeyer) at a trap-stage
+                       // boundary (lifecycle: must be benign -- a mid-trap
+                       // request defers to the next trap boundary, so no
+                       // trap ever verifies under mixed old/new material;
+                       // contrast RotationDuringTrap, whose new key arrives
+                       // WITHOUT re-signed bytes and must fail-stop)
   kCount,
 };
 
@@ -70,8 +80,9 @@ inline constexpr std::size_t kNumMutationClasses =
 std::string mutation_class_name(MutationClass c);
 /// The default campaign/chaos pool: every class that applies to a stock
 /// kernel. PromoToctou is excluded -- it needs the inline tier enabled and a
-/// promoted site, so campaigns opt in via `classes` -- which also keeps the
-/// per-class RNG substreams of every legacy campaign byte-stable.
+/// promoted site -- and RekeyToctou too (it needs a Rekeyer-produced
+/// new-key + view payload), so campaigns opt in via `classes` -- which also
+/// keeps the per-class RNG substreams of every legacy campaign byte-stable.
 std::vector<MutationClass> all_mutation_classes();
 /// Every class including the opt-in ones (CLI listings, name parsing).
 std::vector<MutationClass> extended_mutation_classes();
@@ -136,6 +147,19 @@ class FaultInjector {
   /// The class is NotApplied until one is provided.
   void set_rotation_key(const crypto::Key128& key) { rotation_key_ = key; }
 
+  /// RekeyToctou payload: a coherent {new key, re-signed view} pair from
+  /// Rekeyer::rekey over the image under test. The class is NotApplied
+  /// until both are provided. `programs` are re-signed spawn helpers,
+  /// re-registered on the machine the moment the rekey APPLIES (not when it
+  /// is requested): a child spawned after the key swap must carry MACs
+  /// under the key the kernel holds by then.
+  void set_rekey(const crypto::Key128& key, os::RekeyView view,
+                 std::vector<std::pair<std::string, binary::Image>> programs = {}) {
+    rekey_key_ = key;
+    rekey_view_ = std::move(view);
+    rekey_programs_ = std::move(programs);
+  }
+
   /// True when this spec strikes from the kernel's stage hook (a lifecycle
   /// class, or any class at a non-Trap stage). arm() then claims the
   /// machine's kernel stage hook in addition to the pre-syscall hook.
@@ -159,6 +183,12 @@ class FaultInjector {
   os::Personality personality_ = os::Personality::LinuxSim;
   std::vector<std::uint8_t> replay_state_;
   std::optional<crypto::Key128> rotation_key_;
+  std::optional<crypto::Key128> rekey_key_;
+  std::optional<os::RekeyView> rekey_view_;
+  std::vector<std::pair<std::string, binary::Image>> rekey_programs_;
+  /// A deferred rekey left helper registrations un-swapped; swap them at
+  /// the next quiesced (depth-0) trap, right before the pending rekey lands.
+  bool rekey_swap_pending_ = false;
   bool applied_ = false;
   int applied_at_ = 0;
   int calls_seen_ = 0;

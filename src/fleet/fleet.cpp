@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <optional>
+#include <utility>
 
 #include "apps/libtoy.h"
 #include "core/asc.h"
 #include "fault/fault.h"
+#include "installer/rekeyer.h"
 #include "tasm/assembler.h"
 #include "util/error.h"
 #include "util/executor.h"
@@ -36,12 +39,20 @@ struct CleanRef {
   int n_calls = 0;
 };
 
-/// One guest, installed once; every tenant kernel keyed with test_key()
-/// verifies the shared image (the MACs embed that key).
+/// One guest, installed once under test_key(). The SignManifest kept next
+/// to each installed image is key-independent, so per-tenant keys and
+/// genuine mid-run rotations rekey this ONE template (installer::Rekeyer,
+/// O(MAC surface)) instead of re-installing per tenant.
+struct InstalledHelper {
+  std::string path;
+  binary::Image image;
+  installer::SignManifest manifest;
+};
 struct GuestArtifacts {
   const fault::GuestProgram* prog = nullptr;
   binary::Image installed;
-  std::vector<std::pair<std::string, binary::Image>> helpers;
+  installer::SignManifest manifest;
+  std::vector<InstalledHelper> helpers;
   CleanRef clean;
 };
 
@@ -195,13 +206,17 @@ FleetResult Driver::run() {
     GuestArtifacts& art = arts[g];
     art.prog = &pool[g];
     System inst_sys(cfg_.personality);
-    art.installed = inst_sys.install(pool[g].image).image;
+    installer::InstallResult gi = inst_sys.install(pool[g].image);
+    art.installed = std::move(gi.image);
+    art.manifest = std::move(gi.manifest);
     for (const auto& [path, img] : pool[g].helpers) {
-      art.helpers.emplace_back(path, inst_sys.install(img).image);
+      installer::InstallResult hi = inst_sys.install(img);
+      art.helpers.push_back(
+          InstalledHelper{path, std::move(hi.image), std::move(hi.manifest)});
     }
     System sys(cfg_.personality);
     if (pool[g].prepare_fs) pool[g].prepare_fs(sys.kernel().fs());
-    for (const auto& [path, img] : art.helpers) sys.machine().register_program(path, img);
+    for (const auto& h : art.helpers) sys.machine().register_program(h.path, h.image);
     sys.machine().set_cycle_limit(cfg_.cycle_limit);
     const vm::RunResult r =
         sys.machine().run(art.installed, pool[g].argv, pool[g].stdin_data);
@@ -247,7 +262,34 @@ FleetResult Driver::run() {
         cfg_.respawn_every > 0 && tenant % cfg_.respawn_every == cfg_.respawn_every - 1;
 
     System sys(cfg_.personality);
-    for (const auto& [path, img] : art.helpers) sys.machine().register_program(path, img);
+
+    // Key material comes from derive()d substreams, never from `rng`
+    // itself: the four draws above stay byte-stable whether or not
+    // per-tenant keys or genuine rotations are in play.
+    crypto::Key128 cur_key = test_key();
+    const binary::Image* run_image = &art.installed;
+    std::optional<installer::RekeyResult> keyed;  // per-tenant-key template
+    std::vector<std::pair<std::string, binary::Image>> keyed_helpers;
+    std::optional<installer::RekeyResult> rotated;  // mid-run rotation target
+    std::vector<std::pair<std::string, binary::Image>> rotated_helpers;
+    crypto::Key128 rot_key{};
+    if (cfg_.per_tenant_keys) {
+      cur_key = derived_key(
+          root.derive(0x4B455953ULL ^ static_cast<std::uint64_t>(tenant)).next_u64());
+      keyed = installer::Rekeyer::rekey(art.installed, art.manifest, test_key(), cur_key);
+      run_image = &keyed->image;
+      for (const auto& h : art.helpers) {
+        keyed_helpers.emplace_back(
+            h.path,
+            installer::Rekeyer::rekey(h.image, h.manifest, test_key(), cur_key).image);
+      }
+      sys.kernel().set_key(cur_key);
+    }
+    if (keyed_helpers.empty()) {
+      for (const auto& h : art.helpers) sys.machine().register_program(h.path, h.image);
+    } else {
+      for (const auto& [path, img] : keyed_helpers) sys.machine().register_program(path, img);
+    }
     sys.machine().set_cycle_limit(cfg_.cycle_limit);
     if (cfg_.inline_tier) {
       sys.kernel().set_inline_tier(true);
@@ -263,7 +305,7 @@ FleetResult Driver::run() {
     auto run_once = [&](vm::RunResult& r) -> bool {
       if (art.prog->prepare_fs) art.prog->prepare_fs(sys.kernel().fs());
       try {
-        r = sys.machine().run(art.installed, art.prog->argv, art.prog->stdin_data);
+        r = sys.machine().run(*run_image, art.prog->argv, art.prog->stdin_data);
       } catch (const std::exception& e) {
         trip(std::string("host crash: ") + e.what());
         return false;
@@ -356,17 +398,49 @@ FleetResult Driver::run() {
       sys.machine().pre_syscall_hook = nullptr;
       sys.kernel().set_stage_hook({});
     } else {
-      // Staggered mid-run key rotation: a same-key set_key at a drawn call
-      // is a pure flush of the shard's fast paths -- the guest must still
-      // complete identically.
+      // Staggered mid-run key rotation, the GENUINE kind: at the drawn call
+      // the tenant asks Kernel::rekey to move the live process to a fresh
+      // key with the Rekeyer's re-signed view. A mid-trap request defers to
+      // the next trap boundary, so no trap ever verifies under mixed
+      // old/new material -- the guest must still complete identically.
       int calls = 0;
       const int rotate_at =
           2 + static_cast<int>(rotate_pick %
                                static_cast<std::uint64_t>(std::max(1, art.clean.n_calls)));
       if (tv.rotated) {
-        tv.plan_repr = "rotate@" + std::to_string(rotate_at);
-        sys.machine().pre_syscall_hook = [&](os::Process&, std::uint32_t) {
-          if (++calls == rotate_at) sys.kernel().set_key(test_key());
+        rot_key = derived_key(
+            root.derive(0x524F54ULL ^ static_cast<std::uint64_t>(tenant)).next_u64());
+        rotated = installer::Rekeyer::rekey(*run_image, art.manifest, cur_key, rot_key);
+        for (const auto& h : art.helpers) {
+          const binary::Image& base =
+              keyed_helpers.empty() ? h.image
+                                    : keyed_helpers[rotated_helpers.size()].second;
+          rotated_helpers.emplace_back(
+              h.path, installer::Rekeyer::rekey(base, h.manifest, cur_key, rot_key).image);
+        }
+        tv.plan_repr = "rekey@" + std::to_string(rotate_at);
+        sys.machine().pre_syscall_hook = [&, helpers_pending = false](
+                                             os::Process& p, std::uint32_t) mutable {
+          // A deferred rekey lands inside the next depth-0 trap; swap the
+          // helper registrations just before it does, so any spawn after
+          // the key swap hands the kernel a child signed under the new key.
+          auto swap_helpers = [&] {
+            for (const auto& [path, img] : rotated_helpers) {
+              sys.machine().register_program(path, img);
+            }
+          };
+          if (helpers_pending && sys.kernel().trap_depth() == 0) {
+            swap_helpers();
+            helpers_pending = false;
+          }
+          if (++calls == rotate_at) {
+            const bool now = sys.kernel().rekey(p, rot_key, rotated->view);
+            if (now) {
+              swap_helpers();
+            } else {
+              helpers_pending = !rotated_helpers.empty();
+            }
+          }
         };
       }
       if (!run_once(r1)) return tv;
@@ -376,6 +450,13 @@ FleetResult Driver::run() {
         trip("clean lifecycle yielded a Violation verdict");
       }
       if (!behaves_like_clean(r1)) trip("run 1 diverged from the clean reference");
+      // Respawn runs must match the kernel's key: once the rekey has been
+      // APPLIED the rekeyed template is the current image; a still-pending
+      // request stays queued and lands at run 2's first trap, where the old
+      // template still verifies under the old key.
+      if (tv.rotated && sys.kernel().rekey_counters().rekeys > 0) {
+        run_image = &rotated->image;
+      }
     }
 
     // ---- churn between runs: monitor swap ----

@@ -51,7 +51,11 @@ struct FleetConfig {
   std::uint64_t cycle_limit = 200'000'000;
   /// Churn cadences (0 disables). Tenant t rotates its key mid-run when
   /// t % rotate_every == rotate_every - 1; the strike call is drawn from the
-  /// tenant's substream, so rotations are staggered across the fleet.
+  /// tenant's substream, so rotations are staggered across the fleet. A
+  /// rotation is GENUINE: the tenant rekeys to a fresh key derived from its
+  /// own substream, swapping in a Rekeyer-re-signed view via Kernel::rekey
+  /// at the drawn call (deferred to the next trap boundary if it lands
+  /// mid-trap), and the guest must still complete identically.
   int rotate_every = 7;
   /// Tenant t swaps in a fresh monitor between runs on this cadence.
   int swap_every = 5;
@@ -75,6 +79,14 @@ struct FleetConfig {
   /// churn must tear tier state all the way down. Off by default: legacy
   /// fleet streams stay byte-identical.
   bool inline_tier = false;
+  /// Give every tenant its OWN MAC key: the shared guest templates are
+  /// installed once under test_key(), then each tenant rekeys them to a key
+  /// derived from its substream (installer::Rekeyer -- O(MAC surface), no
+  /// re-analysis) before its first run. Tenant isolation becomes
+  /// cryptographic, not just structural: no tenant's kernel accepts another
+  /// tenant's images. Off by default: legacy fleet streams stay
+  /// byte-identical.
+  bool per_tenant_keys = false;
 };
 
 /// One tenant lifecycle, classified. The per-tenant row of the fleet.

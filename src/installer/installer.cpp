@@ -27,6 +27,7 @@ InstallResult Installer::rewrite(const binary::Image& input, GeneratedPolicies g
   RewriteResult rr = rewrite_with_policies(input, std::move(gp), key_, ro);
   result.image = std::move(rr.image);
   result.policies = std::move(rr.policies);
+  result.manifest = std::move(rr.manifest);
   return result;
 }
 

@@ -38,6 +38,9 @@ struct InstallResult {
   std::vector<policy::SyscallPolicy> policies;
   std::vector<std::string> warnings;
   analysis::InlineReport inline_report;
+  /// Key-independent signing surface of `image`; feed it to Rekeyer::rekey()
+  /// to re-sign under a different key without re-running analysis.
+  SignManifest manifest;
 };
 
 class Installer {

@@ -1,0 +1,287 @@
+#include "installer/rekeyer.h"
+
+#include <atomic>
+#include <unordered_map>
+
+#include "policy/authstring.h"
+#include "policy/policy.h"
+#include "util/error.h"
+#include "util/hex.h"
+
+namespace asc::installer {
+
+namespace {
+
+// Manifest file format: magic, version, fixed header, AS table, call table.
+constexpr std::uint32_t kManifestMagic = 0x464d5341;  // "ASMF"
+constexpr std::uint32_t kManifestVersion = 1;
+
+// Records per compute_batch chunk. Large enough to keep the 4-lane AES-NI
+// core saturated, small enough that parallel_for has work to spread.
+constexpr std::size_t kBatchChunk = 64;
+
+std::size_t chunk_count(std::size_t n) { return (n + kBatchChunk - 1) / kBatchChunk; }
+
+}  // namespace
+
+std::uint64_t SignManifest::mac_surface_bytes() const {
+  std::uint64_t total = policy::encode_policy_state(0, 0).size();
+  for (const auto& as : as_records) total += as.len;
+  for (const auto& c : calls) total += c.message.size();
+  return total;
+}
+
+std::vector<std::uint8_t> SignManifest::serialize() const {
+  std::vector<std::uint8_t> out;
+  util::put_u32(out, kManifestMagic);
+  util::put_u32(out, kManifestVersion);
+  util::put_u16(out, program_id);
+  out.push_back(unique_block_ids ? 1 : 0);
+  util::put_u32(out, state_addr);
+  util::put_u32(out, start_block);
+  util::put_u32(out, static_cast<std::uint32_t>(as_records.size()));
+  for (const auto& as : as_records) {
+    util::put_u32(out, as.body);
+    util::put_u32(out, as.len);
+  }
+  util::put_u32(out, static_cast<std::uint32_t>(calls.size()));
+  for (const auto& c : calls) {
+    util::put_u32(out, c.mac_slot);
+    util::put_u32(out, static_cast<std::uint32_t>(c.message.size()));
+    out.insert(out.end(), c.message.begin(), c.message.end());
+    util::put_u32(out, static_cast<std::uint32_t>(c.patches.size()));
+    for (const auto& p : c.patches) {
+      util::put_u32(out, p.msg_off);
+      util::put_u32(out, p.as_body);
+    }
+  }
+  return out;
+}
+
+SignManifest SignManifest::deserialize(std::span<const std::uint8_t> file) {
+  std::size_t off = 0;
+  auto u32 = [&](const char* what) {
+    if (off + 4 > file.size()) throw Error(std::string("SignManifest: truncated at ") + what);
+    const std::uint32_t v = util::get_u32(file, off);
+    off += 4;
+    return v;
+  };
+  if (u32("magic") != kManifestMagic) throw Error("SignManifest: bad magic");
+  if (u32("version") != kManifestVersion) throw Error("SignManifest: unsupported version");
+  SignManifest m;
+  if (off + 3 > file.size()) throw Error("SignManifest: truncated header");
+  m.program_id = util::get_u16(file, off);
+  off += 2;
+  m.unique_block_ids = file[off++] != 0;
+  m.state_addr = u32("state_addr");
+  m.start_block = u32("start_block");
+  const std::uint32_t n_as = u32("as count");
+  for (std::uint32_t i = 0; i < n_as; ++i) {
+    ManifestAsRecord as;
+    as.body = u32("as body");
+    as.len = u32("as len");
+    m.as_records.push_back(as);
+  }
+  const std::uint32_t n_calls = u32("call count");
+  for (std::uint32_t i = 0; i < n_calls; ++i) {
+    ManifestCallRecord c;
+    c.mac_slot = u32("call mac slot");
+    const std::uint32_t msg_len = u32("call msg len");
+    if (off + msg_len > file.size()) throw Error("SignManifest: truncated call message");
+    c.message.assign(file.begin() + static_cast<std::ptrdiff_t>(off),
+                     file.begin() + static_cast<std::ptrdiff_t>(off + msg_len));
+    off += msg_len;
+    const std::uint32_t n_patches = u32("patch count");
+    for (std::uint32_t j = 0; j < n_patches; ++j) {
+      ManifestPatch p;
+      p.msg_off = u32("patch msg off");
+      p.as_body = u32("patch as body");
+      if (p.msg_off + 16 > c.message.size()) throw Error("SignManifest: patch out of message");
+      c.patches.push_back(p);
+    }
+    m.calls.push_back(c);
+  }
+  if (off != file.size()) throw Error("SignManifest: trailing bytes");
+  return m;
+}
+
+RekeyResult Rekeyer::rekey(const binary::Image& image, const SignManifest& manifest,
+                           const crypto::Key128& old_key, const crypto::Key128& new_key,
+                           util::Executor* executor) {
+  util::Executor& ex = util::resolve_executor(executor);
+  const crypto::MacKey old_mac(old_key);
+  const crypto::MacKey new_mac(new_key);
+
+  RekeyResult out;
+  out.image = image;
+  out.view.state_addr = manifest.state_addr;
+
+  binary::Section& asdata = out.image.section(binary::SectionKind::AsData);
+  const std::uint32_t base = asdata.vaddr();
+  std::vector<std::uint8_t>& bytes = asdata.bytes;
+  // Every manifest address must resolve inside .asdata; `what` names the
+  // offending record class on failure.
+  auto at = [&](std::uint32_t vaddr, std::uint32_t n, const char* what) -> std::size_t {
+    if (vaddr < base || vaddr - base > bytes.size() || n > bytes.size() - (vaddr - base)) {
+      throw Error(std::string("Rekeyer: ") + what + " outside .asdata");
+    }
+    return vaddr - base;
+  };
+  // Pre-resolve all offsets serially (throws happen before threads start).
+  struct AsOffsets {
+    std::size_t body;
+    std::size_t mac;
+    std::uint32_t len;
+  };
+  std::vector<AsOffsets> as_offs;
+  as_offs.reserve(manifest.as_records.size());
+  for (const auto& as : manifest.as_records) {
+    const std::size_t body = at(as.body, as.len, "AS body");
+    const std::size_t mac = at(as.body - 16, 16, "AS MAC slot");
+    if (as.body < base + policy::kAsHeaderSize ||
+        util::get_u32(bytes, body - policy::kAsHeaderSize) != as.len) {
+      throw Error("Rekeyer: AS length field mismatch");
+    }
+    as_offs.push_back({body, mac, as.len});
+  }
+  std::vector<std::size_t> call_offs;
+  call_offs.reserve(manifest.calls.size());
+  for (const auto& c : manifest.calls) call_offs.push_back(at(c.mac_slot, 16, "call MAC slot"));
+  const std::size_t state_off = at(manifest.state_addr, policy::kPolicyStateSize, "state record");
+  // AS body address -> index, for splicing content MACs into call messages.
+  std::unordered_map<std::uint32_t, std::size_t> as_index;
+  for (std::size_t i = 0; i < manifest.as_records.size(); ++i) {
+    as_index.emplace(manifest.as_records[i].body, i);
+  }
+  for (const auto& c : manifest.calls) {
+    for (const auto& p : c.patches) {
+      if (!as_index.contains(p.as_body)) throw Error("Rekeyer: patch names unknown AS");
+    }
+  }
+
+  // Builds one call message with its embedded AS MAC fields spliced in from
+  // `mac_of` (old MACs for the verify pass, new ones for the sign pass).
+  auto patched_message = [&](const ManifestCallRecord& c,
+                             auto&& mac_of) -> std::vector<std::uint8_t> {
+    std::vector<std::uint8_t> msg = c.message;
+    for (const auto& p : c.patches) {
+      const auto* m = mac_of(as_index.at(p.as_body));
+      std::copy(m, m + 16, msg.begin() + p.msg_off);
+    }
+    return msg;
+  };
+
+  // ---- Phase V: verify the whole old surface under old_key. A mismatch
+  // means the image was tampered with (or keys are wrong); refusing here
+  // keeps the rekeyer from laundering a tamper into valid new-key MACs.
+  std::atomic<bool> ok{true};
+  ex.parallel_for(chunk_count(manifest.as_records.size()), [&](std::size_t ci) {
+    const std::size_t lo = ci * kBatchChunk;
+    const std::size_t hi = std::min(lo + kBatchChunk, manifest.as_records.size());
+    std::vector<std::span<const std::uint8_t>> msgs;
+    std::vector<crypto::Mac> expected;
+    for (std::size_t i = lo; i < hi; ++i) {
+      msgs.emplace_back(bytes.data() + as_offs[i].body, as_offs[i].len);
+      crypto::Mac m;
+      std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(as_offs[i].mac), 16, m.begin());
+      expected.push_back(m);
+    }
+    for (bool v : old_mac.verify_batch(msgs, expected)) {
+      if (!v) ok.store(false, std::memory_order_relaxed);
+    }
+  });
+  ex.parallel_for(chunk_count(manifest.calls.size()), [&](std::size_t ci) {
+    const std::size_t lo = ci * kBatchChunk;
+    const std::size_t hi = std::min(lo + kBatchChunk, manifest.calls.size());
+    std::vector<std::vector<std::uint8_t>> storage;
+    std::vector<std::span<const std::uint8_t>> msgs;
+    std::vector<crypto::Mac> expected;
+    for (std::size_t i = lo; i < hi; ++i) {
+      storage.push_back(patched_message(
+          manifest.calls[i], [&](std::size_t ai) { return bytes.data() + as_offs[ai].mac; }));
+      crypto::Mac m;
+      std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(call_offs[i]), 16, m.begin());
+      expected.push_back(m);
+    }
+    for (const auto& s : storage) msgs.emplace_back(s.data(), s.size());
+    for (bool v : old_mac.verify_batch(msgs, expected)) {
+      if (!v) ok.store(false, std::memory_order_relaxed);
+    }
+  });
+  // Policy-state seed: a rekeyable image is at rest, so its record must
+  // still be the install-time {start_block, counter 0} seed.
+  {
+    const std::uint32_t last = util::get_u32(bytes, state_off);
+    crypto::Mac m;
+    std::copy_n(bytes.begin() + static_cast<std::ptrdiff_t>(state_off + 4), 16, m.begin());
+    if (last != manifest.start_block ||
+        !old_mac.verify(policy::encode_policy_state(last, 0), m)) {
+      ok.store(false, std::memory_order_relaxed);
+    }
+  }
+  if (!ok.load()) throw Error("Rekeyer: image does not verify under the old key");
+
+  // ---- Phase S: recompute the surface under new_key. AS content MACs
+  // first (content is key-independent), then call MACs over messages with
+  // the NEW embedded MACs spliced in, then the state seed.
+  std::vector<crypto::Mac> new_as(manifest.as_records.size());
+  ex.parallel_for(chunk_count(manifest.as_records.size()), [&](std::size_t ci) {
+    const std::size_t lo = ci * kBatchChunk;
+    const std::size_t hi = std::min(lo + kBatchChunk, manifest.as_records.size());
+    std::vector<std::span<const std::uint8_t>> msgs;
+    for (std::size_t i = lo; i < hi; ++i) {
+      msgs.emplace_back(bytes.data() + as_offs[i].body, as_offs[i].len);
+    }
+    const std::vector<crypto::Mac> macs = new_mac.mac_batch(msgs);
+    for (std::size_t i = lo; i < hi; ++i) new_as[i] = macs[i - lo];
+  });
+  for (std::size_t i = 0; i < manifest.as_records.size(); ++i) {
+    std::copy(new_as[i].begin(), new_as[i].end(),
+              bytes.begin() + static_cast<std::ptrdiff_t>(as_offs[i].mac));
+  }
+  std::vector<crypto::Mac> new_calls(manifest.calls.size());
+  ex.parallel_for(chunk_count(manifest.calls.size()), [&](std::size_t ci) {
+    const std::size_t lo = ci * kBatchChunk;
+    const std::size_t hi = std::min(lo + kBatchChunk, manifest.calls.size());
+    std::vector<std::vector<std::uint8_t>> storage;
+    std::vector<std::span<const std::uint8_t>> msgs;
+    for (std::size_t i = lo; i < hi; ++i) {
+      storage.push_back(patched_message(manifest.calls[i],
+                                        [&](std::size_t ai) { return new_as[ai].data(); }));
+    }
+    for (const auto& s : storage) msgs.emplace_back(s.data(), s.size());
+    const std::vector<crypto::Mac> macs = new_mac.mac_batch(msgs);
+    for (std::size_t i = lo; i < hi; ++i) new_calls[i] = macs[i - lo];
+  });
+  for (std::size_t i = 0; i < manifest.calls.size(); ++i) {
+    std::copy(new_calls[i].begin(), new_calls[i].end(),
+              bytes.begin() + static_cast<std::ptrdiff_t>(call_offs[i]));
+  }
+  const crypto::Mac state_mac =
+      new_mac.mac(policy::encode_policy_state(manifest.start_block, 0));
+  std::copy(state_mac.begin(), state_mac.end(),
+            bytes.begin() + static_cast<std::ptrdiff_t>(state_off + 4));
+
+  // The live-swap view covers the AS and call MAC slots but NOT the state
+  // MAC: a running process's {lastBlock, counter} has moved past the seed,
+  // so the kernel re-MACs the live state itself (os/rekey.h).
+  out.view.patches.reserve(manifest.as_records.size() + manifest.calls.size());
+  for (std::size_t i = 0; i < manifest.as_records.size(); ++i) {
+    os::RekeyPatch p;
+    p.addr = manifest.as_records[i].body - 16;
+    std::copy(new_as[i].begin(), new_as[i].end(), p.bytes.begin());
+    out.view.patches.push_back(p);
+  }
+  for (std::size_t i = 0; i < manifest.calls.size(); ++i) {
+    os::RekeyPatch p;
+    p.addr = manifest.calls[i].mac_slot;
+    std::copy(new_calls[i].begin(), new_calls[i].end(), p.bytes.begin());
+    out.view.patches.push_back(p);
+  }
+
+  out.stats.macs_recomputed = manifest.mac_count();
+  out.stats.surface_bytes = manifest.mac_surface_bytes();
+  return out;
+}
+
+}  // namespace asc::installer

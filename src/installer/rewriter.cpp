@@ -1,5 +1,6 @@
 #include "installer/rewriter.h"
 
+#include <algorithm>
 #include <map>
 #include <set>
 
@@ -68,16 +69,41 @@ class AsDataBuilder {
     return body;
   }
 
-  /// Compute every pending AS MAC (fanned out over `ex`) and write it into
-  /// its slot. Disjoint read/write ranges per job; bytes_ no longer grows.
+  /// Compute every pending AS MAC and write it into its slot. Chunks of
+  /// kSignChunk records go through Cmac::compute_batch (4-lane AES-NI
+  /// lockstep), and the chunks fan out over `ex`. Disjoint read/write ranges
+  /// per job; bytes_ no longer grows.
   void sign_pending(const crypto::MacKey& key, util::Executor& ex) {
-    ex.parallel_for(pending_.size(), [&](std::size_t i) {
-      const PendingMac& p = pending_[i];
-      const crypto::Mac mac =
-          key.mac(std::span<const std::uint8_t>(bytes_.data() + p.msg_off, p.msg_len));
-      std::copy(mac.begin(), mac.end(), bytes_.begin() + p.mac_off);
+    constexpr std::size_t kSignChunk = 64;
+    const std::size_t nchunks = (pending_.size() + kSignChunk - 1) / kSignChunk;
+    ex.parallel_for(nchunks, [&](std::size_t ci) {
+      const std::size_t lo = ci * kSignChunk;
+      const std::size_t hi = std::min(lo + kSignChunk, pending_.size());
+      std::vector<std::span<const std::uint8_t>> msgs;
+      msgs.reserve(hi - lo);
+      for (std::size_t i = lo; i < hi; ++i) {
+        msgs.emplace_back(bytes_.data() + pending_[i].msg_off, pending_[i].msg_len);
+      }
+      const std::vector<crypto::Mac> macs = key.mac_batch(msgs);
+      for (std::size_t i = lo; i < hi; ++i) {
+        std::copy(macs[i - lo].begin(), macs[i - lo].end(),
+                  bytes_.begin() + pending_[i].mac_off);
+      }
     });
     pending_.clear();
+  }
+
+  /// Manifest view of every AS blob allocated so far (body vaddr + covered
+  /// length). Must be harvested BEFORE sign_pending() clears the list;
+  /// dedup in add_string_as means one record per unique string.
+  std::vector<ManifestAsRecord> manifest_as_records() const {
+    std::vector<ManifestAsRecord> recs;
+    recs.reserve(pending_.size());
+    for (const PendingMac& p : pending_) {
+      recs.push_back(
+          ManifestAsRecord{binary::section_base(SectionKind::AsData) + p.msg_off, p.msg_len});
+    }
+    return recs;
   }
 
   void write(std::uint32_t addr, std::span<const std::uint8_t> data) {
@@ -162,7 +188,16 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
     al.mac_slot = asdata.reserve(16);
   }
 
-  // ---- sign every AS blob (parallel per-site CMAC schedule) ----
+  // ---- sign every AS blob (parallel batched CMAC schedule) ----
+  // The manifest's AS table is harvested first: sign_pending consumes the
+  // pending list, and the rekeyer needs the same {body, len} surface.
+  RewriteResult result;
+  result.manifest.program_id = options.program_id;
+  result.manifest.unique_block_ids = options.unique_block_ids;
+  result.manifest.state_addr = state_addr;
+  result.manifest.start_block = compose(policy::kStartBlockLocal);
+  result.manifest.as_records = asdata.manifest_as_records();
+  result.manifest.calls.resize(nsites);
   asdata.sign_pending(key, ex);
 
   // ---- locate the guest hint buffer if patterns are used ----
@@ -347,7 +382,6 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
   // ---- opaque functions that moved: the check above threw if unsafe ----
 
   // ---- build the output image ----
-  RewriteResult result;
   binary::Image& out = result.image;
   out.sections.reserve(8);  // section() grows the vector; see tasm::link
   out.name = input.name;
@@ -441,6 +475,26 @@ RewriteResult rewrite_with_policies(const binary::Image& input, GeneratedPolicie
     const auto encoded = policy::encode_policy(in);
     const crypto::Mac call_mac = key.mac(encoded);
     asdata.write(allocs[si].mac_slot, call_mac);
+
+    // Manifest call record: the encoded message with its embedded AS MAC
+    // fields zeroed (keeping the manifest key-independent) plus the patch
+    // list binding each field to the AS whose content MAC fills it. The
+    // offsets helper mirrors encode_policy, so the bodies line up: AS args
+    // in ascending order, then the predecessor set.
+    ManifestCallRecord& rec = result.manifest.calls[si];
+    rec.mac_slot = allocs[si].mac_slot;
+    rec.message = encoded;
+    std::vector<std::uint32_t> bodies;
+    for (int a = 0; a < pol.arity; ++a) {
+      const auto idx = static_cast<std::size_t>(a);
+      if (in.descriptor.arg_is_authenticated_string(a)) bodies.push_back(allocs[si].as_body[idx]);
+    }
+    if (in.descriptor.control_flow_constrained()) bodies.push_back(allocs[si].pred_body);
+    const std::vector<std::size_t> mac_offs = policy::embedded_mac_offsets(in);
+    for (std::size_t k = 0; k < mac_offs.size(); ++k) {
+      rec.patches.push_back(ManifestPatch{static_cast<std::uint32_t>(mac_offs[k]), bodies[k]});
+      std::fill_n(rec.message.begin() + static_cast<std::ptrdiff_t>(mac_offs[k]), 16, 0);
+    }
   });
 
   // ---- initialize the policy state ----

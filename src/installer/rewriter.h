@@ -20,6 +20,7 @@
 #include "binary/image.h"
 #include "crypto/cmac.h"
 #include "installer/policygen.h"
+#include "installer/rekeyer.h"
 #include "util/executor.h"
 
 namespace asc::installer {
@@ -38,6 +39,9 @@ struct RewriteResult {
   binary::Image image;
   /// Final policies: call_site filled, block ids composed.
   std::vector<policy::SyscallPolicy> policies;
+  /// The key-independent record of everything the sign phase MACed, enabling
+  /// Rekeyer::rekey() to re-sign this image without re-running analysis.
+  SignManifest manifest;
 };
 
 /// `gp` is consumed (its IR is mutated by instruction insertion).

@@ -8,6 +8,20 @@
 
 namespace asc::os {
 
+namespace {
+
+/// Tracks on_syscall nesting (spawn re-enters the trap pipeline); the
+/// live-rekey protocol applies swaps only at depth 0.
+struct TrapDepthGuard {
+  explicit TrapDepthGuard(int& d) : depth(d) { ++depth; }
+  ~TrapDepthGuard() { --depth; }
+  TrapDepthGuard(const TrapDepthGuard&) = delete;
+  TrapDepthGuard& operator=(const TrapDepthGuard&) = delete;
+  int& depth;  // NOLINT(misc-non-private-member-variables-in-classes)
+};
+
+}  // namespace
+
 Kernel::Kernel(Personality personality, CostModel cost)
     : personality_(personality), cost_(cost), monitor_(std::make_unique<NullMonitor>()) {}
 
@@ -99,7 +113,83 @@ bool Kernel::resolve_indirect(TrapContext& ctx) {
   return true;
 }
 
+bool Kernel::rekey(Process& p, const crypto::Key128& new_key, const RekeyView& view) {
+  if (trap_depth_ > 0) {
+    // Mid-trap: the in-flight verification must complete wholly under the
+    // old material. Park the request; the next whole trap applies it at
+    // entry, before any probe or MAC check runs.
+    pending_rekey_ = PendingRekey{new_key, view};
+    ++rekey_counters_.deferred;
+    return false;
+  }
+  return apply_rekey(p, new_key, view);
+}
+
+bool Kernel::apply_rekey(Process& p, const crypto::Key128& new_key, const RekeyView& view) {
+  if (!p.mem.in_range(view.state_addr, policy::kPolicyStateSize)) return false;
+
+  // (1) Establish the trusted {lastBlock} before anything is flushed. A
+  // live shadow entry IS the trusted copy; otherwise the guest record must
+  // verify under the old key and the authoritative per-process nonce -- a
+  // record that does not is tampered, and re-MACing it under the new key
+  // would launder the tamper, so the swap is refused (the old key stays and
+  // the next eager check fail-stops).
+  std::uint32_t last_block = 0;
+  if (const AscShadow::Entry* sh = tenant_.tiers.shadow().peek(p.pid); sh != nullptr) {
+    last_block = sh->last_block;
+  } else {
+    last_block = p.mem.r32(view.state_addr);
+    if (tenant_.key) {
+      crypto::Mac guest_mac{};
+      p.mem.read_bytes(view.state_addr + 4, 16, guest_mac.data());
+      const auto msg = policy::encode_policy_state(last_block, p.asc_counter);
+      p.cycles += cost_.mac_cost(msg.size());
+      if (!tenant_.key->verify(msg, guest_mac)) return false;
+    }
+  }
+
+  // (2) The existing rotation spine: demote every inline site and write
+  // dirty shadowed records back under the OLD key, then install the new one
+  // (see set_key for the ordering contract).
+  set_key(new_key);
+
+  // (3) Swap the re-signed MAC bytes into guest memory. The slots are MAC
+  // fields (AS headers and call-MAC slots), which no watch range guards --
+  // watches cover message CONTENT -- so these stores cannot re-enter the
+  // invalidation path; and the lattice was floored in (2) anyway.
+  for (const RekeyPatch& patch : view.patches) {
+    if (!p.mem.in_range(patch.addr, 16)) return false;
+    p.mem.write_bytes(patch.addr, patch.bytes);
+  }
+
+  // (4) Re-MAC the CURRENT policy state under the new key. The view
+  // deliberately carries no state MAC (the install-time seed is stale for a
+  // live process); this is the same re-materialization evict_fast_paths
+  // performs, under the new key.
+  const auto msg = policy::encode_policy_state(last_block, p.asc_counter);
+  p.cycles += cost_.mac_cost(msg.size());
+  p.mem.w32(view.state_addr, last_block);
+  p.mem.write_bytes(view.state_addr + 4, tenant_.key->mac(msg));
+
+  ++rekey_counters_.rekeys;
+  rekey_counters_.macs_applied += view.patches.size() + 1;
+  return true;
+}
+
 void Kernel::on_syscall(Process& p, std::uint32_t call_site) {
+  // ---- (-1) parked rekey: land it at the trap boundary ----
+  // A rotation requested mid-trap waits here so the requesting trap
+  // completed wholly under the old material; this trap (and every later
+  // one) verifies wholly under the new. Applied before the inline probe --
+  // the probe's pre-authorization was earned under the old key and must not
+  // outlive it.
+  if (trap_depth_ == 0 && pending_rekey_.has_value()) {
+    const PendingRekey req = std::move(*pending_rekey_);
+    pending_rekey_.reset();
+    apply_rekey(p, req.key, req.view);
+  }
+  const TrapDepthGuard depth_guard(trap_depth_);
+
   // ---- (0) Inline tier: the trap-less pre-authorized path ----
   // A promoted (pid, site) whose live registers and shadowed control-flow
   // state still match its verified snapshot skips the whole

@@ -35,6 +35,7 @@
 #include "os/fs.h"
 #include "os/health.h"
 #include "os/process.h"
+#include "os/rekey.h"
 #include "os/syscalls.h"
 #include "os/sysmonitor.h"
 #include "os/tenant.h"
@@ -51,6 +52,13 @@ struct TraceEntry {
   std::array<std::uint32_t, kMaxSyscallArgs> args{};
   std::string path;  // resolved first PathIn argument, if any
   std::int64_t ret = 0;
+};
+
+/// Counters of the live-rekey protocol (`asctool run --stats` surface).
+struct RekeyCounters {
+  std::uint64_t rekeys = 0;        // rotations applied to a live process
+  std::uint64_t deferred = 0;      // requests parked until a trap boundary
+  std::uint64_t macs_applied = 0;  // MAC slots patched + state re-MACs
 };
 
 class Kernel {
@@ -207,6 +215,29 @@ class Kernel {
   /// re-promotions. Charges no modeled cycles.
   void note_verification(Process& p, const TrapContext& ctx, bool clean, bool eager);
 
+  // ---- live key rotation (differential rekey; installer/rekeyer.h) ----
+  /// Move a live process onto `new_key` using the re-signed MAC bytes in
+  /// `view` (produced by Rekeyer::rekey over the same installed image). With
+  /// no trap in flight the swap is applied immediately; requested mid-trap
+  /// (e.g. from a stage hook) it is PARKED and applied at the next trap's
+  /// entry, before any verification begins -- so every trap verifies under
+  /// wholly-old or wholly-new material, never a mix (the rekey-toctou fault
+  /// class pins this). The swap: establish the trusted {lastBlock, counter}
+  /// (shadow copy if live, else the guest record verified under the OLD
+  /// key), run the set_key() rotation spine (inline demotions + shadow
+  /// write-backs under the old key), patch the view's MAC slots, then re-MAC
+  /// the CURRENT state under the new key. A guest record that fails the
+  /// old-key check refuses the swap (the old key stays; the tampered record
+  /// fail-stops at the next eager check). Returns true if applied, false if
+  /// deferred or refused.
+  bool rekey(Process& p, const crypto::Key128& new_key, const RekeyView& view);
+  const RekeyCounters& rekey_counters() const { return rekey_counters_; }
+  /// Depth of in-flight traps (0 = quiesced). A rekey requested at depth 0
+  /// applies immediately; deeper requests defer to the next trap boundary.
+  /// Pre-syscall hooks run OUTSIDE the trap, so a hook observing depth 0 is
+  /// at exactly the point where a pending rekey will land next.
+  int trap_depth() const { return trap_depth_; }
+
   /// Stage hook: fires at every TrapStage boundary of on_syscall with the
   /// in-flight context (chaos/fault injection surface; pass {} to clear).
   /// The monitor is never on the stack when the hook runs, so hooks may
@@ -318,6 +349,20 @@ class Kernel {
   std::uint64_t vtime_ns_ = 1'000'000'000;  // arbitrary epoch
   SpawnHandler spawn_;
   StageHook stage_hook_;
+
+  // ---- live-rekey machinery ----
+  /// Perform the swap now (trap boundary established by the caller).
+  bool apply_rekey(Process& p, const crypto::Key128& new_key, const RekeyView& view);
+  struct PendingRekey {
+    crypto::Key128 key{};
+    RekeyView view;
+  };
+  /// A rotation requested mid-trap, applied at the next depth-0 trap entry.
+  std::optional<PendingRekey> pending_rekey_;
+  RekeyCounters rekey_counters_;
+  /// Nesting depth of on_syscall (spawn nests child traps inside the
+  /// parent's); rekeys apply only at depth 0, i.e. between whole traps.
+  int trap_depth_ = 0;
 };
 
 }  // namespace asc::os

@@ -1,0 +1,34 @@
+// The guest-visible footprint of a key rotation.
+//
+// A RekeyView is what the installer-side Rekeyer hands the kernel so a live
+// process can be moved to a new key between traps: the exact MAC slots the
+// re-signing touched (call MACs at their .asdata slots, AS content MACs at
+// body-16) and where the policy-state record lives. The patches deliberately
+// EXCLUDE the policy-state MAC -- a live process's {lastBlock, counter} has
+// evolved past the install-time seed, so the kernel re-MACs the current state
+// itself under the new key at swap time (see Kernel::rekey).
+//
+// This header lives in os/ (not installer/) because the kernel consumes it;
+// os/ must not depend on the installer layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace asc::os {
+
+/// One 16-byte MAC slot rewritten by a rekey, at an absolute virtual address.
+struct RekeyPatch {
+  std::uint32_t addr = 0;
+  std::array<std::uint8_t, 16> bytes{};
+};
+
+/// Everything the kernel needs to swap a live process onto re-signed
+/// material: the MAC-slot patches plus the policy-state record address.
+struct RekeyView {
+  std::vector<RekeyPatch> patches;
+  std::uint32_t state_addr = 0;
+};
+
+}  // namespace asc::os

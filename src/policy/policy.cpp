@@ -113,6 +113,23 @@ std::vector<std::uint8_t> encode_policy(const EncodedPolicyInputs& in) {
   return out;
 }
 
+std::vector<std::size_t> embedded_mac_offsets(const EncodedPolicyInputs& in) {
+  std::vector<std::size_t> offs;
+  std::size_t off = 2 + 4;  // sysno + descriptor
+  if (in.descriptor.site_constrained()) off += 4;
+  off += 4;  // block id
+  for (int i = 0; i < in.arity; ++i) {
+    if (in.descriptor.arg_is_authenticated_string(i)) {
+      offs.push_back(off + 8);  // addr + len precede the content MAC
+      off += 24;
+    } else if (in.descriptor.arg_constrained(i)) {
+      off += 4;
+    }
+  }
+  if (in.descriptor.control_flow_constrained()) offs.push_back(off + 8);
+  return offs;
+}
+
 std::vector<std::uint8_t> encode_pred_set(const std::vector<std::uint32_t>& predecessors,
                                           const std::vector<std::uint32_t>& fd_sources,
                                           const std::vector<PatternRef>& patterns) {

@@ -111,6 +111,15 @@ struct EncodedPolicyInputs {
 /// Serialize the encoded policy / encoded call.
 std::vector<std::uint8_t> encode_policy(const EncodedPolicyInputs& in);
 
+/// Byte offsets, within encode_policy's output for `in`, of every embedded
+/// authenticated-string MAC: one per AS/pattern argument in ascending
+/// argument order, then the predecessor-set MAC if control flow is
+/// constrained. Only descriptor bits and arity are consulted. The rekeyer
+/// uses these to splice key-dependent MAC fields into otherwise
+/// key-independent call-MAC messages; the layout mirrors encode_policy,
+/// which remains the single serializer.
+std::vector<std::size_t> embedded_mac_offsets(const EncodedPolicyInputs& in);
+
 /// A pattern reference inside the predecessor-set blob.
 struct PatternRef {
   std::uint32_t arg_index = 0;

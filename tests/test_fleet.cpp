@@ -95,6 +95,35 @@ TEST(FleetDriver, ByteIdenticalAtJobs128) {
   EXPECT_EQ(results[0].audit.digest, results[2].audit.digest);
 }
 
+// ---- per-tenant keys ----
+// Every tenant rekeys the shared installed template to its own derived key
+// (one install, N Rekeyer passes): lifecycles must stay clean -- including
+// the genuine mid-run rotations and respawn churn -- and the determinism
+// surfaces must stay byte-identical at any executor width.
+TEST(FleetDriver, PerTenantKeysAreByteDeterministicAtJobs128) {
+  fleet::FleetConfig cfg;
+  cfg.seed = 42;
+  cfg.tenants = 48;
+  cfg.tamper_tenants = {5, 23};
+  cfg.per_tenant_keys = true;
+
+  std::vector<fleet::FleetResult> results;
+  for (const int jobs : {1, 2, 8}) {
+    results.push_back(run_fleet(cfg, jobs));
+    const fleet::FleetResult& r = results.back();
+    EXPECT_TRUE(r.ok()) << "jobs=" << jobs << "\n" << r.summary();
+    ASSERT_EQ(r.tenants.size(), 48u);
+    EXPECT_EQ(r.tampered, 2);
+    EXPECT_EQ(r.tamper_detected, 2);
+    EXPECT_GT(r.rotations, 0);
+  }
+  EXPECT_EQ(results[0].verdict_trace, results[1].verdict_trace);
+  EXPECT_EQ(results[0].verdict_trace, results[2].verdict_trace);
+  EXPECT_EQ(results[0].audit.lines, results[1].audit.lines);
+  EXPECT_EQ(results[0].audit.digest, results[1].audit.digest);
+  EXPECT_EQ(results[0].audit.digest, results[2].audit.digest);
+}
+
 // ---- tenant isolation ----
 
 TEST(FleetDriver, TamperInOneTenantNeverPerturbsTheOthers) {
